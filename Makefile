@@ -1,0 +1,29 @@
+.PHONY: install test bench bench-full report report-full examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_FULL=1 pytest benchmarks/ --benchmark-only
+
+report:
+	python -m repro report --out EXPERIMENTS_GENERATED.md
+
+report-full:
+	python -m repro --full report --out EXPERIMENTS_GENERATED.md
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		python $$script || exit 1; \
+	done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

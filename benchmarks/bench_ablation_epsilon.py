@@ -1,0 +1,58 @@
+"""Ablation: the constraint slack epsilon of the design programs (§5.1).
+
+A looser epsilon lets the designer pick sharper schemes (larger w),
+trading conservative evaluation for selectivity.  The ablation sweeps
+epsilon and checks the designed w grows as epsilon loosens, while
+accuracy stays high at the paper's default 1e-3.
+"""
+
+import pytest
+
+from repro.core import AdaptiveLSH
+from repro.lsh.design import build_design_context, design_scheme
+
+from .conftest import SEED
+
+
+@pytest.mark.parametrize("epsilon", [1e-2, 1e-3, 1e-4])
+def test_epsilon_run_time(benchmark, spotsigs, epsilon):
+    def setup():
+        method = AdaptiveLSH(
+            spotsigs.store, spotsigs.rule, seed=SEED, epsilon=epsilon
+        )
+        method.prepare()
+        return (method,), {}
+
+    result = benchmark.pedantic(
+        lambda m: m.run(10), setup=setup, rounds=2, iterations=1
+    )
+    assert result.k == 10
+
+
+def test_design_sharpness_grows_with_epsilon(benchmark, spotsigs):
+    def run():
+        ws = {}
+        for epsilon in (1e-4, 1e-3, 1e-2):
+            ctx = build_design_context(spotsigs.store, spotsigs.rule, seed=SEED)
+            design = design_scheme(ctx, 1280, epsilon=epsilon)
+            ws[epsilon] = design.groups[0].ws[0]
+        return ws
+
+    ws = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n  designed w by epsilon: {ws}")
+    assert ws[1e-2] >= ws[1e-3] >= ws[1e-4]
+
+
+def test_default_epsilon_accuracy(benchmark, spotsigs):
+    def run():
+        tight = AdaptiveLSH(
+            spotsigs.store, spotsigs.rule, seed=SEED, epsilon=1e-3
+        ).run(10)
+        loose = AdaptiveLSH(
+            spotsigs.store, spotsigs.rule, seed=SEED, epsilon=1e-2
+        ).run(10)
+        return tight, loose
+
+    tight, loose = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Both epsilon levels find the same top-10 sizes on this dataset.
+    assert [c.size for c in tight.clusters] == [c.size for c in loose.clusters]

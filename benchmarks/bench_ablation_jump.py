@@ -1,0 +1,55 @@
+"""Ablation: the Line-5 cost-model gate of Algorithm 1.
+
+Compares the calibrated gate against two degenerate policies —
+"always hash to the end of the sequence" (P effectively infinitely
+expensive) and "always jump to P" (hashing effectively infinitely
+expensive) — on the same dataset.  The adaptive gate should beat or
+match both extremes on wall time while producing the same clusters.
+"""
+
+import pytest
+
+from repro.core import AdaptiveLSH, CostModel, exponential_budgets
+
+from .conftest import SEED
+
+
+def _run(spotsigs, policy):
+    budgets = exponential_budgets()
+    if policy == "calibrated":
+        model = "calibrate"
+    elif policy == "always-hash":
+        model = CostModel.from_budgets(budgets, cost_per_hash=1e-12, cost_p=1e9)
+    else:  # always-P
+        model = CostModel.from_budgets(budgets, cost_per_hash=1e9, cost_p=1e-12)
+    method = AdaptiveLSH(
+        spotsigs.store, spotsigs.rule, budgets=budgets, seed=SEED, cost_model=model
+    )
+    method.prepare()
+    result = method.run(5)
+    return result
+
+
+@pytest.mark.parametrize("policy", ["calibrated", "always-hash", "always-P"])
+def test_jump_policy_time(benchmark, spotsigs, policy):
+    result = benchmark.pedantic(
+        lambda: _run(spotsigs, policy), rounds=2, iterations=1
+    )
+    assert result.k == 5
+
+
+def test_gate_never_worse_than_both_extremes(benchmark, spotsigs):
+    def run():
+        results = {p: _run(spotsigs, p) for p in ("calibrated", "always-hash", "always-P")}
+        return {
+            p: (r.wall_time, [c.size for c in r.clusters])
+            for p, r in results.items()
+        }
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n  " + "  ".join(f"{p}={t:.3f}s" for p, (t, _s) in outcome.items()))
+    sizes = {tuple(s) for _t, s in outcome.values()}
+    assert len(sizes) == 1  # all policies agree on the answer
+    t_gate = outcome["calibrated"][0]
+    worst = max(outcome["always-hash"][0], outcome["always-P"][0])
+    assert t_gate < worst * 1.2

@@ -1,0 +1,85 @@
+"""Ablation: the Appendix-D.2 lookahead jump policy.
+
+Theorem 1's optimality holds within the family of algorithms that never
+jump ahead of the Line-5 gate; Appendix D.2 sketches when breaking that
+assumption could pay: a cluster that (a sample says) will not split is
+going to ride the ladder to H_L for nothing, so paying P early wins.
+
+The ablation compares line5 vs lookahead on a dense-blob workload
+(single dominant entity) and on ordinary SpotSigs data, asserting the
+lookahead never changes the answer and wins on the dense workload.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveLSH, CostModel
+from repro.records import RecordStore, Schema
+from repro.distance import CosineDistance, ThresholdRule
+
+from .conftest import SEED
+
+BUDGETS = [20, 40, 80, 160, 320, 640, 1280, 2560]
+
+
+@pytest.fixture(scope="module")
+def dense_blob():
+    """One dominant dense entity plus background noise."""
+    rng = np.random.default_rng(13)
+    rows = []
+    base = rng.normal(size=24)
+    for _ in range(300):
+        rows.append(base + rng.normal(scale=0.004, size=24))
+    for _ in range(700):
+        rows.append(rng.normal(size=24))
+    store = RecordStore(Schema.single_vector(), {"vec": np.asarray(rows)})
+    rule = ThresholdRule(CosineDistance("vec"), 8 / 180.0)
+    return store, rule
+
+
+def run_policy(store, rule, policy, k=1):
+    model = CostModel.from_budgets(BUDGETS, cost_p=10.0)
+    method = AdaptiveLSH(
+        store, rule, budgets=BUDGETS, seed=SEED, cost_model=model,
+        jump_policy=policy,
+    )
+    method.prepare()
+    return method.run(k)
+
+
+@pytest.mark.parametrize("policy", ["line5", "lookahead"])
+def test_policy_time_dense_blob(benchmark, dense_blob, policy):
+    store, rule = dense_blob
+    result = benchmark.pedantic(
+        lambda: run_policy(store, rule, policy), rounds=2, iterations=1
+    )
+    assert result.clusters[0].size == 300
+
+
+def test_lookahead_saves_hashing_on_dense_blob(benchmark, dense_blob):
+    store, rule = dense_blob
+
+    def run():
+        line5 = run_policy(store, rule, "line5")
+        look = run_policy(store, rule, "lookahead")
+        return line5, look
+
+    line5, look = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n  hashes: line5={line5.counters.hashes_computed} "
+          f"lookahead={look.counters.hashes_computed}")
+    assert [c.size for c in look.clusters] == [c.size for c in line5.clusters]
+    assert look.counters.hashes_computed < line5.counters.hashes_computed
+
+
+def test_lookahead_harmless_on_spotsigs(benchmark, spotsigs):
+    def run():
+        line5 = AdaptiveLSH(
+            spotsigs.store, spotsigs.rule, seed=SEED, jump_policy="line5"
+        ).run(5)
+        look = AdaptiveLSH(
+            spotsigs.store, spotsigs.rule, seed=SEED, jump_policy="lookahead"
+        ).run(5)
+        return line5, look
+
+    line5, look = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert [c.size for c in look.clusters] == [c.size for c in line5.clusters]

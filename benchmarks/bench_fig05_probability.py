@@ -1,0 +1,47 @@
+"""Figure 5: collision-probability curves of (w, z)-schemes.
+
+Regenerates the three curves of Figure 5 and asserts the qualitative
+shape: more hash functions give a sharper drop past the threshold.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import exp_fig5_probability
+from repro.lsh.probability import collision_prob_curve
+
+
+def linear_p(x):
+    return np.clip(1.0 - np.asarray(x, dtype=float), 0.0, 1.0)
+
+
+def test_fig5_curves(benchmark, cfg):
+    result = benchmark.pedantic(
+        lambda: exp_fig5_probability(cfg), rounds=3, iterations=1
+    )
+    print()
+    print(result.to_markdown())
+    at_55 = {
+        (row["w"], row["z"]): row["prob"]
+        for row in result.rows
+        if row["angle_deg"] == 55
+    }
+    # Paper: at 55 degrees, the (30,70) curve is already near zero
+    # while (1,1) is still at ~0.7.
+    assert at_55[(30, 70)] < 0.01
+    assert at_55[(15, 20)] < 0.2
+    assert at_55[(1, 1)] == pytest.approx(1 - 55 / 180, abs=1e-9)
+
+
+def test_fig5_near_threshold_retention(benchmark):
+    """Below the 15-degree threshold every scheme stays near 1."""
+
+    def curve_at_threshold():
+        return {
+            (w, z): float(collision_prob_curve(linear_p, w, z, 15 / 180))
+            for (w, z) in [(15, 20), (30, 70)]
+        }
+
+    probs = benchmark.pedantic(curve_at_threshold, rounds=5, iterations=1)
+    assert probs[(15, 20)] > 0.97
+    assert probs[(30, 70)] > 0.99

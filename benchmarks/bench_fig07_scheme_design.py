@@ -1,0 +1,35 @@
+"""Figure 7 / Example 5: selecting the (w, z)-scheme for budget 2100.
+
+Asserts the §5.1 monotone trade-off and that the optimizer picks the
+largest feasible w (see the experiment's reproduction note about the
+paper's Example 5 prose).
+"""
+
+from repro.eval.experiments import exp_fig7_scheme_design
+
+
+def test_fig7_scheme_selection(benchmark, cfg):
+    result = benchmark.pedantic(
+        lambda: exp_fig7_scheme_design(cfg), rounds=3, iterations=1
+    )
+    print()
+    print(result.to_markdown())
+    fixed = {(r["w"], r["z"]): r for r in result.rows[:3]}
+    optimum = result.rows[-1]
+    # Monotone trade-off in w at fixed budget.
+    assert (
+        fixed[(15, 140)]["objective"]
+        > fixed[(30, 70)]["objective"]
+        > fixed[(60, 35)]["objective"]
+    )
+    assert (
+        fixed[(15, 140)]["prob_at_threshold"]
+        > fixed[(30, 70)]["prob_at_threshold"]
+        > fixed[(60, 35)]["prob_at_threshold"]
+    )
+    # The designed optimum is feasible and beats every feasible fixed
+    # pair on the objective.
+    assert optimum["feasible"]
+    for row in result.rows[:3]:
+        if row["feasible"]:
+            assert optimum["objective"] <= row["objective"] + 1e-12

@@ -1,0 +1,72 @@
+"""Figure 8: execution time on Cora — (a) vs k, (b) vs dataset size.
+
+Each parameterized case times one filtering method (offline design and
+calibration excluded), so the pytest-benchmark table reads like the
+paper's plot.  Shape assertions: adaLSH time is nearly flat in k and
+clearly below LSH1280 at every scale; the adaLSH-vs-Pairs speedup grows
+with dataset size.
+"""
+
+import pytest
+
+from repro.datasets import extend_dataset
+
+from .conftest import SEED, prepared_method, timed_run
+
+METHODS = ("adaLSH", "LSH1280", "Pairs")
+
+
+@pytest.mark.parametrize("k", [2, 5, 10, 20])
+@pytest.mark.parametrize("spec", METHODS)
+def test_fig8a_time_vs_k(benchmark, cora, spec, k):
+    def setup():
+        return (prepared_method(cora, spec),), {}
+
+    result = benchmark.pedantic(
+        lambda m: m.run(k), setup=setup, rounds=2, iterations=1
+    )
+    assert result.k == k
+    sizes = [c.size for c in result.clusters]
+    assert sizes == sorted(sizes, reverse=True)
+
+
+def test_fig8a_adalsh_flat_in_k(benchmark, cora):
+    """adaLSH's k=20 run stays within a small factor of its k=2 run (paper: the
+    time 'just slightly increases' with k)."""
+
+    def run():
+        t2, _ = timed_run(cora, "adaLSH", 2)
+        t20, _ = timed_run(cora, "adaLSH", 20)
+        return t2, t20
+
+    t2, t20 = benchmark.pedantic(run, rounds=1, iterations=1)
+    # At bench scale absolute times are milliseconds, so allow a fixed
+    # overhead floor on top of the relative bound.
+    assert t20 < max(6.0 * t2, t2 + 0.25)
+
+
+def test_fig8b_time_vs_size(benchmark, cora, cfg):
+    """adaLSH beats LSH1280 at every scale; its advantage over Pairs
+    grows as the dataset grows (Pairs is quadratic)."""
+
+    def run():
+        rows = []
+        for scale in cfg.scales:
+            ds = extend_dataset(cora, scale, seed=SEED + scale)
+            times = {spec: timed_run(ds, spec, 10)[0] for spec in METHODS}
+            rows.append((scale, len(ds), times))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for scale, n, times in rows:
+        print(
+            f"  Cora{scale}x (n={n}): "
+            + "  ".join(f"{m}={t:.3f}s" for m, t in times.items())
+        )
+    for _scale, _n, times in rows:
+        assert times["adaLSH"] < times["LSH1280"]
+    first, last = rows[0][2], rows[-1][2]
+    ratio_small = first["Pairs"] / max(first["adaLSH"], 1e-9)
+    ratio_large = last["Pairs"] / max(last["adaLSH"], 1e-9)
+    assert ratio_large > ratio_small

@@ -1,0 +1,83 @@
+"""Figure 9: execution time on SpotSigs — (a) vs k, (b) vs size.
+
+The paper's headline claims here: adaLSH gives its largest speedups on
+this higher-dimensional dataset (~25x vs LSH1280 on their testbed);
+LSH is slower than Pairs on small datasets and only wins at scale;
+the adaLSH-vs-Pairs speedup grows with size.
+"""
+
+import pytest
+
+from repro.datasets import extend_dataset
+
+from .conftest import SEED, prepared_method, timed_run
+
+METHODS = ("adaLSH", "LSH1280", "Pairs")
+
+
+@pytest.mark.parametrize("k", [2, 5, 10, 20])
+@pytest.mark.parametrize("spec", METHODS)
+def test_fig9a_time_vs_k(benchmark, spotsigs, spec, k):
+    def setup():
+        return (prepared_method(spotsigs, spec),), {}
+
+    result = benchmark.pedantic(
+        lambda m: m.run(k), setup=setup, rounds=2, iterations=1
+    )
+    assert result.k == k
+
+
+def test_fig9a_adalsh_beats_lsh1280(benchmark, spotsigs):
+    """The paper's central comparison at k=10."""
+
+    def run():
+        t_ada, r_ada = timed_run(spotsigs, "adaLSH", 10)
+        t_lsh, r_lsh = timed_run(spotsigs, "LSH1280", 10)
+        assert [c.size for c in r_ada.clusters] == [
+            c.size for c in r_lsh.clusters
+        ]
+        return t_ada, t_lsh
+
+    t_ada, t_lsh = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n  adaLSH={t_ada:.3f}s LSH1280={t_lsh:.3f}s "
+          f"speedup={t_lsh / max(t_ada, 1e-9):.1f}x")
+    assert t_ada * 2.0 < t_lsh
+
+
+def test_fig9a_adalsh_hashes_fraction(benchmark, spotsigs):
+    """Work view: adaLSH computes a small fraction of LSH1280's hash
+    evaluations (the Figure 2 'sparse areas are cheap' claim)."""
+
+    def run():
+        _, r_ada = timed_run(spotsigs, "adaLSH", 10)
+        _, r_lsh = timed_run(spotsigs, "LSH1280", 10)
+        return r_ada.counters.hashes_computed, r_lsh.counters.hashes_computed
+
+    ada_hashes, lsh_hashes = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert ada_hashes < 0.4 * lsh_hashes
+
+
+def test_fig9b_time_vs_size(benchmark, spotsigs, cfg):
+    def run():
+        rows = []
+        for scale in cfg.scales:
+            ds = extend_dataset(spotsigs, scale, seed=SEED + scale)
+            times = {spec: timed_run(ds, spec, 10)[0] for spec in METHODS}
+            rows.append((scale, len(ds), times))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for scale, n, times in rows:
+        print(
+            f"  SpotSigs{scale}x (n={n}): "
+            + "  ".join(f"{m}={t:.3f}s" for m, t in times.items())
+        )
+    for _scale, _n, times in rows:
+        assert times["adaLSH"] < times["LSH1280"]
+    # Speedup over Pairs grows with scale (Pairs is quadratic).
+    first, last = rows[0][2], rows[-1][2]
+    assert (
+        last["Pairs"] / max(last["adaLSH"], 1e-9)
+        > first["Pairs"] / max(first["adaLSH"], 1e-9)
+    )

@@ -1,0 +1,27 @@
+"""Figure 10: F1 Gold for different k values on Cora and SpotSigs.
+
+Shape: all three methods give (nearly) identical F1 — the probabilistic
+methods introduce no extra errors over exact Pairs.
+"""
+
+from repro.eval.experiments import exp_fig10_f1_gold
+
+
+def test_fig10_f1_gold(benchmark, cfg):
+    result = benchmark.pedantic(
+        lambda: exp_fig10_f1_gold(cfg), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_markdown(
+        columns=["dataset", "method", "k", "F1", "P", "R", "time_s"]
+    ))
+    by_key: dict = {}
+    for row in result.rows:
+        by_key.setdefault((row["dataset"], row["k"]), {})[row["method"]] = row["F1"]
+    for (dataset, k), scores in by_key.items():
+        # Methods agree with the exact baseline.
+        assert abs(scores["adaLSH"] - scores["Pairs"]) < 0.05, (dataset, k)
+        assert abs(scores["LSH1280"] - scores["Pairs"]) < 0.05, (dataset, k)
+    # Filtering is accurate in absolute terms on these generators too.
+    for row in result.rows:
+        assert row["F1"] > 0.6

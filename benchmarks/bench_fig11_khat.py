@@ -1,0 +1,31 @@
+"""Figure 11: precision/recall gold vs k_hat (k=5) on SpotSigs, for
+similarity thresholds 0.3 / 0.4 / 0.5.
+
+Shape: recall rises towards 1 as k_hat grows; precision decays.
+"""
+
+from repro.eval.experiments import exp_fig11_accuracy_vs_khat
+
+
+def test_fig11_precision_recall_vs_khat(benchmark, cfg):
+    result = benchmark.pedantic(
+        lambda: exp_fig11_accuracy_vs_khat(cfg, k=5), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_markdown(
+        columns=["similarity_thr", "k_hat", "P", "R", "out"]
+    ))
+    series: dict = {}
+    for row in result.rows:
+        series.setdefault(row["similarity_thr"], []).append(
+            (row["k_hat"], row["R"], row["P"])
+        )
+    for thr, points in series.items():
+        points.sort()
+        recalls = [r for _, r, _ in points]
+        precisions = [p for _, _, p in points]
+        # Recall is (weakly) improved by asking for more clusters and
+        # ends high; precision ends no higher than it starts.
+        assert recalls[-1] >= recalls[0] - 1e-9, thr
+        assert recalls[-1] > 0.75, thr
+        assert precisions[-1] <= precisions[0] + 1e-9, thr

@@ -1,0 +1,41 @@
+"""Figure 12: dataset reduction %% and Speedup w/o Recovery vs k_hat
+across dataset scales (k=5, SpotSigs).
+
+Shape: the output is a small fraction of the dataset (shrinking, in
+relative terms, as the dataset grows) and the modeled speedup grows
+with scale.
+"""
+
+from repro.eval.experiments import exp_fig12_reduction_speedup
+
+
+def test_fig12_reduction_and_speedup(benchmark, cfg):
+    result = benchmark.pedantic(
+        lambda: exp_fig12_reduction_speedup(cfg, k=5), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_markdown(
+        columns=["scale", "k_hat", "red%", "actual_pct", "speedup_wo_recovery"]
+    ))
+    by_scale: dict = {}
+    for row in result.rows:
+        by_scale.setdefault(row["scale"], []).append(row)
+    for scale, rows in by_scale.items():
+        rows.sort(key=lambda r: r["k_hat"])
+        # Output grows with k_hat but never covers the dataset.
+        reductions = [r["red%"] for r in rows]
+        assert reductions == sorted(reductions)
+        assert reductions[-1] < 60.0
+        # The output always covers at least the actual top-k records.
+        for row in rows:
+            assert row["red%"] >= 0.5 * row["actual_pct"]
+    # Speedup at the largest scale exceeds speedup at 1x (same k_hat).
+    smallest = min(by_scale)
+    largest = max(by_scale)
+    for row_small, row_large in zip(by_scale[smallest], by_scale[largest]):
+        assert (
+            row_large["speedup_wo_recovery"]
+            > row_small["speedup_wo_recovery"]
+        )
+    # And the filter is worth it at scale: speedup > 1.
+    assert all(r["speedup_wo_recovery"] > 1.0 for r in by_scale[largest])

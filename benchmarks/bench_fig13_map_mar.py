@@ -1,0 +1,31 @@
+"""Figure 13: mAP and mAR vs k_hat for several k values (SpotSigs).
+
+Shape: mAP reaches ~1 as k_hat grows; ranked metrics are at least as
+good as the set metrics (higher-ranked entities are more accurate).
+"""
+
+from repro.eval.experiments import exp_fig13_map_mar
+
+
+def test_fig13_map_mar(benchmark, cfg):
+    result = benchmark.pedantic(
+        lambda: exp_fig13_map_mar(cfg), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_markdown(
+        columns=["k", "k_hat", "mAP", "mAR", "P", "R"]
+    ))
+    by_k: dict = {}
+    for row in result.rows:
+        by_k.setdefault(row["k"], []).append(row)
+    for k, rows in by_k.items():
+        rows.sort(key=lambda r: r["k_hat"])
+        # mAP improves (weakly) with k_hat and ends high.
+        maps = [r["mAP"] for r in rows]
+        assert maps[-1] >= maps[0] - 1e-9
+        assert maps[-1] > 0.9, k
+    # §7.3.3's comparison: at k = k_hat = 5 the ranked precision is at
+    # least the set precision.
+    for row in result.rows:
+        if row["k"] == 5 and row["k_hat"] == 5:
+            assert row["mAP"] >= row["P"] - 0.05

@@ -1,0 +1,35 @@
+"""Figure 14: Speedup with Recovery and mAP with Recovery (k=5,
+SpotSigs scales).
+
+Shape: recovery pushes mAP to ~1 quickly as k_hat grows; the speedup
+with recovery is below the speedup without, decreases with k_hat, but
+grows with dataset scale.
+"""
+
+from repro.eval.experiments import exp_fig14_recovery
+
+
+def test_fig14_recovery(benchmark, cfg):
+    result = benchmark.pedantic(
+        lambda: exp_fig14_recovery(cfg, k=5), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_markdown(
+        columns=["scale", "k_hat", "speedup_with_recovery", "mAP_rec", "R_rec"]
+    ))
+    by_scale: dict = {}
+    for row in result.rows:
+        by_scale.setdefault(row["scale"], []).append(row)
+    import numpy as np
+
+    for scale, rows in by_scale.items():
+        rows.sort(key=lambda r: r["k_hat"])
+        # mAP with recovery converges to ~1.
+        assert rows[-1]["mAP_rec"] > 0.95, scale
+    # Larger datasets keep a larger mean recovery speedup (wall-time
+    # noise at millisecond scale makes endpoint comparisons flaky).
+    smallest, largest = min(by_scale), max(by_scale)
+    mean_small = np.mean([r["speedup_with_recovery"] for r in by_scale[smallest]])
+    mean_large = np.mean([r["speedup_with_recovery"] for r in by_scale[largest]])
+    assert mean_large > 0.8 * mean_small
+    assert mean_large > 1.0

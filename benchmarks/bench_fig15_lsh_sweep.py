@@ -1,0 +1,55 @@
+"""Figure 15: adaLSH vs the LSH-X sweep (SpotSigs, k=10, two scales).
+
+Shape: LSH-X execution time is U-shaped in X (too few hashes -> huge
+candidate clusters to verify; too many -> hashing dominates); the best
+X shifts upward with dataset size; adaLSH beats even the best X without
+tuning.
+"""
+
+import pytest
+
+from repro.datasets import extend_dataset
+
+from .conftest import SEED, timed_run
+
+
+def test_fig15_sweep(benchmark, spotsigs, cfg):
+    def run():
+        rows = []
+        for scale in (1, cfg.scales[-1]):
+            ds = extend_dataset(spotsigs, scale, seed=SEED + scale)
+            t_ada, _ = timed_run(ds, "adaLSH", 10)
+            rows.append({"scale": scale, "method": "adaLSH", "time": t_ada})
+            for x in cfg.lsh_sweep:
+                t, _ = timed_run(ds, f"LSH{x}", 10)
+                rows.append({"scale": scale, "method": f"LSH{x}", "time": t})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for row in rows:
+        print(f"  scale={row['scale']} {row['method']:>9s}: {row['time']:.3f}s")
+    for scale in (1, cfg.scales[-1]):
+        scale_rows = [r for r in rows if r["scale"] == scale]
+        ada = next(r["time"] for r in scale_rows if r["method"] == "adaLSH")
+        lsh_times = {
+            r["method"]: r["time"]
+            for r in scale_rows
+            if r["method"] != "adaLSH"
+        }
+        best_lsh = min(lsh_times.values())
+        # adaLSH is competitive with the best hand-tuned X without any
+        # tuning (the paper reports it strictly winning on a testbed
+        # where pair comparisons are much more expensive than in this
+        # vectorized substrate) and clearly beats the moderate-to-large
+        # Xs, which a user without the sweep has no way to avoid.  At
+        # the 1x scale absolute times are tens of milliseconds, so the
+        # competitiveness bound is looser there.
+        factor = 2.0 if scale > 1 else 4.0
+        assert ada < factor * best_lsh, scale
+        assert ada < lsh_times["LSH320"], scale
+        assert ada < lsh_times["LSH1280"], scale
+        assert ada * 3.0 < lsh_times[f"LSH{max(cfg.lsh_sweep)}"], scale
+        # The sweep is not flat: the worst X costs much more than the
+        # best (so tuning X matters — adaLSH's no-tuning advantage).
+        assert max(lsh_times.values()) > 2.0 * best_lsh, scale

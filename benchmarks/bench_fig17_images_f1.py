@@ -1,0 +1,37 @@
+"""Figure 17: F1 Gold on PopularImages vs Zipf exponent, for angle
+thresholds 2 / 3 / 5 degrees (k=10).
+
+Shape: the stricter the threshold, the lower the F1 (same-entity copies
+fall outside the match rule); a lighter tail (higher exponent) gives a
+higher F1.
+"""
+
+import numpy as np
+
+from repro.eval.experiments import exp_fig17_images_f1
+
+
+def test_fig17_images_f1(benchmark, cfg):
+    result = benchmark.pedantic(
+        lambda: exp_fig17_images_f1(cfg, k=10), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_markdown(columns=["threshold_deg", "exponent", "F1", "R"]))
+    rows = result.rows
+
+    def f1_of(threshold, exponent):
+        return next(
+            r["F1"]
+            for r in rows
+            if r["threshold_deg"] == threshold and r["exponent"] == exponent
+        )
+
+    # Averaged over exponents, looser thresholds give higher F1.
+    mean_f1 = {
+        thr: np.mean([f1_of(thr, e) for e in (1.05, 1.1, 1.2)])
+        for thr in (2.0, 3.0, 5.0)
+    }
+    assert mean_f1[5.0] > mean_f1[2.0]
+    assert mean_f1[3.0] >= mean_f1[2.0] - 0.02
+    # The loose threshold resolves the entities almost perfectly.
+    assert mean_f1[5.0] > 0.9

@@ -1,0 +1,39 @@
+"""Figure 21 (Appendix E.2): adaLSH sensitivity to cost-model noise.
+
+Shape: adaLSH is insensitive to moderate mis-estimation of cost_P;
+only heavy *under*-estimation (nf = 1/5: P fires early on big clusters)
+costs real time.
+"""
+
+from repro.eval.experiments import exp_fig21_cost_noise
+
+
+def test_fig21_cost_noise(benchmark, cfg):
+    result = benchmark.pedantic(
+        lambda: exp_fig21_cost_noise(cfg, ks=(2, 10)), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_markdown(
+        columns=["k", "scale", "noise_factor", "time_s", "pairs", "F1"]
+    ))
+    largest = max(r["scale"] for r in result.rows)
+    for k in (2, 10):
+        rows = {
+            r["noise_factor"]: r
+            for r in result.rows
+            if r["k"] == k and r["scale"] == largest
+        }
+        clean = rows[1.0]["time_s"]
+        # Moderate noise: within 3x of the clean run.
+        for nf in (0.5, 2.0, 5.0):
+            assert rows[nf]["time_s"] < 3.0 * clean + 0.05, (k, nf)
+        # Accuracy is nearly unaffected by the cost model (it mostly
+        # moves work between hashing and P; deferring P can leave a few
+        # more clusters as deep-hash outcomes).
+        for nf, row in rows.items():
+            assert row["F1"] >= rows[1.0]["F1"] - 0.1, (k, nf)
+        # Under-estimating P (nf < 1) fires it earlier, i.e. on larger
+        # clusters: at least as much pairwise work as the clean model.
+        assert rows[0.2]["pairs"] >= rows[1.0]["pairs"]
+        # Over-estimating P (nf = 5) defers it: no more pairwise work.
+        assert rows[5.0]["pairs"] <= rows[1.0]["pairs"]

@@ -1,0 +1,29 @@
+"""Figure 22 (Appendix E.2): Exponential vs Linear budget schedules.
+
+Shape: the Exponential mode (20, 40, 80, ...) is the clear winner —
+the linear modes front-load hundreds of hashes onto every record.
+"""
+
+from repro.eval.experiments import exp_fig22_budget_modes
+
+
+def test_fig22_budget_modes(benchmark, cfg):
+    result = benchmark.pedantic(
+        lambda: exp_fig22_budget_modes(cfg, k=10), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_markdown(
+        columns=["dataset", "scale", "mode", "time_s", "hashes"]
+    ))
+    by_key: dict = {}
+    for row in result.rows:
+        by_key.setdefault((row["dataset"], row["scale"]), {})[row["mode"]] = row
+    for (dataset, scale), modes in by_key.items():
+        expo = modes["expo"]
+        for mode in ("lin320", "lin640", "lin1280"):
+            # Exponential computes far fewer hash values...
+            assert expo["hashes"] < modes[mode]["hashes"], (dataset, scale, mode)
+        # ... and is the fastest (or ties within noise) at scale.
+        if scale == max(s for _d, s in by_key):
+            fastest = min(r["time_s"] for r in modes.values())
+            assert expo["time_s"] < 1.5 * fastest + 0.02, (dataset, scale)

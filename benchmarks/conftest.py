@@ -1,0 +1,68 @@
+"""Shared benchmark fixtures.
+
+Default sizes keep the whole suite a few minutes; set ``REPRO_FULL=1``
+to run at the paper's dataset scale (2000-2200 records, 1x..8x scales,
+10k images).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datasets import generate_cora, generate_popular_images, generate_spotsigs
+from repro.datasets.popularimages import TOP1_BY_EXPONENT
+from repro.eval.experiments import ExperimentConfig
+from repro.eval.runner import make_method
+
+FULL = bool(int(os.environ.get("REPRO_FULL", "0")))
+SEED = 0
+
+
+@pytest.fixture(scope="session")
+def cfg() -> ExperimentConfig:
+    return ExperimentConfig.full() if FULL else ExperimentConfig.small()
+
+
+@pytest.fixture(scope="session")
+def spotsigs(cfg):
+    return generate_spotsigs(cfg.spotsigs_records, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def cora(cfg):
+    return generate_cora(cfg.cora_records, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def images_105(cfg):
+    return _images(cfg, 1.05)
+
+
+def _images(cfg, exponent):
+    ratio = cfg.images_records / 10_000
+    return generate_popular_images(
+        n_records=cfg.images_records,
+        n_popular=max(20, int(500 * ratio)),
+        zipf_exponent=exponent,
+        top1_size=max(10, int(TOP1_BY_EXPONENT[round(exponent, 2)] * ratio)),
+        seed=SEED,
+    )
+
+
+def prepared_method(dataset, spec, seed=SEED, **kwargs):
+    """Build a filtering method with offline work (scheme design, cost
+    calibration) already done, so benchmarks time only the filter."""
+    method = make_method(dataset, spec, seed=seed, **kwargs)
+    prepare = getattr(method, "prepare", None)
+    if prepare is not None:
+        prepare()
+    return method
+
+
+def timed_run(dataset, spec, k, seed=SEED, **kwargs) -> tuple:
+    """One fresh filtering run; returns (wall_time, FilterResult)."""
+    method = prepared_method(dataset, spec, seed=seed, **kwargs)
+    result = method.run(k)
+    return result.wall_time, result

@@ -1,0 +1,57 @@
+"""Popular questions in a search-engine query log (paper §1's last
+motivating example) — and a look at adaLSH's *hard* regime.
+
+Queries are short token sets, and common stopwords give unrelated
+queries a high Jaccard noise floor.  The cheap first hashing functions
+cannot shatter the dataset, so Adaptive LSH is forced to spend more
+per record than on article/image data — the per-level histogram below
+makes that visible.  The output still matches the exact baseline.
+
+Run:  python examples/popular_questions.py
+"""
+
+from repro import AdaptiveLSH, PairsBaseline, generate_querylog
+from repro.eval.metrics import precision_recall_f1
+
+K = 5
+
+
+def main() -> None:
+    dataset = generate_querylog(n_records=4000, seed=9)
+    print(
+        f"query log: {len(dataset)} queries; the most-asked question "
+        f"was asked {dataset.entity_sizes()[0]} times"
+    )
+
+    method = AdaptiveLSH(dataset.store, dataset.rule, seed=9, trace=True)
+    result = method.run(K)
+    exact = PairsBaseline(dataset.store, dataset.rule).run(K)
+
+    print(f"\ntop-{K} question frequencies: "
+          f"{[c.size for c in result.clusters]}")
+    same = [c.size for c in result.clusters] == [c.size for c in exact.clusters]
+    print(f"matches exact transitive closure: {same}")
+    _p, _r, f1 = precision_recall_f1(result.output_rids, dataset.top_k_rids(K))
+    print(f"F1 vs ground truth: {f1:.3f}")
+
+    print("\nhow deep did records go? (sequence level -> records)")
+    for level, count in sorted(result.info["records_per_level"].items()):
+        print(f"  H_{level}: {count:5d} records")
+    print(
+        "short queries + stopword noise keep the dataset connected at\n"
+        "cheap hashing levels, so far more records climb the ladder than\n"
+        "on article or image data — the stress regime for the paper's\n"
+        "'sparse areas are cheap to dismiss' insight."
+    )
+
+    print(f"\nlast rounds of the adaptive loop (size -> action):")
+    for entry in method.trace[-6:]:
+        print(
+            f"  round {entry['round']:>3}: cluster of {entry['size']:>5} "
+            f"-> {entry['action']} -> {entry['subclusters']} subclusters "
+            f"(largest {entry['largest_out']})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Multi-field publication records: the paper's Cora setting (§6.3).
+
+Each record has title / authors / venue+pages fields; two records refer
+to the same publication when the *average* Jaccard similarity of title
+and authors is at least 0.7 AND the rest-field similarity is at least
+0.2 — the Appendix C.4 combined rule, hashed with a weighted-mixture
+family AND-ed with a plain minhash family.
+
+Run:  python examples/publications.py
+"""
+
+from repro import AdaptiveLSH, generate_cora
+
+K = 3
+
+
+def main() -> None:
+    dataset = generate_cora(n_records=2000, seed=5)
+    print(f"dataset: {len(dataset)} publication records")
+    print(f"match rule: {dataset.rule!r}\n")
+
+    method = AdaptiveLSH(dataset.store, dataset.rule, seed=5)
+    result = method.run(K)
+
+    print(
+        f"filtered in {result.wall_time:.3f}s; designed sequence: "
+    )
+    for level, description in enumerate(result.info["designs"], 1):
+        print(f"  H_{level}: {description}")
+
+    raw = dataset.info["raw"]
+    print(f"\ntop-{K} most-duplicated publications:")
+    for rank, cluster in enumerate(result.clusters, 1):
+        sample = raw[int(cluster.rids[0])]
+        print(f"  #{rank} ({cluster.size} records)")
+        print(f"      title:   {sample['title'][:60]}")
+        print(f"      authors: {sample['authors'][:60]}")
+        # Show one duplicate's (corrupted) title for flavour.
+        dup = raw[int(cluster.rids[1])]
+        print(f"      dup #2:  {dup['title'][:60]}")
+
+    hist = result.info["records_per_level"]
+    shallow = sum(count for level, count in hist.items() if level <= 2)
+    print(
+        f"\nadaptivity: {shallow}/{len(dataset)} records stopped after "
+        f"at most two (cheap) hashing functions"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Quickstart: find the k largest entities in a vector dataset.
+
+Builds a small synthetic dataset of 2-D-ish feature vectors with three
+planted "popular" entities, then runs the adaptive-LSH filter and
+compares with the exact Pairs baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    AdaptiveLSH,
+    CosineDistance,
+    PairsBaseline,
+    RecordStore,
+    Schema,
+    ThresholdRule,
+)
+
+
+def build_dataset(seed: int = 0) -> RecordStore:
+    """Three dense groups of near-duplicate vectors + uniform noise."""
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=(3, 32))
+    rows = []
+    for i, copies in enumerate([60, 35, 15]):
+        for _ in range(copies):
+            rows.append(base[i] + rng.normal(scale=0.01, size=32))
+    for _ in range(400):
+        rows.append(rng.normal(size=32))
+    return RecordStore(Schema.single_vector("vec"), {"vec": np.asarray(rows)})
+
+
+def main() -> None:
+    store = build_dataset()
+    # Two records match when their vectors are within 10 degrees.
+    rule = ThresholdRule(CosineDistance("vec"), 10.0 / 180.0)
+
+    ada = AdaptiveLSH(store, rule, seed=0)
+    result = ada.run(k=3)
+
+    print(f"dataset: {len(store)} records")
+    print(
+        f"adaLSH found the top-3 entities in {result.wall_time * 1e3:.1f} ms "
+        f"using {result.counters.hashes_computed} hash evaluations and "
+        f"{result.counters.pairs_compared} pair comparisons"
+    )
+    for rank, cluster in enumerate(result.clusters, 1):
+        print(f"  #{rank}: {cluster.size} records (e.g. rids {cluster.rids[:5].tolist()})")
+
+    exact = PairsBaseline(store, rule).run(3)
+    match = [c.size for c in result.clusters] == [c.size for c in exact.clusters]
+    print(f"matches the exact Pairs baseline: {match}")
+    print(
+        f"(Pairs compared {exact.counters.pairs_compared} record pairs "
+        f"to reach the same answer)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Viral images in social media: the paper's image motivation (§1).
+
+Images get copied with transformations (cropping, scaling,
+re-centering); the paper reduces each image to an RGB histogram and
+matches copies by histogram angle.  The k most-shared originals are
+exactly the top-k entities.
+
+The script compares the three angle thresholds the paper evaluates
+(2, 3, 5 degrees) and shows the accuracy/performance trade-off of
+Figure 16/17, plus incremental mode: the most viral image is reported
+before the rest of the top-k is resolved.
+
+Run:  python examples/viral_images.py
+"""
+
+import time
+
+from repro import AdaptiveLSH, generate_popular_images, precision_recall_f1
+from repro.datasets.popularimages import images_rule
+
+K = 5
+
+
+def main() -> None:
+    dataset = generate_popular_images(
+        n_records=4000, n_popular=200, zipf_exponent=1.1, top1_size=400, seed=3
+    )
+    print(
+        f"corpus: {len(dataset)} images, top-1 original shared "
+        f"{dataset.entity_sizes()[0]} times"
+    )
+
+    for degrees in (2.0, 3.0, 5.0):
+        rule = images_rule(degrees)
+        method = AdaptiveLSH(dataset.store, rule, seed=3)
+        result = method.run(K)
+        p, r, f1 = precision_recall_f1(
+            result.output_rids, dataset.top_k_rids(K)
+        )
+        print(
+            f"  threshold {degrees:.0f} deg: {result.wall_time:.3f}s  "
+            f"F1={f1:.3f}  top sizes={[c.size for c in result.clusters]}"
+        )
+
+    # Incremental mode: report the most viral image as soon as known.
+    method = AdaptiveLSH(dataset.store, images_rule(5.0), seed=3)
+    method.prepare()
+    started = time.perf_counter()
+    clusters = method.iter_clusters(K)
+    top1 = next(clusters)
+    t_first = time.perf_counter() - started
+    rest = list(clusters)
+    t_full = time.perf_counter() - started
+    print(
+        f"\nincremental mode: most viral image ({top1.size} copies) known "
+        f"after {t_first * 1e3:.0f} ms; full top-{K} after {t_full * 1e3:.0f} ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Shim so `pip install -e .` works on environments without the
+`wheel` package (legacy setup.py develop code path)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,105 @@
+"""Top-k entity resolution with adaptive locality-sensitive hashing.
+
+A from-scratch reproduction of Verroios & Garcia-Molina, *"Top-K Entity
+Resolution with Adaptive Locality-Sensitive Hashing"*.
+
+Quickstart::
+
+    from repro import AdaptiveLSH, generate_spotsigs
+
+    dataset = generate_spotsigs(n_records=2200, seed=0)
+    result = AdaptiveLSH(dataset.store, dataset.rule, seed=0).run(k=10)
+    for cluster in result.clusters:
+        print(cluster.size, cluster.rids[:5])
+
+Public surface:
+
+* records — :class:`RecordStore`, :class:`Schema`;
+* match rules — :class:`ThresholdRule`, :class:`AndRule`,
+  :class:`OrRule`, :class:`WeightedAverageRule` over
+  :class:`CosineDistance` / :class:`JaccardDistance`;
+* the adaptive filter — :class:`AdaptiveLSH` / :func:`adaptive_filter`;
+* baselines — :class:`LSHBlocking` (LSH-X / LSH-X-nP),
+  :class:`PairsBaseline`;
+* the Figure-1 pipeline — :class:`TopKPipeline`;
+* synthetic datasets — :func:`generate_cora`,
+  :func:`generate_spotsigs`, :func:`generate_popular_images`,
+  :func:`extend_dataset`;
+* metrics — :func:`precision_recall_f1`, :func:`map_mar`,
+  :class:`SpeedupModel`.
+"""
+
+from .baselines import LSHBlocking, PairsBaseline
+from .core import (
+    AdaptiveLSH,
+    CostModel,
+    FilterResult,
+    adaptive_filter,
+    exponential_budgets,
+    linear_budgets,
+)
+from .datasets import (
+    Dataset,
+    extend_dataset,
+    generate_cora,
+    generate_popular_images,
+    generate_querylog,
+    generate_spotsigs,
+)
+from .distance import (
+    AndRule,
+    CosineDistance,
+    EuclideanDistance,
+    JaccardDistance,
+    MatchRule,
+    OrRule,
+    ThresholdRule,
+    WeightedAverageRule,
+)
+from .er import TopKPipeline
+from .errors import ReproError
+from .io import load_dataset, rule_from_spec, rule_to_spec, save_dataset
+from .eval import SpeedupModel, map_mar, precision_recall_f1
+from .records import FieldKind, FieldSpec, Record, RecordStore, Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveLSH",
+    "adaptive_filter",
+    "CostModel",
+    "FilterResult",
+    "exponential_budgets",
+    "linear_budgets",
+    "LSHBlocking",
+    "PairsBaseline",
+    "TopKPipeline",
+    "Dataset",
+    "extend_dataset",
+    "generate_cora",
+    "generate_spotsigs",
+    "generate_popular_images",
+    "generate_querylog",
+    "MatchRule",
+    "ThresholdRule",
+    "AndRule",
+    "OrRule",
+    "WeightedAverageRule",
+    "CosineDistance",
+    "EuclideanDistance",
+    "JaccardDistance",
+    "RecordStore",
+    "Schema",
+    "Record",
+    "FieldKind",
+    "FieldSpec",
+    "SpeedupModel",
+    "precision_recall_f1",
+    "map_mar",
+    "ReproError",
+    "save_dataset",
+    "load_dataset",
+    "rule_to_spec",
+    "rule_from_spec",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""Baseline filtering methods the paper compares against (§6.1.1):
+LSH-X blocking (with and without pairwise verification) and Pairs."""
+
+from .lsh_blocking import LSHBlocking
+from .pairs import PairsBaseline
+
+__all__ = ["LSHBlocking", "PairsBaseline"]

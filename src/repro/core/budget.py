@@ -1,0 +1,54 @@
+"""Budget schedules for the function sequence (paper §5.2).
+
+Two strategies:
+
+* **Exponential** — each function's hash budget multiplies the previous
+  one (the paper's default: start at 20, double each time);
+* **Linear** — each function adds a constant number of hash functions
+  (``lin320``, ``lin640``, ``lin1280`` in Appendix E.2).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+#: Paper default: first function applies 20 hash functions, doubling.
+DEFAULT_START = 20
+DEFAULT_FACTOR = 2.0
+#: Ten exponential levels reach 20 * 2^9 = 10240 hash functions, past
+#: the largest LSH-X variation the paper sweeps (5120).
+DEFAULT_LENGTH = 10
+
+
+def exponential_budgets(
+    start: int = DEFAULT_START,
+    factor: float = DEFAULT_FACTOR,
+    length: int = DEFAULT_LENGTH,
+) -> list[int]:
+    """Exponential schedule: ``start, start*factor, start*factor^2...``."""
+    if start < 1 or factor <= 1.0 or length < 1:
+        raise ConfigurationError(
+            f"invalid exponential schedule (start={start}, factor={factor}, "
+            f"length={length})"
+        )
+    budgets = []
+    value = float(start)
+    for _ in range(length):
+        budgets.append(int(round(value)))
+        value *= factor
+    return budgets
+
+
+def linear_budgets(start: int, step: "int | None" = None, length: int = DEFAULT_LENGTH) -> list[int]:
+    """Linear schedule: ``start, start+step, start+2*step, ...``.
+
+    The paper's ``linX`` modes use ``step == start``.
+    """
+    if step is None:
+        step = start
+    if start < 1 or step < 1 or length < 1:
+        raise ConfigurationError(
+            f"invalid linear schedule (start={start}, step={step}, "
+            f"length={length})"
+        )
+    return [start + i * step for i in range(length)]

@@ -1,0 +1,183 @@
+"""The cost model (paper Definition 3) and its calibration.
+
+Costs:
+
+* applying sequence function ``H_i`` on a set ``S`` costs
+  ``cost_i * |S|``;
+* upgrading a record from ``H_j`` to ``H_i`` costs ``cost_i - cost_j``
+  (incremental computation);
+* applying the pairwise function ``P`` on ``S`` costs
+  ``cost_P * C(|S|, 2)``.
+
+``cost_i`` is proportional to the function's hash budget, with the
+per-hash constant calibrated by timing a sample of real hash
+computations; ``cost_P`` is calibrated by timing a sample of record
+pairs (the paper estimates both "using 100 samples each", App. E.2).
+
+The Appendix E.2 noise experiment multiplies the model's ``cost_P``
+estimate by a noise factor ``nf``: values below 1 under-estimate the
+pairwise cost (so ``P`` fires sooner, on larger clusters), values above
+1 defer ``P`` to smaller clusters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..distance.rules import MatchRule
+from ..errors import CalibrationError
+from ..records import RecordStore
+from ..rngutil import make_rng
+
+#: Sample size used for calibration (paper Appendix E.2).
+CALIBRATION_SAMPLES = 100
+
+
+@dataclass
+class CostModel:
+    """Per-record hashing costs and per-pair comparison cost.
+
+    ``level_costs[i]`` is ``cost_{i+1}`` — the cumulative per-record
+    cost of sequence function ``H_{i+1}`` (1-based in the paper).
+    """
+
+    level_costs: list
+    cost_p: float
+    noise_factor: float = 1.0
+    info: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.level_costs:
+            raise CalibrationError("cost model needs at least one level cost")
+        if any(
+            b < a for a, b in zip(self.level_costs, self.level_costs[1:])
+        ):
+            raise CalibrationError(
+                f"level costs must be non-decreasing: {self.level_costs}"
+            )
+        if self.cost_p <= 0.0:
+            raise CalibrationError(f"cost_p must be positive, got {self.cost_p}")
+
+    @property
+    def levels(self) -> int:
+        return len(self.level_costs)
+
+    def cost_level(self, level: int) -> float:
+        """``cost_i`` for 1-based sequence level ``i``."""
+        return float(self.level_costs[level - 1])
+
+    def marginal_hash_cost(self, from_level: int, size: int) -> float:
+        """Cost of upgrading ``size`` records from ``H_t`` to ``H_{t+1}``."""
+        step = self.cost_level(from_level + 1) - self.cost_level(from_level)
+        return step * size
+
+    def pairwise_cost(self, size: int) -> float:
+        """Estimated cost of ``P`` on a cluster of ``size`` records,
+        including the E.2 noise factor."""
+        pairs = size * (size - 1) / 2.0
+        return self.cost_p * self.noise_factor * pairs
+
+    def should_jump_to_pairwise(self, from_level: int, size: int) -> bool:
+        """Line 5 of Algorithm 1."""
+        return self.marginal_hash_cost(from_level, size) >= self.pairwise_cost(size)
+
+    def with_noise(self, noise_factor: float) -> "CostModel":
+        """A copy of this model with a different E.2 noise factor.
+
+        Used by the noise-sensitivity experiment so every noise level
+        perturbs the *same* calibrated constants.
+        """
+        return CostModel(
+            list(self.level_costs), self.cost_p, noise_factor, dict(self.info)
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_budgets(
+        cls,
+        budgets,
+        cost_per_hash: float = 1.0,
+        cost_p: float = 20.0,
+        noise_factor: float = 1.0,
+    ) -> "CostModel":
+        """Analytic model: ``cost_i = cost_per_hash * budget_i``.
+
+        Deterministic — used by tests and by callers who prefer counted
+        work over wall-clock calibration.
+        """
+        levels = [cost_per_hash * float(b) for b in budgets]
+        return cls(levels, cost_p, noise_factor, info={"mode": "analytic"})
+
+    @classmethod
+    def calibrate(
+        cls,
+        store: RecordStore,
+        rule: MatchRule,
+        designs,
+        noise_factor: float = 1.0,
+        samples: int = CALIBRATION_SAMPLES,
+        seed=None,
+    ) -> "CostModel":
+        """Measure per-hash and per-pair costs on a record sample.
+
+        ``designs`` is the sequence of
+        :class:`~repro.lsh.design.SchemeDesign` (their ``spent_budget``
+        defines each level's hash count).  Calibration builds throwaway
+        hash families so the production signature pools stay cold.
+        """
+        if len(store) < 2:
+            raise CalibrationError("need at least two records to calibrate")
+        rng = make_rng(seed)
+        sample = rng.choice(len(store), size=min(samples, len(store)), replace=False)
+        sample = np.asarray(sorted(int(s) for s in sample), dtype=np.int64)
+
+        # --- per-hash cost: time a fixed number of fresh hash values on
+        # the sample through each leaf family of the rule.  The minimum
+        # over repeats filters out scheduler/warmup noise — a wobbly
+        # cost model flips Line-5 decisions run to run.
+        hash_count = 64
+        repeats = 5
+        families = [dist.make_family(store, seed=rng) for dist in rule.field_distances()]
+        best = np.inf
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            for family in families:
+                family.compute(sample, 0, hash_count)
+            best = min(best, time.perf_counter() - t0)
+        per_hash = best / max(sample.size * hash_count * len(families), 1)
+
+        # --- per-pair cost: time block-matrix evaluations, the way
+        # PairwiseComputation actually evaluates pairs.  Calibrating
+        # with scalar is_match calls would overestimate cost_P by the
+        # Python call overhead and defer P far past its real break-even.
+        rows = rng.choice(
+            len(store), size=min(samples, len(store)), replace=False
+        ).astype(np.int64)
+        candidates = rng.choice(
+            len(store), size=min(samples, len(store)), replace=False
+        ).astype(np.int64)
+        best = np.inf
+        for _ in range(5):
+            t0 = time.perf_counter()
+            rule.match_block(store, rows, candidates)
+            best = min(best, time.perf_counter() - t0)
+        evaluated = rows.size * candidates.size
+        if evaluated == 0:
+            raise CalibrationError("pair sample is empty")
+        per_pair = best / evaluated
+
+        levels = [per_hash * d.spent_budget for d in designs]
+        return cls(
+            levels,
+            per_pair,
+            noise_factor,
+            info={
+                "mode": "calibrated",
+                "per_hash": per_hash,
+                "per_pair": per_pair,
+                "samples": int(sample.size),
+            },
+        )

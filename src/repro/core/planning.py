@@ -1,0 +1,132 @@
+"""Analytic work prediction for Adaptive LSH.
+
+The paper's cost model (Definition 3) prices a *finished* run as
+
+    total = sum_i n_i * cost_i  +  n_P * cost_P
+
+where ``n_i`` records stopped at sequence function ``H_i`` and ``n_P``
+pairs went through the pairwise function.  This module turns that
+formula into a *planner*: given an entity-size profile and a designed
+sequence, it predicts where each entity stops climbing the ladder and
+what the run will cost — before touching any data.
+
+The prediction assumes *idealized* hashing functions: ``H_1`` already
+separates entities (records of different entities never share a
+cluster).  Real runs pay extra while early low-selectivity functions
+keep unrelated records glued together, so the prediction is a lower
+bound that is tight on well-separated data (see
+``tests/core/test_planning.py``) and optimistic on noisy data like the
+query-log generator's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .cost import CostModel
+
+
+@dataclass
+class WorkEstimate:
+    """Predicted work profile of one adaptive filtering run."""
+
+    hash_evaluations: int
+    pair_comparisons: int
+    total_cost: float
+    #: level -> records whose deepest hashing function is that level.
+    records_per_level: dict = field(default_factory=dict)
+    #: entities that end verified by P (size list).
+    pairwise_entities: list = field(default_factory=list)
+
+    def summary(self) -> str:
+        levels = ", ".join(
+            f"H{level}:{count}" for level, count in sorted(self.records_per_level.items())
+        )
+        return (
+            f"~{self.hash_evaluations} hash evals, "
+            f"~{self.pair_comparisons} pair comparisons "
+            f"(model cost {self.total_cost:.3g}); records per level: {levels}"
+        )
+
+
+def _stop_level(size: int, cost_model: CostModel) -> tuple:
+    """(level, via_pairwise): where an entity of ``size`` records stops.
+
+    Mirrors Algorithm 1's Line 5 on a cluster that never splits: climb
+    while the marginal hashing cost stays below the estimated pairwise
+    cost, then verify with P (or finish at H_L)."""
+    level = 1
+    while level < cost_model.levels:
+        if cost_model.should_jump_to_pairwise(level, size):
+            return level, True
+        level += 1
+    return level, False
+
+
+def predict_filter_work(
+    entity_sizes,
+    k: int,
+    cost_model: CostModel,
+    budgets=None,
+) -> WorkEstimate:
+    """Predict the work of ``AdaptiveLSH.run(k)`` on a dataset whose
+    ground-truth entity sizes are ``entity_sizes`` (all records,
+    singletons included).
+
+    ``budgets`` defaults to the per-level cumulative costs already
+    embedded in ``cost_model``; pass the designed ``spent_budget``
+    list to count hash evaluations exactly as the pools would.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    sizes = np.sort(np.asarray(entity_sizes, dtype=np.int64))[::-1]
+    if sizes.size == 0 or sizes.min() < 1:
+        raise ConfigurationError("entity_sizes must be non-empty positive ints")
+    if budgets is None:
+        budgets = list(cost_model.level_costs)
+    if len(budgets) != cost_model.levels:
+        raise ConfigurationError(
+            f"{len(budgets)} budgets for a {cost_model.levels}-level cost model"
+        )
+
+    # Entities at least as large as the k-th largest must be resolved
+    # (ties included: Largest-First cannot stop before disambiguating
+    # equal-size candidates at rank k).
+    threshold = sizes[min(k, sizes.size) - 1]
+    processed = sizes[sizes >= threshold]
+    untouched = sizes[sizes < threshold]
+
+    hashes = 0
+    pairs = 0
+    cost = 0.0
+    per_level: dict = {}
+    pairwise_entities = []
+    for size in processed:
+        size = int(size)
+        level, via_p = _stop_level(size, cost_model)
+        hashes += size * int(budgets[level - 1])
+        cost += cost_model.cost_level(level) * size
+        per_level[level] = per_level.get(level, 0) + size
+        if via_p:
+            # Entities that ride the ladder to H_L finish *without* a
+            # pairwise pass (H_L outcomes are final, §4.1).
+            entity_pairs = size * (size - 1) // 2
+            pairs += entity_pairs
+            cost += cost_model.cost_p * entity_pairs
+            pairwise_entities.append(size)
+    # Everything else pays exactly one application of H_1.
+    rest = int(untouched.sum())
+    if rest:
+        hashes += rest * int(budgets[0])
+        cost += cost_model.cost_level(1) * rest
+        per_level[1] = per_level.get(1, 0) + rest
+    return WorkEstimate(
+        hash_evaluations=int(hashes),
+        pair_comparisons=int(pairs),
+        total_cost=float(cost),
+        records_per_level=per_level,
+        pairwise_entities=pairwise_entities,
+    )

@@ -1,0 +1,62 @@
+"""Transitive hashing functions (paper Definition 1, Appendix B.2).
+
+Applying a function on a set of records builds *fresh* hash tables
+(so clusters from different invocations can never merge), inserts every
+record into each table, unions records sharing a bucket through the
+parent-pointer forest, and outputs one cluster per connected component.
+
+Hash *values* are nevertheless reused across invocations and across
+functions in the sequence, because they live in the shared
+:class:`~repro.lsh.families.SignaturePool` objects referenced by the
+function's scheme (Property 4 — incremental computation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lsh.design import SchemeDesign
+from ..lsh.scheme import HashingScheme
+from ..structures.parent_pointer_tree import ParentPointerForest
+from .result import WorkCounters
+
+
+class TransitiveHashingFunction:
+    """One function ``H_i`` of the sequence."""
+
+    def __init__(self, level: int, design: SchemeDesign):
+        self.level = level
+        self.design = design
+        self.scheme: HashingScheme = design.to_scheme()
+
+    @property
+    def budget(self) -> int:
+        """Hash functions this scheme applies per (fresh) record."""
+        return self.design.spent_budget
+
+    def apply(self, rids, counters: "WorkCounters | None" = None) -> list[np.ndarray]:
+        """Split ``rids`` into clusters (connected components of the
+        same-bucket graph across all tables)."""
+        rids = np.asarray(rids, dtype=np.int64)
+        forest = ParentPointerForest()
+        int_rids = [int(r) for r in rids]
+        for rid in int_rids:
+            forest.make_singleton(rid)
+        inserts = 0
+        # Buckets are fresh per table, per invocation (App. B.2); the
+        # scheme yields, for each table, the groups of rows that landed
+        # in the same bucket, and group members get unioned.
+        for collision_groups in self.scheme.iter_table_collisions(rids):
+            for rows in collision_groups:
+                anchor = int_rids[int(rows[0])]
+                for pos in rows[1:]:
+                    forest.union_records(anchor, int_rids[int(pos)])
+            inserts += len(int_rids)
+        if counters is not None:
+            counters.table_inserts += inserts
+        return [
+            np.fromiter(
+                ParentPointerForest.leaves(root), dtype=np.int64, count=root.n_leaves
+            )
+            for root in forest.roots()
+        ]

@@ -1,0 +1,20 @@
+"""Synthetic datasets mirroring the paper's three evaluation datasets
+(§6.3): Cora (multi-field publications), SpotSigs (near-duplicate web
+articles), and PopularImages (RGB-histogram image records)."""
+
+from .base import Dataset, extend_dataset
+from .cora import generate_cora
+from .popularimages import generate_popular_images
+from .querylog import generate_querylog
+from .spotsigs import generate_spotsigs
+from .zipfsizes import zipf_sizes
+
+__all__ = [
+    "Dataset",
+    "extend_dataset",
+    "generate_cora",
+    "generate_spotsigs",
+    "generate_popular_images",
+    "generate_querylog",
+    "zipf_sizes",
+]

@@ -1,0 +1,95 @@
+"""Dataset container: records, ground-truth entity labels, the default
+match rule, and the paper's dataset-extension sampler (§6.3: "we
+uniformly at random select an entity a and uniformly at random pick a
+record r_a referring to the selected entity a, for each record added").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..distance.rules import MatchRule
+from ..errors import DatasetError
+from ..records import RecordStore
+from ..rngutil import make_rng
+
+
+@dataclass
+class Dataset:
+    """A labelled dataset: store + ground truth + default rule."""
+
+    name: str
+    store: RecordStore
+    #: Ground-truth entity id per record.
+    labels: np.ndarray
+    #: The match rule the paper uses for this dataset family.
+    rule: MatchRule
+    info: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.labels.size != len(self.store):
+            raise DatasetError(
+                f"{self.labels.size} labels for {len(self.store)} records"
+            )
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    # ------------------------------------------------------------------
+    def ground_truth_clusters(self) -> list[np.ndarray]:
+        """C*: clusters of record ids, largest first (ties by label)."""
+        order = np.argsort(self.labels, kind="stable")
+        sorted_labels = self.labels[order]
+        boundaries = np.nonzero(np.diff(sorted_labels))[0] + 1
+        groups = np.split(order, boundaries)
+        groups.sort(key=lambda g: (-g.size, int(self.labels[g[0]])))
+        return [np.sort(g).astype(np.int64) for g in groups]
+
+    def entity_sizes(self) -> np.ndarray:
+        """Entity sizes, largest first."""
+        _, counts = np.unique(self.labels, return_counts=True)
+        return np.sort(counts)[::-1]
+
+    def top_k_rids(self, k: int) -> np.ndarray:
+        """O*: records of the ``k`` largest ground-truth entities."""
+        clusters = self.ground_truth_clusters()[:k]
+        if not clusters:
+            return np.zeros(0, dtype=np.int64)
+        return np.sort(np.concatenate(clusters))
+
+    def top_k_fraction(self, k: int) -> float:
+        """Fraction of the dataset covered by the top-k entities (the
+        'Actual' dashed lines of Figure 12(a))."""
+        return self.top_k_rids(k).size / len(self)
+
+
+def extend_dataset(dataset: Dataset, factor: int, seed=None) -> Dataset:
+    """The paper's 2x/4x/8x extension: add ``(factor-1) * n`` records,
+    each a copy of a uniformly chosen record of a uniformly chosen
+    entity."""
+    if factor < 1:
+        raise DatasetError(f"factor must be >= 1, got {factor}")
+    if factor == 1:
+        return dataset
+    rng = make_rng(seed)
+    n = len(dataset)
+    extra = n * (factor - 1)
+    entities = np.unique(dataset.labels)
+    rids_of = {int(e): np.nonzero(dataset.labels == e)[0] for e in entities}
+    chosen_entities = rng.choice(entities, size=extra, replace=True)
+    chosen_rids = np.array(
+        [int(rng.choice(rids_of[int(e)])) for e in chosen_entities],
+        dtype=np.int64,
+    )
+    new_store = dataset.store.concat(dataset.store.take(chosen_rids))
+    new_labels = np.concatenate([dataset.labels, chosen_entities])
+    return Dataset(
+        name=f"{dataset.name}{factor}x",
+        store=new_store,
+        labels=new_labels,
+        rule=dataset.rule,
+        info={**dataset.info, "extended_from": dataset.name, "factor": factor},
+    )

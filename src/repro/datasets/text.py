@@ -1,0 +1,58 @@
+"""Synthetic-text helpers: pseudo-word vocabularies, token corruption,
+and stable token → shingle-id mapping.
+
+The filtering algorithms only ever see integer shingle ids, but the
+generators produce real token strings so the examples can print
+human-readable records.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from ..rngutil import make_rng
+
+_SYLLABLES = (
+    "ba be bi bo bu da de di do du ka ke ki ko ku la le li lo lu "
+    "ma me mi mo mu na ne ni no nu ra re ri ro ru sa se si so su "
+    "ta te ti to tu va ve vi vo vu za ze zi zo zu"
+).split()
+
+
+def make_vocabulary(size: int, seed=None, min_syllables: int = 2, max_syllables: int = 4) -> list[str]:
+    """``size`` distinct pseudo-words built from random syllables."""
+    rng = make_rng(seed)
+    words: set[str] = set()
+    while len(words) < size:
+        n = int(rng.integers(min_syllables, max_syllables + 1))
+        word = "".join(rng.choice(_SYLLABLES) for _ in range(n))
+        words.add(word)
+    return sorted(words)
+
+
+def token_ids(tokens) -> np.ndarray:
+    """Stable shingle ids for tokens (CRC-32 of the UTF-8 text)."""
+    return np.asarray(
+        sorted({zlib.crc32(t.encode("utf-8")) for t in tokens}), dtype=np.int64
+    )
+
+
+def corrupt_tokens(tokens, rng, drop_p: float = 0.0, replace_p: float = 0.0, vocab=None):
+    """A corrupted copy of a token list: each token is independently
+    dropped with ``drop_p`` or replaced with a random vocabulary word
+    with ``replace_p``."""
+    rng = make_rng(rng)
+    out = []
+    for token in tokens:
+        roll = rng.random()
+        if roll < drop_p:
+            continue
+        if roll < drop_p + replace_p and vocab is not None:
+            out.append(vocab[int(rng.integers(len(vocab)))])
+        else:
+            out.append(token)
+    if not out:
+        out = [tokens[int(rng.integers(len(tokens)))]]
+    return out

@@ -1,0 +1,65 @@
+"""Zipfian entity-size construction.
+
+The paper's PopularImages datasets fix the size of the top-1 entity and
+let size decay as ``rank^-s`` (§7.4.2: exponent 1.05 gives a top-1 of
+~500 records, 1.2 gives ~1700); the remaining records are filled with
+singleton entities.  This module provides that construction and a
+variant normalized by total record count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DatasetError
+
+
+def zipf_sizes(
+    n_entities: int,
+    exponent: float,
+    largest: int,
+    min_size: int = 1,
+) -> np.ndarray:
+    """Entity sizes ``max(min_size, round(largest * rank^-exponent))``.
+
+    Sizes are returned largest first.
+    """
+    if n_entities < 1 or largest < 1:
+        raise DatasetError(
+            f"need n_entities >= 1 and largest >= 1 "
+            f"(got {n_entities}, {largest})"
+        )
+    if exponent <= 0:
+        raise DatasetError(f"exponent must be positive, got {exponent}")
+    ranks = np.arange(1, n_entities + 1, dtype=np.float64)
+    sizes = np.maximum(min_size, np.round(largest * ranks**-exponent))
+    return sizes.astype(np.int64)
+
+
+def zipf_sizes_for_total(
+    n_entities: int,
+    exponent: float,
+    total: int,
+    min_size: int = 1,
+) -> np.ndarray:
+    """Zipf sizes scaled so they sum to (approximately, then exactly)
+    ``total``; the largest entity absorbs rounding leftovers."""
+    if total < n_entities * min_size:
+        raise DatasetError(
+            f"total {total} cannot cover {n_entities} entities of at "
+            f"least {min_size} records"
+        )
+    ranks = np.arange(1, n_entities + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    raw = weights / weights.sum() * total
+    sizes = np.maximum(min_size, np.floor(raw)).astype(np.int64)
+    # Push the rounding remainder into the largest entities first.
+    leftover = total - int(sizes.sum())
+    idx = 0
+    while leftover != 0:
+        step = 1 if leftover > 0 else -1
+        if sizes[idx % n_entities] + step >= min_size:
+            sizes[idx % n_entities] += step
+            leftover -= step
+        idx += 1
+    return np.sort(sizes)[::-1].copy()

@@ -1,0 +1,25 @@
+"""Distance metrics and match rules (paper §3 and Appendix C)."""
+
+from .base import FieldDistance
+from .cosine import CosineDistance
+from .euclidean import EuclideanDistance
+from .jaccard import JaccardDistance
+from .rules import (
+    AndRule,
+    MatchRule,
+    OrRule,
+    ThresholdRule,
+    WeightedAverageRule,
+)
+
+__all__ = [
+    "FieldDistance",
+    "CosineDistance",
+    "EuclideanDistance",
+    "JaccardDistance",
+    "MatchRule",
+    "ThresholdRule",
+    "AndRule",
+    "OrRule",
+    "WeightedAverageRule",
+]

@@ -1,0 +1,78 @@
+"""Base interface for per-field distance metrics.
+
+A :class:`FieldDistance` knows three things about one record field:
+
+1. how to compute the *normalized* distance (in ``[0, 1]``) between two
+   records, both one pair at a time and as a full pairwise matrix;
+2. the collision-probability curve ``p(x)`` of the matching LSH family
+   (the probability that one random hash function agrees on two records
+   at distance ``x`` — paper §5.1);
+3. which hash family implements that curve (used by the scheme
+   designer to build transitive hashing functions).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..records import FieldKind, RecordStore
+
+
+class FieldDistance(abc.ABC):
+    """A normalized distance metric over one record field."""
+
+    #: Name of the record field this metric reads.
+    field: str
+
+    @property
+    @abc.abstractmethod
+    def kind(self) -> FieldKind:
+        """The physical field kind this metric applies to."""
+
+    @abc.abstractmethod
+    def distance(self, store: RecordStore, r1: int, r2: int) -> float:
+        """Normalized distance in ``[0, 1]`` between records ``r1``, ``r2``."""
+
+    @abc.abstractmethod
+    def pairwise(self, store: RecordStore, rids: np.ndarray) -> np.ndarray:
+        """Symmetric ``(m, m)`` matrix of distances among ``rids``."""
+
+    @abc.abstractmethod
+    def one_to_many(
+        self, store: RecordStore, rid: int, rids: np.ndarray
+    ) -> np.ndarray:
+        """Distances from record ``rid`` to each record in ``rids``."""
+
+    @abc.abstractmethod
+    def block(
+        self, store: RecordStore, rids_a: np.ndarray, rids_b: np.ndarray
+    ) -> np.ndarray:
+        """``(len(rids_a), len(rids_b))`` matrix of cross distances."""
+
+    def collision_prob(self, x):
+        """``p(x)``: probability one hash function collides at distance ``x``.
+
+        Both families used in the paper (random hyperplanes for cosine,
+        minhash for Jaccard) have the linear curve ``p(x) = 1 - x`` on
+        the normalized distance; subclasses may override.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        return np.clip(1.0 - x, 0.0, 1.0)
+
+    @abc.abstractmethod
+    def make_family(self, store: RecordStore, seed):
+        """Instantiate the LSH :class:`~repro.lsh.families.HashFamily`."""
+
+    def validate(self, store: RecordStore) -> None:
+        """Raise :class:`~repro.errors.SchemaError` if the field is absent
+        or of the wrong kind."""
+        actual = store.schema.kind_of(self.field)
+        if actual is not self.kind:
+            from ..errors import SchemaError
+
+            raise SchemaError(
+                f"distance over field {self.field!r} expects kind "
+                f"{self.kind.value}, store has {actual.value}"
+            )

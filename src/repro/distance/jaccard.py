@@ -1,0 +1,97 @@
+"""Jaccard distance for shingle-set fields.
+
+``d(A, B) = 1 - |A ∩ B| / |A ∪ B|``, which the minhash family collides
+on with probability exactly ``p(x) = 1 - x`` (the Jaccard similarity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..records import FieldKind, RecordStore
+from .base import FieldDistance
+
+
+def jaccard_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Jaccard distance of two sorted shingle-id arrays."""
+    if a.size == 0 and b.size == 0:
+        return 0.0
+    inter = np.intersect1d(a, b, assume_unique=True).size
+    union = a.size + b.size - inter
+    return 1.0 - inter / union
+
+
+class JaccardDistance(FieldDistance):
+    """Jaccard distance over one shingle-set field.
+
+    ``minhash_bits`` opts into b-bit minhashing (Li & König, the
+    paper's [22]): signatures keep only the low ``minhash_bits`` bits
+    per hash, so the collision curve flattens to
+    ``(1 - x) + x * 2^-bits`` — the scheme designer compensates with
+    more hashes per table automatically.
+    """
+
+    def __init__(self, field: str = "shingles", minhash_bits: "int | None" = None):
+        self.field = field
+        self.minhash_bits = minhash_bits
+
+    @property
+    def kind(self) -> FieldKind:
+        return FieldKind.SHINGLES
+
+    def distance(self, store: RecordStore, r1: int, r2: int) -> float:
+        sets = store.shingle_sets(self.field)
+        return jaccard_distance(sets[r1], sets[r2])
+
+    def pairwise(self, store: RecordStore, rids) -> np.ndarray:
+        rids = np.asarray(rids, dtype=np.int64)
+        csr = store.shingle_csr(self.field)[rids]
+        inter = np.asarray((csr @ csr.T).todense(), dtype=np.float64)
+        sizes = np.asarray(csr.sum(axis=1), dtype=np.float64).ravel()
+        union = sizes[:, None] + sizes[None, :] - inter
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sim = np.where(union > 0.0, inter / union, 1.0)
+        dist = 1.0 - sim
+        np.fill_diagonal(dist, 0.0)
+        return dist
+
+    def one_to_many(self, store: RecordStore, rid: int, rids) -> np.ndarray:
+        rids = np.asarray(rids, dtype=np.int64)
+        csr = store.shingle_csr(self.field)
+        inter = np.asarray((csr[rids] @ csr[[rid]].T).todense()).ravel()
+        sizes = store.set_sizes(self.field)
+        union = sizes[rids] + sizes[rid] - inter
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sim = np.where(union > 0.0, inter / union, 1.0)
+        return 1.0 - sim
+
+    def block(self, store: RecordStore, rids_a, rids_b) -> np.ndarray:
+        rids_a = np.asarray(rids_a, dtype=np.int64)
+        rids_b = np.asarray(rids_b, dtype=np.int64)
+        csr = store.shingle_csr(self.field)
+        inter = np.asarray((csr[rids_a] @ csr[rids_b].T).todense(), dtype=np.float64)
+        sizes = store.set_sizes(self.field)
+        union = sizes[rids_a][:, None] + sizes[rids_b][None, :] - inter
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sim = np.where(union > 0.0, inter / union, 1.0)
+        return 1.0 - sim
+
+    def collision_prob(self, x):
+        x = np.asarray(x, dtype=np.float64)
+        base = np.clip(1.0 - x, 0.0, 1.0)
+        if self.minhash_bits is None:
+            return base
+        return base + (1.0 - base) * 2.0**-self.minhash_bits
+
+    def make_family(self, store: RecordStore, seed):
+        from ..lsh.minhash import MinHashFamily
+
+        return MinHashFamily(store, self.field, seed=seed, bits=self.minhash_bits)
+
+    def __repr__(self):
+        if self.minhash_bits is not None:
+            return (
+                f"JaccardDistance(field={self.field!r}, "
+                f"minhash_bits={self.minhash_bits})"
+            )
+        return f"JaccardDistance(field={self.field!r})"

@@ -1,0 +1,241 @@
+"""Match rules: thresholds and their AND / OR / weighted-average
+compositions (paper §3 and Appendix C).
+
+A :class:`MatchRule` decides whether two records refer to the same
+entity.  The rule tree mirrors Appendix C:
+
+* :class:`ThresholdRule` — one field distance under a threshold (C.0);
+* :class:`AndRule` — all children must match (C.1);
+* :class:`OrRule` — any child may match (C.2);
+* :class:`WeightedAverageRule` — weighted mean of several field
+  distances under one threshold (C.3).
+
+The scheme designer (:mod:`repro.lsh.design`) consumes the same tree to
+build the AND-OR hashing constructions, so supported nesting is exactly
+what Appendix C covers: ``Or(And | leaf-like, ...)``, ``And(leaf-like,
+...)`` where *leaf-like* means a threshold or weighted-average rule.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..records import RecordStore
+from .base import FieldDistance
+
+
+def _validate_threshold(threshold: float) -> float:
+    threshold = float(threshold)
+    if not 0.0 < threshold <= 1.0:
+        raise ConfigurationError(
+            f"threshold must be in (0, 1], got {threshold}"
+        )
+    return threshold
+
+
+class MatchRule(abc.ABC):
+    """Decides whether two records match (refer to the same entity)."""
+
+    @abc.abstractmethod
+    def is_match(self, store: RecordStore, r1: int, r2: int) -> bool:
+        """True iff records ``r1`` and ``r2`` satisfy the rule."""
+
+    @abc.abstractmethod
+    def pairwise_match(self, store: RecordStore, rids) -> np.ndarray:
+        """Boolean ``(m, m)`` matrix of matches among ``rids``.
+
+        The diagonal is always ``True``.
+        """
+
+    @abc.abstractmethod
+    def match_one_to_many(self, store: RecordStore, rid: int, rids) -> np.ndarray:
+        """Boolean array: does ``rid`` match each record in ``rids``?"""
+
+    @abc.abstractmethod
+    def match_block(self, store: RecordStore, rids_a, rids_b) -> np.ndarray:
+        """Boolean cross-match matrix between ``rids_a`` and ``rids_b``."""
+
+    @abc.abstractmethod
+    def field_distances(self) -> list[FieldDistance]:
+        """All field distances referenced anywhere in the rule tree."""
+
+    def validate(self, store: RecordStore) -> None:
+        """Check every referenced field against the store schema."""
+        for dist in self.field_distances():
+            dist.validate(store)
+
+
+class ThresholdRule(MatchRule):
+    """``d(r1, r2) <= threshold`` on a single field distance."""
+
+    def __init__(self, distance: FieldDistance, threshold: float):
+        self.distance = distance
+        self.threshold = _validate_threshold(threshold)
+
+    def is_match(self, store, r1, r2):
+        return self.distance.distance(store, r1, r2) <= self.threshold
+
+    def pairwise_match(self, store, rids):
+        return self.distance.pairwise(store, rids) <= self.threshold
+
+    def match_one_to_many(self, store, rid, rids):
+        return self.distance.one_to_many(store, rid, rids) <= self.threshold
+
+    def match_block(self, store, rids_a, rids_b):
+        return self.distance.block(store, rids_a, rids_b) <= self.threshold
+
+    def field_distances(self):
+        return [self.distance]
+
+    def __repr__(self):
+        return f"ThresholdRule({self.distance!r}, {self.threshold})"
+
+
+class WeightedAverageRule(MatchRule):
+    """``sum_i alpha_i * d_i(r1, r2) <= threshold`` (Appendix C.3).
+
+    Weights must be positive and sum to 1.
+    """
+
+    def __init__(self, distances, weights, threshold: float):
+        self.distances = list(distances)
+        self.weights = np.asarray(weights, dtype=np.float64)
+        if len(self.distances) != self.weights.size or not self.distances:
+            raise ConfigurationError(
+                "need one positive weight per distance (and at least one)"
+            )
+        if np.any(self.weights <= 0.0) or not np.isclose(self.weights.sum(), 1.0):
+            raise ConfigurationError(
+                f"weights must be positive and sum to 1, got {self.weights}"
+            )
+        self.threshold = _validate_threshold(threshold)
+
+    def combined_distance(self, store, r1, r2) -> float:
+        """The weighted-average distance ``d̄(r1, r2)``."""
+        return float(
+            sum(
+                w * d.distance(store, r1, r2)
+                for w, d in zip(self.weights, self.distances)
+            )
+        )
+
+    def is_match(self, store, r1, r2):
+        return self.combined_distance(store, r1, r2) <= self.threshold
+
+    def pairwise_match(self, store, rids):
+        total = None
+        for w, d in zip(self.weights, self.distances):
+            part = w * d.pairwise(store, rids)
+            total = part if total is None else total + part
+        return total <= self.threshold
+
+    def match_one_to_many(self, store, rid, rids):
+        total = None
+        for w, d in zip(self.weights, self.distances):
+            part = w * d.one_to_many(store, rid, rids)
+            total = part if total is None else total + part
+        return total <= self.threshold
+
+    def match_block(self, store, rids_a, rids_b):
+        total = None
+        for w, d in zip(self.weights, self.distances):
+            part = w * d.block(store, rids_a, rids_b)
+            total = part if total is None else total + part
+        return total <= self.threshold
+
+    def field_distances(self):
+        return list(self.distances)
+
+    def __repr__(self):
+        return (
+            f"WeightedAverageRule({self.distances!r}, "
+            f"weights={self.weights.tolist()}, threshold={self.threshold})"
+        )
+
+
+class _CompositeRule(MatchRule):
+    """Shared plumbing for AND / OR composition."""
+
+    def __init__(self, children):
+        self.children = list(children)
+        if len(self.children) < 2:
+            raise ConfigurationError(
+                f"{type(self).__name__} needs at least two children"
+            )
+        for child in self.children:
+            if not isinstance(child, MatchRule):
+                raise ConfigurationError(
+                    f"{type(self).__name__} children must be MatchRule, "
+                    f"got {type(child).__name__}"
+                )
+
+    def field_distances(self):
+        out: list[FieldDistance] = []
+        for child in self.children:
+            out.extend(child.field_distances())
+        return out
+
+
+class AndRule(_CompositeRule):
+    """All children must match (Appendix C.1)."""
+
+    def is_match(self, store, r1, r2):
+        return all(c.is_match(store, r1, r2) for c in self.children)
+
+    def pairwise_match(self, store, rids):
+        out = None
+        for child in self.children:
+            part = child.pairwise_match(store, rids)
+            out = part if out is None else out & part
+        return out
+
+    def match_one_to_many(self, store, rid, rids):
+        out = None
+        for child in self.children:
+            part = child.match_one_to_many(store, rid, rids)
+            out = part if out is None else out & part
+        return out
+
+    def match_block(self, store, rids_a, rids_b):
+        out = None
+        for child in self.children:
+            part = child.match_block(store, rids_a, rids_b)
+            out = part if out is None else out & part
+        return out
+
+    def __repr__(self):
+        return f"AndRule({self.children!r})"
+
+
+class OrRule(_CompositeRule):
+    """Any child may match (Appendix C.2)."""
+
+    def is_match(self, store, r1, r2):
+        return any(c.is_match(store, r1, r2) for c in self.children)
+
+    def pairwise_match(self, store, rids):
+        out = None
+        for child in self.children:
+            part = child.pairwise_match(store, rids)
+            out = part if out is None else out | part
+        return out
+
+    def match_one_to_many(self, store, rid, rids):
+        out = None
+        for child in self.children:
+            part = child.match_one_to_many(store, rid, rids)
+            out = part if out is None else out | part
+        return out
+
+    def match_block(self, store, rids_a, rids_b):
+        out = None
+        for child in self.children:
+            part = child.match_block(store, rids_a, rids_b)
+            out = part if out is None else out | part
+        return out
+
+    def __repr__(self):
+        return f"OrRule({self.children!r})"

@@ -1,0 +1,15 @@
+"""Downstream entity-resolution stage of the Figure-1 workflow:
+benchmark ER, the recovery process, and the end-to-end pipeline."""
+
+from .pipeline import TopKPipeline
+from .recovery import actual_recovery, perfect_recovery, recovery_pair_count
+from .resolve import benchmark_er_pairs, resolve
+
+__all__ = [
+    "resolve",
+    "benchmark_er_pairs",
+    "perfect_recovery",
+    "actual_recovery",
+    "recovery_pair_count",
+    "TopKPipeline",
+]

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing genuine bugs (``TypeError``, ``KeyError``, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SchemaError(ReproError):
+    """A record does not conform to the schema expected by a rule or family."""
+
+
+class DesignError(ReproError):
+    """The (w, z)-scheme optimization program has no feasible solution."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid parameter combination passed to a public API entry point."""
+
+
+class CalibrationError(ReproError):
+    """The cost model could not be calibrated (e.g., empty sample)."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset generator received unsatisfiable parameters."""

@@ -1,0 +1,18 @@
+"""Evaluation: the paper's accuracy and performance metrics (§6.2),
+per-figure experiment runners (§7), and report rendering."""
+
+from .metrics import (
+    dataset_reduction,
+    f1_score,
+    map_mar,
+    precision_recall_f1,
+)
+from .speedup import SpeedupModel
+
+__all__ = [
+    "precision_recall_f1",
+    "f1_score",
+    "map_mar",
+    "dataset_reduction",
+    "SpeedupModel",
+]

@@ -1,0 +1,74 @@
+"""Accuracy metrics (paper §2.1 and §6.2.1).
+
+*Set metrics* treat the filtering output as one set of records and
+compare against the records of the ground-truth top-k entities
+(Precision/Recall/F1 "Gold"); *ranked metrics* treat it as a ranked
+list of clusters and compute mean Average Precision / Recall over the
+top-i prefixes (the paper's worked example: C = {{a,b,c,f},{e}} vs
+C* = {{a,b,c},{e,g}} gives mAP = (3/4 + 4/5) / 2 = 0.775 and
+mAR = (1 + 4/5) / 2 = 0.9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_set(rids) -> set:
+    return {int(r) for r in np.asarray(rids).ravel()}
+
+
+def f1_score(precision: float, recall: float) -> float:
+    """Harmonic mean; 0 when both are 0."""
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def precision_recall_f1(output_rids, truth_rids) -> tuple:
+    """Set precision, recall and F1 of ``output_rids`` vs ``truth_rids``.
+
+    Conventions: empty output has precision 1 (nothing wrong was
+    returned); empty truth has recall 1.
+    """
+    out = _as_set(output_rids)
+    truth = _as_set(truth_rids)
+    hit = len(out & truth)
+    precision = hit / len(out) if out else 1.0
+    recall = hit / len(truth) if truth else 1.0
+    return precision, recall, f1_score(precision, recall)
+
+
+def map_mar(clusters, truth_clusters, k: "int | None" = None) -> tuple:
+    """Mean Average Precision / Recall over ranked cluster prefixes.
+
+    ``clusters`` and ``truth_clusters`` must be ordered largest-first.
+    For each i in 1..k, precision_i compares the union of the first i
+    output clusters to the union of the first i ground-truth clusters;
+    the means over i are returned.  If the output has fewer than i
+    clusters its union simply stops growing (documented convention for
+    short outputs).
+    """
+    if k is None:
+        k = len(truth_clusters)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    out_union: set = set()
+    truth_union: set = set()
+    precisions, recalls = [], []
+    for i in range(k):
+        if i < len(clusters):
+            out_union |= _as_set(clusters[i])
+        if i < len(truth_clusters):
+            truth_union |= _as_set(truth_clusters[i])
+        hit = len(out_union & truth_union)
+        precisions.append(hit / len(out_union) if out_union else 1.0)
+        recalls.append(hit / len(truth_union) if truth_union else 1.0)
+    return float(np.mean(precisions)), float(np.mean(recalls))
+
+
+def dataset_reduction(output_size: int, total: int) -> float:
+    """Filtering-output size as a percentage of the dataset (§6.2.2)."""
+    if total <= 0:
+        raise ValueError(f"total must be positive, got {total}")
+    return 100.0 * output_size / total

@@ -1,0 +1,76 @@
+"""Plain-text / Markdown rendering of experiment results."""
+
+from __future__ import annotations
+
+
+def render_table(rows, columns=None) -> str:
+    """Render dict rows as a GitHub-flavoured Markdown table.
+
+    Column order follows ``columns`` if given, else the keys of the
+    first row; missing cells render empty.
+    """
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = "| " + " | ".join(str(c) for c in columns) + " |"
+    rule = "|" + "|".join("---" for _ in columns) + "|"
+    body = [
+        "| " + " | ".join(_fmt(row.get(c, "")) for c in columns) + " |"
+        for row in rows
+    ]
+    return "\n".join([header, rule, *body])
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_series_chart(
+    series: dict,
+    width: int = 48,
+    log_y: bool = False,
+    y_label: str = "",
+) -> str:
+    """Render ``{name: [(x, y), ...]}`` as an ASCII horizontal-bar chart.
+
+    One line per point, grouped by series, bar length proportional to
+    ``y`` (optionally on a log scale) — a dependency-free stand-in for
+    the paper's plots in terminal output.
+    """
+    points = [
+        (name, x, float(y))
+        for name, xy in series.items()
+        for x, y in xy
+        if y is not None
+    ]
+    if not points:
+        return "(no data)"
+    values = [y for _name, _x, y in points]
+    top = max(values)
+    positive = [v for v in values if v > 0]
+    floor = min(positive) if positive else 1.0
+
+    def bar(y: float) -> int:
+        if y <= 0 or top <= 0:
+            return 0
+        if log_y and top / floor > 10:
+            import math
+
+            span = math.log(top / floor) or 1.0
+            return max(1, round(width * math.log(max(y, floor) / floor) / span))
+        return max(1, round(width * y / top))
+
+    label_w = max(len(f"{name} {x}") for name, x, _y in points)
+    lines = [f"{y_label} (max {top:.4g})"] if y_label else []
+    last_name = None
+    for name, x, y in points:
+        if name != last_name and last_name is not None:
+            lines.append("")
+        last_name = name
+        label = f"{name} {x}".ljust(label_w)
+        lines.append(f"{label} | {'#' * bar(y)} {y:.4g}")
+    return "\n".join(lines)

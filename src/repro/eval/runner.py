@@ -1,0 +1,136 @@
+"""Method registry and single-run driver used by the experiment
+functions, the CLI, and the benchmarks.
+
+A *method spec* is a string: ``"adaLSH"``, ``"Pairs"``, ``"LSH1280"``,
+``"LSH640nP"``, ... — the same names the paper's figures use.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..baselines import LSHBlocking, PairsBaseline
+from ..core import AdaptiveLSH
+from ..datasets.base import Dataset
+from ..errors import ConfigurationError
+from .metrics import dataset_reduction, map_mar, precision_recall_f1
+
+_LSH_SPEC = re.compile(r"^LSH(\d+)(nP)?$")
+
+
+def make_method(dataset: Dataset, spec: str, seed=None, **kwargs):
+    """Instantiate a filtering method from its paper-style name.
+
+    Extra keyword arguments are forwarded to the method constructor
+    (e.g. ``budgets=...`` or ``noise_factor=...`` for adaLSH).
+    """
+    if spec == "adaLSH":
+        return AdaptiveLSH(dataset.store, dataset.rule, seed=seed, **kwargs)
+    if spec == "Pairs":
+        return PairsBaseline(dataset.store, dataset.rule, **kwargs)
+    match = _LSH_SPEC.match(spec)
+    if match:
+        return LSHBlocking(
+            dataset.store,
+            dataset.rule,
+            n_hashes=int(match.group(1)),
+            verify=match.group(2) is None,
+            seed=seed,
+            **kwargs,
+        )
+    raise ConfigurationError(
+        f"unknown method spec {spec!r}; expected adaLSH, Pairs, LSH<X>, "
+        f"or LSH<X>nP"
+    )
+
+
+@dataclass
+class RunRecord:
+    """One (dataset, method, k) filtering run plus its gold metrics."""
+
+    dataset: str
+    method: str
+    k: int
+    k_hat: int
+    wall_time: float
+    output_size: int
+    cluster_sizes: list
+    precision: float
+    recall: float
+    f1: float
+    map_score: float
+    mar_score: float
+    reduction_pct: float
+    hashes: int
+    pairs: int
+    #: Union of all output cluster members (record ids).
+    output_rids: object = None
+    info: dict = field(default_factory=dict)
+
+    def row(self) -> dict:
+        """Flat dict view for table rendering."""
+        return {
+            "dataset": self.dataset,
+            "method": self.method,
+            "k": self.k,
+            "k_hat": self.k_hat,
+            "time_s": round(self.wall_time, 4),
+            "out": self.output_size,
+            "P": round(self.precision, 3),
+            "R": round(self.recall, 3),
+            "F1": round(self.f1, 3),
+            "mAP": round(self.map_score, 3),
+            "mAR": round(self.mar_score, 3),
+            "red%": round(self.reduction_pct, 1),
+            "hashes": self.hashes,
+            "pairs": self.pairs,
+        }
+
+
+def run_filter(
+    dataset: Dataset,
+    spec: str,
+    k: int,
+    k_hat: "int | None" = None,
+    seed=None,
+    method=None,
+    **kwargs,
+) -> RunRecord:
+    """Run one filtering method and score it against the ground truth.
+
+    ``k_hat`` (>= ``k``) asks the filter for more clusters than the
+    target top-k (the §6.1.2 accuracy knob); metrics always compare
+    against the ground-truth top-``k``.  Pass a prebuilt ``method`` to
+    reuse its designs/pools across several runs.
+    """
+    k_hat = k_hat or k
+    if k_hat < k:
+        raise ConfigurationError(f"k_hat ({k_hat}) must be >= k ({k})")
+    if method is None:
+        method = make_method(dataset, spec, seed=seed, **kwargs)
+    result = method.run(k_hat)
+    truth_clusters = dataset.ground_truth_clusters()
+    truth_rids = dataset.top_k_rids(k)
+    precision, recall, f1 = precision_recall_f1(result.output_rids, truth_rids)
+    out_clusters = [c.rids for c in result.clusters]
+    map_score, mar_score = map_mar(out_clusters, truth_clusters, k)
+    return RunRecord(
+        dataset=dataset.name,
+        method=spec,
+        k=k,
+        k_hat=k_hat,
+        wall_time=result.wall_time,
+        output_size=result.output_size,
+        cluster_sizes=[c.size for c in result.clusters],
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        map_score=map_score,
+        mar_score=mar_score,
+        reduction_pct=dataset_reduction(result.output_size, len(dataset)),
+        hashes=result.counters.hashes_computed,
+        pairs=result.counters.pairs_compared,
+        output_rids=result.output_rids,
+        info=result.info,
+    )

@@ -1,0 +1,171 @@
+"""Persistence: serialize match rules and datasets.
+
+Rules round-trip through plain dict specs (JSON-friendly); datasets go
+to a single compressed ``.npz`` holding the columns, labels, rule spec,
+and metadata.  Useful for sharing generated benchmarks and for
+pipelines that separate data preparation from filtering.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from .datasets.base import Dataset
+from .distance import (
+    AndRule,
+    CosineDistance,
+    EuclideanDistance,
+    JaccardDistance,
+    MatchRule,
+    OrRule,
+    ThresholdRule,
+    WeightedAverageRule,
+)
+from .errors import ConfigurationError
+from .records import FieldKind, FieldSpec, RecordStore, Schema
+
+# ----------------------------------------------------------------------
+# rule specs
+# ----------------------------------------------------------------------
+def distance_to_spec(distance) -> dict:
+    """Dict spec of a field distance."""
+    if isinstance(distance, CosineDistance):
+        return {"kind": "cosine", "field": distance.field}
+    if isinstance(distance, JaccardDistance):
+        spec = {"kind": "jaccard", "field": distance.field}
+        if distance.minhash_bits is not None:
+            spec["minhash_bits"] = distance.minhash_bits
+        return spec
+    if isinstance(distance, EuclideanDistance):
+        return {
+            "kind": "euclidean",
+            "field": distance.field,
+            "scale": distance.scale,
+            "bucket_width": distance.bucket_width,
+        }
+    raise ConfigurationError(f"cannot serialize distance {distance!r}")
+
+
+def distance_from_spec(spec: dict):
+    kind = spec.get("kind")
+    if kind == "cosine":
+        return CosineDistance(spec["field"])
+    if kind == "jaccard":
+        return JaccardDistance(spec["field"], minhash_bits=spec.get("minhash_bits"))
+    if kind == "euclidean":
+        return EuclideanDistance(
+            spec["field"], scale=spec["scale"], bucket_width=spec["bucket_width"]
+        )
+    raise ConfigurationError(f"unknown distance kind {kind!r}")
+
+
+def rule_to_spec(rule: MatchRule) -> dict:
+    """Dict spec of a match-rule tree (JSON-serializable)."""
+    if isinstance(rule, ThresholdRule):
+        return {
+            "kind": "threshold",
+            "distance": distance_to_spec(rule.distance),
+            "threshold": rule.threshold,
+        }
+    if isinstance(rule, WeightedAverageRule):
+        return {
+            "kind": "weighted_average",
+            "distances": [distance_to_spec(d) for d in rule.distances],
+            "weights": rule.weights.tolist(),
+            "threshold": rule.threshold,
+        }
+    if isinstance(rule, AndRule):
+        return {"kind": "and", "children": [rule_to_spec(c) for c in rule.children]}
+    if isinstance(rule, OrRule):
+        return {"kind": "or", "children": [rule_to_spec(c) for c in rule.children]}
+    raise ConfigurationError(f"cannot serialize rule {rule!r}")
+
+
+def rule_from_spec(spec: dict) -> MatchRule:
+    """Rebuild a match rule from :func:`rule_to_spec` output."""
+    kind = spec.get("kind")
+    if kind == "threshold":
+        return ThresholdRule(
+            distance_from_spec(spec["distance"]), spec["threshold"]
+        )
+    if kind == "weighted_average":
+        return WeightedAverageRule(
+            [distance_from_spec(d) for d in spec["distances"]],
+            weights=spec["weights"],
+            threshold=spec["threshold"],
+        )
+    if kind == "and":
+        return AndRule([rule_from_spec(c) for c in spec["children"]])
+    if kind == "or":
+        return OrRule([rule_from_spec(c) for c in spec["children"]])
+    raise ConfigurationError(f"unknown rule kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# dataset persistence
+# ----------------------------------------------------------------------
+def save_dataset(dataset: Dataset, path) -> None:
+    """Write a dataset to a compressed ``.npz`` file.
+
+    The ``info`` dict is stored as JSON where possible; non-serializable
+    entries (e.g. the Cora raw-string previews) are dropped.
+    """
+    arrays: dict = {"labels": dataset.labels}
+    schema_spec = []
+    for field in dataset.store.schema:
+        schema_spec.append({"name": field.name, "kind": field.kind.value})
+        if field.kind is FieldKind.VECTOR:
+            arrays[f"vec::{field.name}"] = dataset.store.vectors(field.name)
+        else:
+            sets = dataset.store.shingle_sets(field.name)
+            lengths = np.array([s.size for s in sets], dtype=np.int64)
+            flat = (
+                np.concatenate(sets) if lengths.sum() else np.zeros(0, np.int64)
+            )
+            arrays[f"shingles::{field.name}::flat"] = flat
+            arrays[f"shingles::{field.name}::lengths"] = lengths
+    info = {}
+    for key, value in dataset.info.items():
+        try:
+            json.dumps(value)
+        except TypeError:
+            continue
+        info[key] = value
+    header = {
+        "name": dataset.name,
+        "schema": schema_spec,
+        "rule": rule_to_spec(dataset.rule),
+        "info": info,
+    }
+    arrays["header"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_dataset(path) -> Dataset:
+    """Load a dataset written by :func:`save_dataset`."""
+    with np.load(path) as data:
+        header = json.loads(bytes(data["header"]).decode("utf-8"))
+        columns: dict = {}
+        specs = []
+        for field in header["schema"]:
+            kind = FieldKind(field["kind"])
+            specs.append(FieldSpec(field["name"], kind))
+            if kind is FieldKind.VECTOR:
+                columns[field["name"]] = data[f"vec::{field['name']}"]
+            else:
+                flat = data[f"shingles::{field['name']}::flat"]
+                lengths = data[f"shingles::{field['name']}::lengths"]
+                bounds = np.cumsum(lengths)[:-1]
+                columns[field["name"]] = np.split(flat, bounds)
+        store = RecordStore(Schema(tuple(specs)), columns)
+        return Dataset(
+            name=header["name"],
+            store=store,
+            labels=data["labels"],
+            rule=rule_from_spec(header["rule"]),
+            info=header["info"],
+        )

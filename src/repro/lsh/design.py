@@ -1,0 +1,451 @@
+"""Scheme design: solving the paper's optimization programs.
+
+§5.1 Program (1)-(3) picks, for a hash budget, the (w, z)-scheme that
+minimizes the area under the collision curve subject to colliding with
+probability at least ``1 - epsilon`` at the distance threshold.
+Appendix C generalizes to AND rules (Program 4-6, one table group with
+per-field hash counts), OR rules (Program 7-10, one table group per
+branch), and weighted-average rules (mixture family, Definition 7).
+
+This module turns a :class:`~repro.distance.rules.MatchRule` tree into
+
+* one :class:`~repro.lsh.families.SignaturePool` per leaf-like rule
+  component (shared by the whole function sequence, which is what makes
+  computation incremental), and
+* a :class:`SchemeDesign` per budget: concrete ``(w..., z)`` values per
+  table group.
+
+Search strategy.  For each candidate ``z`` (all distinct values of
+``floor(budget / W)``) hashes are allocated greedily across the
+components of a group: each step gives one more hash to the component
+with the best objective-gain / feasibility-cost ratio, while the
+corner-point constraint (Equation 3 / 6) still holds.  The true
+objective (Equation 1 / 4) is then evaluated per candidate and the best
+feasible design wins.  When *no* allocation is feasible — early, tiny
+budgets on strict multi-field rules — the design falls back to the most
+conservative scheme (minimum hashes per table, maximum tables), which
+maximizes the collision probability at the threshold; the design is
+flagged ``feasible=False``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..distance.rules import (
+    AndRule,
+    MatchRule,
+    OrRule,
+    ThresholdRule,
+    WeightedAverageRule,
+)
+from ..errors import ConfigurationError, DesignError
+from ..records import RecordStore
+from ..rngutil import make_rng, spawn
+from .families import SignaturePool
+from .mixture import WeightedMixtureFamily
+from .probability import (
+    and_objective,
+    and_or_collision_prob,
+    mixed_scheme_objective,
+)
+from .scheme import HashingScheme, PoolUse, TableGroup
+
+#: Default constraint slack (paper Example 5 uses 0.001).
+DEFAULT_EPSILON = 1e-3
+
+
+# ----------------------------------------------------------------------
+# design-tree construction
+# ----------------------------------------------------------------------
+@dataclass
+class LeafComponent:
+    """One leaf-like rule component: a pool plus its p(x) and threshold."""
+
+    label: str
+    pool: SignaturePool
+    pfunc: object  # callable x -> p(x)
+    d_thr: float
+
+
+@dataclass
+class DesignContext:
+    """Branches of AND-grouped components (OR across branches), with
+    their pools — built once per (store, rule) and reused by every
+    function in the sequence."""
+
+    store: RecordStore
+    rule: MatchRule
+    branches: list[list[LeafComponent]]
+
+
+def _leaf_component(store, rule, seed, label) -> LeafComponent:
+    if isinstance(rule, ThresholdRule):
+        family = rule.distance.make_family(store, seed)
+        pool = SignaturePool(family, name=label)
+        return LeafComponent(label, pool, rule.distance.collision_prob, rule.threshold)
+    if isinstance(rule, WeightedAverageRule):
+        rng = make_rng(seed)
+        child_seeds = spawn(rng, len(rule.distances) + 1)
+        families = [
+            d.make_family(store, s)
+            for d, s in zip(rule.distances, child_seeds[:-1])
+        ]
+        mixture = WeightedMixtureFamily(
+            store, families, rule.weights, seed=child_seeds[-1]
+        )
+        pool = SignaturePool(mixture, name=label)
+
+        def pfunc(x):
+            return np.clip(1.0 - np.asarray(x, dtype=np.float64), 0.0, 1.0)
+
+        return LeafComponent(label, pool, pfunc, rule.threshold)
+    raise ConfigurationError(
+        f"unsupported nesting: expected a threshold or weighted-average "
+        f"rule, got {type(rule).__name__}"
+    )
+
+
+def build_design_context(store: RecordStore, rule: MatchRule, seed=None) -> DesignContext:
+    """Build pools and the branch structure for ``rule`` over ``store``."""
+    rule.validate(store)
+    rng = make_rng(seed)
+
+    def and_branch(node, prefix) -> list[LeafComponent]:
+        if isinstance(node, AndRule):
+            return [
+                _leaf_component(store, child, s, f"{prefix}.and{i}")
+                for i, (child, s) in enumerate(
+                    zip(node.children, spawn(rng, len(node.children)))
+                )
+            ]
+        return [_leaf_component(store, node, spawn(rng, 1)[0], prefix)]
+
+    if isinstance(rule, OrRule):
+        branches = [
+            and_branch(child, f"or{i}") for i, child in enumerate(rule.children)
+        ]
+    else:
+        branches = [and_branch(rule, "root")]
+    return DesignContext(store, rule, branches)
+
+
+# ----------------------------------------------------------------------
+# per-group (AND construction) design
+# ----------------------------------------------------------------------
+@dataclass
+class GroupDesign:
+    """A designed AND table group: per-component hash counts and z.
+
+    ``remainder_w`` > 0 adds one extra table of that many hashes over
+    the first component's pool — the §5.1 mixed scheme for budgets that
+    ``w`` does not divide.  The optimizer only keeps it when it lowers
+    the objective.
+    """
+
+    components: list[LeafComponent]
+    ws: tuple[int, ...]
+    z: int
+    feasible: bool
+    objective: float
+    remainder_w: int = 0
+
+    @property
+    def budget(self) -> int:
+        return self.z * sum(self.ws) + self.remainder_w
+
+    def to_table_groups(self) -> list[TableGroup]:
+        groups = [
+            TableGroup(
+                self.z,
+                tuple(
+                    PoolUse(c.pool, w) for c, w in zip(self.components, self.ws)
+                ),
+            )
+        ]
+        if self.remainder_w:
+            # The remainder table hashes with fresh functions: its pool
+            # window starts right after the main tables' columns, so it
+            # is independent of them — as the 1-(1-p^w)^z(1-p^w') math
+            # assumes.
+            groups.append(
+                TableGroup(
+                    1,
+                    (
+                        PoolUse(
+                            self.components[0].pool,
+                            self.remainder_w,
+                            offset=self.z * self.ws[0],
+                        ),
+                    ),
+                )
+            )
+        return groups
+
+    def to_table_group(self) -> TableGroup:
+        """Main table group (without the remainder table)."""
+        return self.to_table_groups()[0]
+
+
+def _corner_q(components, ws) -> float:
+    """prod_c p_c(d_c)^{w_c} — the per-table collision probability at
+    the all-thresholds corner."""
+    q = 1.0
+    for comp, w in zip(components, ws):
+        q *= float(comp.pfunc(comp.d_thr)) ** w
+    return q
+
+
+def _group_objective(components, ws, z) -> float:
+    # The tensor-product integration grid grows exponentially with the
+    # number of components; coarsen it so design stays fast for wide
+    # AND rules (the objective is only used to rank candidates).
+    m = len(components)
+    grid_points = 257 if m == 1 else (65 if m == 2 else 17)
+    return and_objective([c.pfunc for c in components], ws, z, grid_points=grid_points)
+
+
+def _candidate_zs(budget: int, min_z: int, min_total_w: int) -> list[int]:
+    """Distinct useful z values: every value floor(budget / W) can take."""
+    zs: set[int] = set()
+    max_z = budget // min_total_w
+    w_total = min_total_w
+    while w_total <= budget:
+        zs.add(budget // w_total)
+        w_total += 1
+        if w_total > 4096:  # beyond this W, z is already 0 or 1
+            break
+    zs |= set(range(1, int(math.isqrt(budget)) + 2))
+    return sorted(z for z in zs if min_z <= z <= max_z)
+
+
+def _greedy_allocation(components, z, total_w, min_ws, epsilon):
+    """Allocate up to ``total_w`` hashes per table across components,
+    greedily, keeping the corner constraint satisfied.
+
+    Returns ``(ws, feasible)``; ``ws`` is the minimum allocation if even
+    that is infeasible.
+    """
+    ws = list(min_ws)
+    target = 1.0 - epsilon
+    if and_or_collision_prob(_corner_q(components, ws), z) < target:
+        return tuple(ws), False
+    log_p = [math.log(max(float(c.pfunc(c.d_thr)), 1e-300)) for c in components]
+    while sum(ws) < total_w:
+        best_idx, best_ratio = -1, -math.inf
+        for idx in range(len(components)):
+            ws[idx] += 1
+            ok = (
+                and_or_collision_prob(_corner_q(components, ws), z) >= target
+            )
+            ws[idx] -= 1
+            if not ok:
+                continue
+            # Objective gain per feasibility budget spent: adding a hash
+            # to component idx shrinks that axis' volume by roughly
+            # (w+1)/(w+2) and costs |log p_idx(d_idx)| of corner slack.
+            gain = math.log((ws[idx] + 2) / (ws[idx] + 1))
+            cost = max(-log_p[idx], 1e-12)
+            ratio = gain / cost
+            if ratio > best_ratio:
+                best_ratio, best_idx = ratio, idx
+        if best_idx < 0:
+            break
+        ws[best_idx] += 1
+    return tuple(ws), True
+
+
+def design_group(
+    components,
+    budget: int,
+    epsilon: float = DEFAULT_EPSILON,
+    min_ws=None,
+    min_z: int = 1,
+) -> GroupDesign:
+    """Solve Program (1)-(3) / (4)-(6) for one AND table group."""
+    m = len(components)
+    if min_ws is None:
+        min_ws = (1,) * m
+    min_total = sum(min_ws)
+    if budget < min_total * min_z:
+        raise DesignError(
+            f"budget {budget} cannot fit {m} components with min hashes "
+            f"{min_ws} and min z {min_z}"
+        )
+    best: GroupDesign | None = None
+    for z in _candidate_zs(budget, min_z, min_total):
+        total_w = budget // z
+        ws, feasible = _greedy_allocation(components, z, total_w, min_ws, epsilon)
+        if not feasible:
+            continue
+        objective = _group_objective(components, ws, z)
+        if best is None or objective < best.objective:
+            best = GroupDesign(list(components), ws, z, True, objective)
+        # §5.1 mixed scheme: spend the leftover budget on one extra
+        # table of w' fresh hashes (single-component groups only).  The
+        # extra OR term usually *raises* the objective when w' is
+        # small, so it only survives when genuinely beneficial.
+        leftover = budget - z * sum(ws)
+        if len(components) == 1 and leftover >= 1:
+            mixed_objective = mixed_scheme_objective(
+                components[0].pfunc, ws[0], z, leftover, grid_points=257
+            )
+            if mixed_objective < best.objective:
+                best = GroupDesign(
+                    list(components), ws, z, True, mixed_objective,
+                    remainder_w=leftover,
+                )
+    if best is not None:
+        return best
+    # Fallback: most conservative scheme — minimum hashes per table,
+    # as many tables as the budget allows (maximizes corner probability).
+    z = max(min_z, budget // min_total)
+    ws = tuple(min_ws)
+    return GroupDesign(
+        list(components), ws, z, False, _group_objective(components, ws, z)
+    )
+
+
+# ----------------------------------------------------------------------
+# whole-scheme (OR across branches) design
+# ----------------------------------------------------------------------
+@dataclass
+class SchemeDesign:
+    """A designed hashing function: one GroupDesign per OR branch."""
+
+    groups: list[GroupDesign]
+    budget: int
+
+    @property
+    def feasible(self) -> bool:
+        return all(g.feasible for g in self.groups)
+
+    @property
+    def objective(self) -> float:
+        return sum(g.objective for g in self.groups)
+
+    @property
+    def spent_budget(self) -> int:
+        return sum(g.budget for g in self.groups)
+
+    def to_scheme(self) -> HashingScheme:
+        groups = []
+        for g in self.groups:
+            groups.extend(g.to_table_groups())
+        return HashingScheme(groups)
+
+    def describe(self) -> str:
+        parts = []
+        for g in self.groups:
+            ws = "+".join(str(w) for w in g.ws)
+            rem = f", w'={g.remainder_w}" if g.remainder_w else ""
+            parts.append(
+                f"(w={ws}, z={g.z}{rem}{'' if g.feasible else ', fallback'})"
+            )
+        return " OR ".join(parts)
+
+
+def _budget_splits(budget: int, n_branches: int, min_budgets):
+    """Candidate per-branch budget splits (coarse grid for 2 branches,
+    equal split otherwise)."""
+    if n_branches == 1:
+        yield (budget,)
+        return
+    if n_branches == 2:
+        for tenths in range(1, 10):
+            b0 = max(min_budgets[0], budget * tenths // 10)
+            b1 = budget - b0
+            if b1 >= min_budgets[1]:
+                yield (b0, b1)
+        return
+    base = budget // n_branches
+    split = [max(base, mb) for mb in min_budgets]
+    if sum(split) <= budget:
+        yield tuple(split)
+
+
+def design_scheme(
+    ctx: DesignContext,
+    budget: int,
+    epsilon: float = DEFAULT_EPSILON,
+    prev: "SchemeDesign | None" = None,
+) -> SchemeDesign:
+    """Design one transitive-hashing function for a total hash budget.
+
+    ``prev`` (the previous function's design) imposes the §4.1
+    monotonicity constraints ``w_i <= w_{i+1}`` and ``z_i <= z_{i+1}``
+    per component, which is what lets signatures be reused.
+    """
+    branches = ctx.branches
+    if prev is not None and len(prev.groups) != len(branches):
+        raise DesignError("previous design has a different branch structure")
+    min_ws_per_branch = []
+    min_z_per_branch = []
+    min_budget_per_branch = []
+    for i, comps in enumerate(branches):
+        if prev is None:
+            min_ws_per_branch.append((1,) * len(comps))
+            min_z_per_branch.append(1)
+            min_budget_per_branch.append(len(comps))
+        else:
+            g = prev.groups[i]
+            min_ws_per_branch.append(g.ws)
+            min_z_per_branch.append(g.z)
+            min_budget_per_branch.append(g.budget)
+    best: SchemeDesign | None = None
+    for split in _budget_splits(budget, len(branches), min_budget_per_branch):
+        groups = [
+            design_group(
+                comps,
+                b,
+                epsilon=epsilon,
+                min_ws=min_ws_per_branch[i],
+                min_z=min_z_per_branch[i],
+            )
+            for i, (comps, b) in enumerate(zip(branches, split))
+        ]
+        candidate = SchemeDesign(groups, budget)
+        if best is None:
+            best = candidate
+            continue
+        # Prefer fully feasible designs, then lower objective.
+        key = (not candidate.feasible, candidate.objective)
+        best_key = (not best.feasible, best.objective)
+        if key < best_key:
+            best = candidate
+    if best is None:
+        raise DesignError(
+            f"budget {budget} is too small for rule with branches "
+            f"{[len(b) for b in branches]}"
+        )
+    return best
+
+
+def design_sequence(
+    store: RecordStore,
+    rule: MatchRule,
+    budgets,
+    epsilon: float = DEFAULT_EPSILON,
+    seed=None,
+) -> tuple[DesignContext, list[SchemeDesign]]:
+    """Design the whole function sequence H_1..H_L for given budgets.
+
+    Budgets must be strictly increasing (Property 3).  Returns the
+    shared design context (pools) and one :class:`SchemeDesign` per
+    budget.
+    """
+    budgets = [int(b) for b in budgets]
+    if not budgets:
+        raise ConfigurationError("need at least one budget")
+    if any(b2 <= b1 for b1, b2 in zip(budgets, budgets[1:])):
+        raise ConfigurationError(f"budgets must strictly increase: {budgets}")
+    ctx = build_design_context(store, rule, seed=seed)
+    designs: list[SchemeDesign] = []
+    prev = None
+    for budget in budgets:
+        prev = design_scheme(ctx, budget, epsilon=epsilon, prev=prev)
+        designs.append(prev)
+    return ctx, designs

@@ -1,0 +1,108 @@
+"""Hash-family protocol and the incremental signature pool.
+
+Property 4 of the clustering-function sequence (incremental
+computation) is implemented here: each record's hash values are cached
+in a :class:`SignaturePool`, so a later function in the sequence — one
+that needs more hash values for the same family — only pays for the
+*new* columns.  The pool also keeps the work counters that the cost
+model and the experiment harness read.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..records import RecordStore
+
+
+class HashFamily(abc.ABC):
+    """A locality-sensitive family producing integer hash values.
+
+    Implementations must be *columnar*: hash function ``j`` is the
+    ``j``-th column of the family's (conceptually infinite) function
+    pool, so signatures extend deterministically as more columns are
+    requested.
+    """
+
+    #: NumPy dtype of produced hash values.
+    dtype: np.dtype
+
+    def __init__(self, store: RecordStore, field: str):
+        self.store = store
+        self.field = field
+
+    @abc.abstractmethod
+    def compute(self, rids: np.ndarray, start: int, stop: int) -> np.ndarray:
+        """Hash values of functions ``[start, stop)`` for ``rids``.
+
+        Returns an array of shape ``(len(rids), stop - start)``.
+        """
+
+    def collision_prob(self, x):
+        """``p(x)`` for this family; both paper families are ``1 - x``."""
+        x = np.asarray(x, dtype=np.float64)
+        return np.clip(1.0 - x, 0.0, 1.0)
+
+
+class SignaturePool:
+    """Per-record cache of hash values for one :class:`HashFamily`.
+
+    The pool owns a ``(n, capacity)`` value matrix plus a per-record
+    fill count.  ``signatures(rids, count)`` extends only the missing
+    columns of only the requested records — this is exactly the
+    incremental-computation property the adaptive algorithm exploits.
+    """
+
+    def __init__(self, family: HashFamily, name: str = "pool"):
+        self.family = family
+        self.name = name
+        n = len(family.store)
+        self._filled = np.zeros(n, dtype=np.int64)
+        self._data = np.zeros((n, 0), dtype=family.dtype)
+        #: Total hash values ever computed (work counter).
+        self.hashes_computed = 0
+
+    def __len__(self) -> int:
+        return self._filled.shape[0]
+
+    @property
+    def capacity(self) -> int:
+        return self._data.shape[1]
+
+    def filled(self, rid: int) -> int:
+        """How many hash values are cached for ``rid``."""
+        return int(self._filled[rid])
+
+    def _grow(self, needed: int) -> None:
+        if needed <= self.capacity:
+            return
+        new_cap = max(needed, max(8, self.capacity * 2))
+        grown = np.zeros((len(self), new_cap), dtype=self._data.dtype)
+        if self.capacity:
+            grown[:, : self.capacity] = self._data
+        self._data = grown
+
+    def ensure(self, rids, count: int) -> None:
+        """Make sure every record in ``rids`` has ``count`` hash values."""
+        rids = np.asarray(rids, dtype=np.int64)
+        self._grow(count)
+        pending = rids[self._filled[rids] < count]
+        if pending.size == 0:
+            return
+        # Records arrive at a handful of distinct fill levels (one per
+        # earlier budget), so batching by level keeps compute() calls few.
+        levels = np.unique(self._filled[pending])
+        for level in levels:
+            batch = pending[self._filled[pending] == level]
+            values = self.family.compute(batch, int(level), count)
+            self._data[batch, int(level):count] = values
+            self._filled[batch] = count
+            self.hashes_computed += int(batch.size) * (count - int(level))
+
+    def signatures(self, rids, count: int) -> np.ndarray:
+        """The first ``count`` hash values of each record in ``rids``."""
+        rids = np.asarray(rids, dtype=np.int64)
+        self.ensure(rids, count)
+        return self._data[rids, :count]

@@ -1,0 +1,48 @@
+"""Random-hyperplane family for cosine distance (paper Example 2,
+Appendix A, Example 6).
+
+Hash function ``j`` is a random hyperplane through the origin; the hash
+value is which side of the plane the record's vector falls on.  For two
+vectors at normalized angle ``x = theta/180`` the single-function
+collision probability is exactly ``p(x) = 1 - x``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..records import RecordStore
+from ..rngutil import make_rng
+from .families import HashFamily
+
+
+class RandomHyperplaneFamily(HashFamily):
+    """Sign-of-projection hashes over one dense vector field."""
+
+    dtype = np.dtype(np.uint8)
+
+    def __init__(self, store: RecordStore, field: str, seed=None):
+        super().__init__(store, field)
+        self._rng = make_rng(seed)
+        dim = store.vectors(field).shape[1]
+        self._planes = np.zeros((dim, 0), dtype=np.float64)
+
+    @property
+    def dim(self) -> int:
+        return self._planes.shape[0]
+
+    def _ensure_planes(self, count: int) -> None:
+        have = self._planes.shape[1]
+        if count <= have:
+            return
+        # Drawn as (extra, dim) and transposed: NumPy fills row-major,
+        # so hyperplane j is the same no matter how requests were
+        # chunked — the columnar-determinism contract of HashFamily.
+        extra = self._rng.standard_normal((count - have, self.dim)).T
+        self._planes = np.hstack([self._planes, extra])
+
+    def compute(self, rids: np.ndarray, start: int, stop: int) -> np.ndarray:
+        self._ensure_planes(stop)
+        vectors = self.store.vectors(self.field)[np.asarray(rids, dtype=np.int64)]
+        projections = vectors @ self._planes[:, start:stop]
+        return (projections >= 0.0).astype(np.uint8)

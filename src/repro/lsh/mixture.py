@@ -1,0 +1,79 @@
+"""Weighted-average mixture family (paper Definition 7, Theorems 3-4).
+
+For a weighted-average rule ``sum_i alpha_i d_i <= d_thr`` the paper
+selects each hash function by (a) drawing field ``i`` with probability
+``alpha_i`` and (b) drawing a function from field ``i``'s family.  By
+Theorem 3 the resulting family collides with probability exactly
+``1 - d_bar(r1, r2)`` — the same linear curve as the constituent
+families, but over the *combined* distance — so a weighted-average rule
+plugs into scheme design as if it were a single field.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..records import RecordStore
+from ..rngutil import make_rng
+from .families import HashFamily
+
+
+class WeightedMixtureFamily(HashFamily):
+    """Mixture of per-field families with probabilities ``weights``.
+
+    Hash column ``j`` is permanently assigned to one underlying family
+    (drawn once from the weight distribution), so signatures stay
+    columnar and incremental like any other family.
+    """
+
+    dtype = np.dtype(np.uint32)
+
+    def __init__(self, store: RecordStore, families, weights, seed=None):
+        self.families = list(families)
+        if not self.families:
+            raise ConfigurationError("mixture needs at least one family")
+        fields = ",".join(f.field for f in self.families)
+        super().__init__(store, fields)
+        self.weights = np.asarray(weights, dtype=np.float64)
+        if self.weights.size != len(self.families):
+            raise ConfigurationError("one weight per family required")
+        self._rng = make_rng(seed)
+        # assignment[j] = which family provides global hash column j;
+        # child_col[j] = that family's own column index.
+        self._assignment = np.zeros(0, dtype=np.int64)
+        self._child_col = np.zeros(0, dtype=np.int64)
+        self._per_family_count = np.zeros(len(self.families), dtype=np.int64)
+
+    def _ensure_assignment(self, count: int) -> None:
+        have = self._assignment.size
+        if count <= have:
+            return
+        extra = count - have
+        draws = self._rng.choice(len(self.families), size=extra, p=self.weights)
+        cols = np.empty(extra, dtype=np.int64)
+        for idx in range(len(self.families)):
+            mask = draws == idx
+            n_new = int(mask.sum())
+            cols[mask] = self._per_family_count[idx] + np.arange(n_new)
+            self._per_family_count[idx] += n_new
+        self._assignment = np.concatenate([self._assignment, draws])
+        self._child_col = np.concatenate([self._child_col, cols])
+
+    def compute(self, rids: np.ndarray, start: int, stop: int) -> np.ndarray:
+        self._ensure_assignment(stop)
+        rids = np.asarray(rids, dtype=np.int64)
+        out = np.empty((rids.size, stop - start), dtype=np.uint32)
+        span = np.arange(start, stop)
+        for idx, family in enumerate(self.families):
+            positions = span[self._assignment[start:stop] == idx]
+            if positions.size == 0:
+                continue
+            child_cols = self._child_col[positions]
+            # Child columns of one family arrive in increasing order, so
+            # a single contiguous compute covers them; slice afterwards.
+            lo, hi = int(child_cols.min()), int(child_cols.max()) + 1
+            values = family.compute(rids, lo, hi)
+            picked = values[:, child_cols - lo].astype(np.uint32)
+            out[:, positions - start] = picked
+        return out

@@ -1,0 +1,123 @@
+"""Collision-probability mathematics for AND-OR LSH constructions
+(paper Appendix A, §5.1, Figures 5 and 7).
+
+For a locality-sensitive family whose single-function collision
+probability at normalized distance ``x`` is ``p(x)``, a (w, z)-scheme
+(z tables, w concatenated hashes per table) collides with probability
+
+    P(x) = 1 - (1 - p(x)^w)^z
+
+and the multi-field AND construction of Appendix C.1 with per-field
+hash counts ``w_1..w_m`` collides with probability
+
+    P(x_1..x_m) = 1 - (1 - prod_i p_i(x_i)^{w_i})^z.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Grid resolution used for objective integrals (Equation 1 / 4 / 7).
+DEFAULT_GRID = 513
+
+
+def and_or_collision_prob(p_pow, z: int) -> np.ndarray:
+    """``1 - (1 - q)^z`` where ``q = prod_i p_i(x_i)^{w_i}``.
+
+    ``p_pow`` is the already-ANDed per-table collision probability
+    (scalar or array); ``z`` the number of OR'd tables.
+    """
+    q = np.asarray(p_pow, dtype=np.float64)
+    # log1p formulation keeps precision when q is close to 0 or 1.
+    with np.errstate(divide="ignore"):
+        log_miss = z * np.log1p(-np.clip(q, 0.0, 1.0))
+    return -np.expm1(log_miss)
+
+
+def collision_prob_curve(pfunc, w: int, z: int, x) -> np.ndarray:
+    """``P(x)`` for a (w, z)-scheme over a single family with curve
+    ``p = pfunc(x)`` (Figure 5)."""
+    x = np.asarray(x, dtype=np.float64)
+    return and_or_collision_prob(pfunc(x) ** w, z)
+
+
+def integrate_curve(values: np.ndarray, grid: np.ndarray) -> float:
+    """Trapezoidal integral of sampled curve values over ``grid``."""
+    return float(np.trapezoid(values, grid))
+
+
+def scheme_objective(pfunc, w: int, z: int, grid_points: int = DEFAULT_GRID) -> float:
+    """Equation (1): area under the (w, z)-scheme collision curve."""
+    grid = np.linspace(0.0, 1.0, grid_points)
+    return integrate_curve(collision_prob_curve(pfunc, w, z, grid), grid)
+
+
+def scheme_feasible(
+    pfunc, w: int, z: int, d_thr: float, epsilon: float
+) -> bool:
+    """Equation (3): the scheme collides with probability at least
+    ``1 - epsilon`` at the threshold distance.
+
+    ``P(x)`` is non-increasing in ``x`` for non-increasing ``p``, so
+    checking the boundary ``x = d_thr`` suffices.
+    """
+    return float(collision_prob_curve(pfunc, w, z, d_thr)) >= 1.0 - epsilon
+
+
+def and_objective(
+    pfuncs, ws, z: int, grid_points: int = 129
+) -> float:
+    """Equation (4): volume under the AND-construction collision
+    surface over the unit hypercube (product grid per field)."""
+    grid = np.linspace(0.0, 1.0, grid_points)
+    # prod_i p_i(x_i)^{w_i} evaluated on the tensor-product grid via
+    # iterative outer products, then the z-fold OR.
+    q = None
+    for pfunc, w in zip(pfuncs, ws):
+        part = pfunc(grid) ** w
+        q = part if q is None else np.multiply.outer(q, part)
+    prob = and_or_collision_prob(q, z)
+    # Iterated trapezoid over every axis.
+    for _ in range(prob.ndim):
+        prob = np.trapezoid(prob, grid, axis=-1)
+    return float(prob)
+
+
+def and_feasible(pfuncs, ws, z: int, d_thrs, epsilon: float) -> bool:
+    """Equation (6): constraint at the all-thresholds corner.
+
+    The AND-construction probability is coordinate-wise non-increasing,
+    so the corner ``(d_thr_1, ..., d_thr_m)`` is the binding point.
+    """
+    q = 1.0
+    for pfunc, w, d in zip(pfuncs, ws, d_thrs):
+        q *= float(pfunc(np.asarray(d))) ** w
+    return float(and_or_collision_prob(q, z)) >= 1.0 - epsilon
+
+
+def mixed_scheme_prob(pfunc, w: int, z: int, w_rem: int, x) -> np.ndarray:
+    """§5.1 non-integer-budget extension: ``z`` tables of ``w`` hashes
+    plus one remainder table of ``w_rem`` hashes —
+    ``1 - (1 - p^w)^z * (1 - p^w_rem)``."""
+    x = np.asarray(x, dtype=np.float64)
+    p = pfunc(x)
+    miss_main = (1.0 - np.clip(p**w, 0.0, 1.0)) ** z
+    miss_rem = 1.0 - np.clip(p**w_rem, 0.0, 1.0)
+    return 1.0 - miss_main * miss_rem
+
+
+def mixed_scheme_objective(
+    pfunc, w: int, z: int, w_rem: int, grid_points: int = DEFAULT_GRID
+) -> float:
+    """Equation (1) for the mixed scheme."""
+    grid = np.linspace(0.0, 1.0, grid_points)
+    return integrate_curve(mixed_scheme_prob(pfunc, w, z, w_rem, grid), grid)
+
+
+def or_combine(branch_probs) -> np.ndarray:
+    """Collision probability of OR'd table groups: ``1 - prod (1 - P_b)``."""
+    miss = None
+    for prob in branch_probs:
+        part = 1.0 - np.asarray(prob, dtype=np.float64)
+        miss = part if miss is None else miss * part
+    return 1.0 - miss

@@ -1,0 +1,5 @@
+"""Online / streaming extension of Adaptive LSH (paper §9 future work)."""
+
+from .streaming import StreamingTopK
+
+__all__ = ["StreamingTopK"]

@@ -1,0 +1,120 @@
+"""Streaming adaptive LSH (paper §9: "we believe that adaLSH can offer
+large performance gains in online settings, where ... input records
+arrive dynamically").
+
+:class:`StreamingTopK` keeps the *first* (cheapest) hashing function's
+tables alive across insertions: each arriving record pays only the
+``H_1`` budget (20 hashes by default) at ingest time, maintaining
+coarse clusters incrementally.  A ``top_k(k)`` query hands the current
+coarse clusters to the adaptive refinement loop
+(:meth:`~repro.core.adaptive.AdaptiveLSH.refine`), which — thanks to
+the shared signature pools — only computes the *additional* hash
+functions needed by records in still-ambiguous, large clusters.
+Repeated queries therefore get cheaper as the pools warm up.
+
+Storage note: records live in a regular :class:`RecordStore` created up
+front; "arrival" is the ``insert`` call.  This decouples stream order
+from storage layout without changing any algorithmic property.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.adaptive import AdaptiveLSH
+from ..core.result import FilterResult
+from ..distance.rules import MatchRule
+from ..errors import ConfigurationError
+from ..records import RecordStore
+from ..structures.union_find import UnionFind
+
+
+class StreamingTopK:
+    """Incremental top-k filtering over a stream of records."""
+
+    def __init__(
+        self,
+        store: RecordStore,
+        rule: MatchRule,
+        budgets=None,
+        seed=None,
+        cost_model="calibrate",
+        **adaptive_kwargs,
+    ):
+        self._adaptive = AdaptiveLSH(
+            store,
+            rule,
+            budgets=budgets,
+            seed=seed,
+            cost_model=cost_model,
+            **adaptive_kwargs,
+        )
+        self.store = store
+        self._uf = UnionFind(len(store))
+        self._inserted = np.zeros(len(store), dtype=bool)
+        self._tables: "list[dict] | None" = None
+
+    @property
+    def n_seen(self) -> int:
+        return int(self._inserted.sum())
+
+    def _ensure_ready(self) -> None:
+        if self._tables is None:
+            self._adaptive.prepare()
+            self._h1 = self._adaptive._functions[0]
+            self._tables = [dict() for _ in range(self._h1.scheme.table_count)]
+
+    # ------------------------------------------------------------------
+    def insert(self, rid: int) -> None:
+        """Ingest one record: ``H_1`` hashes plus table maintenance."""
+        self._ensure_ready()
+        rid = int(rid)
+        if self._inserted[rid]:
+            raise ConfigurationError(f"record {rid} was already inserted")
+        self._inserted[rid] = True
+        rids = np.array([rid], dtype=np.int64)
+        for table, keys in zip(
+            self._tables, self._h1.scheme.iter_table_keys(rids)
+        ):
+            key = keys[0]
+            prev = table.get(key)
+            if prev is not None:
+                self._uf.union(rid, prev)
+            table[key] = rid
+
+    def insert_many(self, rids) -> None:
+        """Ingest a batch (hash computation is batched across records)."""
+        self._ensure_ready()
+        rids = np.asarray(rids, dtype=np.int64)
+        fresh = rids[~self._inserted[rids]]
+        if fresh.size != rids.size:
+            raise ConfigurationError("batch contains already-inserted records")
+        self._inserted[fresh] = True
+        for table, keys in zip(
+            self._tables, self._h1.scheme.iter_table_keys(fresh)
+        ):
+            for rid, key in zip(fresh, keys):
+                rid = int(rid)
+                prev = table.get(key)
+                if prev is not None:
+                    self._uf.union(rid, prev)
+                table[key] = rid
+
+    # ------------------------------------------------------------------
+    def current_clusters(self) -> list:
+        """Coarse (H_1-level) clusters of the records seen so far."""
+        seen = np.nonzero(self._inserted)[0]
+        groups: dict[int, list[int]] = {}
+        for rid in seen:
+            groups.setdefault(self._uf.find(int(rid)), []).append(int(rid))
+        clusters = [np.asarray(g, dtype=np.int64) for g in groups.values()]
+        clusters.sort(key=lambda c: c.size, reverse=True)
+        return clusters
+
+    def top_k(self, k: int) -> FilterResult:
+        """Adaptive refinement of the current coarse clusters."""
+        self._ensure_ready()
+        if self.n_seen == 0:
+            raise ConfigurationError("no records inserted yet")
+        initial = [(c, 1) for c in self.current_clusters()]
+        return self._adaptive.refine(initial, k)

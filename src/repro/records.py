@@ -1,0 +1,248 @@
+"""Record model: schemas, field kinds, and the column-oriented store.
+
+The filtering algorithms in this package never look inside a record
+directly — they go through distance metrics and hash families — so the
+representation is optimized for *batch* access:
+
+* vector fields are stored as a single ``(n, d)`` float64 matrix, which
+  makes random-hyperplane hashing one matrix product;
+* shingle-set fields are stored as a list of sorted ``int64`` id arrays
+  plus a lazily built CSR incidence matrix for vectorized pairwise
+  Jaccard.
+
+Records are addressed everywhere by their integer row id ``rid`` in
+``range(len(store))``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from .errors import SchemaError
+
+
+class FieldKind(enum.Enum):
+    """The two physical field representations the library understands."""
+
+    #: Dense real-valued vector (e.g., an RGB histogram). Compared with
+    #: cosine distance and hashed with random hyperplanes.
+    VECTOR = "vector"
+    #: Set of integer shingle ids (e.g., token shingles of a title).
+    #: Compared with Jaccard distance and hashed with minhash.
+    SHINGLES = "shingles"
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """Declaration of a single record field."""
+
+    name: str
+    kind: FieldKind
+
+    def __post_init__(self):
+        if not self.name:
+            raise SchemaError("field name must be non-empty")
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of :class:`FieldSpec` declarations."""
+
+    fields: tuple[FieldSpec, ...]
+
+    def __post_init__(self):
+        names = [f.name for f in self.fields]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate field names in schema: {names}")
+        if not self.fields:
+            raise SchemaError("schema must declare at least one field")
+
+    @classmethod
+    def single_vector(cls, name: str = "vec") -> "Schema":
+        """Schema with one dense vector field (the common image case)."""
+        return cls((FieldSpec(name, FieldKind.VECTOR),))
+
+    @classmethod
+    def single_shingles(cls, name: str = "shingles") -> "Schema":
+        """Schema with one shingle-set field (the common text case)."""
+        return cls((FieldSpec(name, FieldKind.SHINGLES),))
+
+    def __iter__(self):
+        return iter(self.fields)
+
+    def __len__(self):
+        return len(self.fields)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+    def kind_of(self, name: str) -> FieldKind:
+        for f in self.fields:
+            if f.name == name:
+                return f.kind
+        raise SchemaError(f"unknown field {name!r}; schema has {self.names}")
+
+
+@dataclass(frozen=True)
+class Record:
+    """A lightweight per-row view handed out by :class:`RecordStore`."""
+
+    rid: int
+    values: dict
+
+    def __getitem__(self, field_name: str):
+        return self.values[field_name]
+
+
+def _as_sorted_ids(values) -> np.ndarray:
+    """Coerce a shingle collection into a sorted, unique int64 array."""
+    arr = np.asarray(sorted(set(int(v) for v in values)), dtype=np.int64)
+    if arr.size and arr.min() < 0:
+        raise SchemaError("shingle ids must be non-negative integers")
+    return arr
+
+
+class RecordStore:
+    """Column-oriented container for the dataset ``R``.
+
+    Parameters
+    ----------
+    schema:
+        Field declarations.
+    columns:
+        Mapping from field name to column data: a ``(n, d)`` array for
+        ``VECTOR`` fields, or a sequence of shingle-id collections for
+        ``SHINGLES`` fields.  All columns must agree on ``n``.
+    """
+
+    def __init__(self, schema: Schema, columns: dict):
+        self.schema = schema
+        missing = set(schema.names) - set(columns)
+        extra = set(columns) - set(schema.names)
+        if missing or extra:
+            raise SchemaError(
+                f"columns do not match schema (missing={sorted(missing)}, "
+                f"unexpected={sorted(extra)})"
+            )
+        self._vectors: dict[str, np.ndarray] = {}
+        self._shingles: dict[str, list[np.ndarray]] = {}
+        self._csr_cache: dict[str, sp.csr_matrix] = {}
+        sizes = set()
+        for spec in schema:
+            col = columns[spec.name]
+            if spec.kind is FieldKind.VECTOR:
+                mat = np.ascontiguousarray(np.asarray(col, dtype=np.float64))
+                if mat.ndim != 2:
+                    raise SchemaError(
+                        f"vector field {spec.name!r} must be 2-D, got shape {mat.shape}"
+                    )
+                self._vectors[spec.name] = mat
+                sizes.add(mat.shape[0])
+            else:
+                sets = [_as_sorted_ids(v) for v in col]
+                self._shingles[spec.name] = sets
+                sizes.add(len(sets))
+        if len(sizes) != 1:
+            raise SchemaError(f"columns have inconsistent row counts: {sorted(sizes)}")
+        self._n = sizes.pop()
+
+    # ------------------------------------------------------------------
+    # basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, rid: int) -> Record:
+        if not 0 <= rid < self._n:
+            raise IndexError(f"rid {rid} out of range [0, {self._n})")
+        values = {}
+        for name, mat in self._vectors.items():
+            values[name] = mat[rid]
+        for name, sets in self._shingles.items():
+            values[name] = sets[rid]
+        return Record(rid, values)
+
+    def __iter__(self):
+        return (self[i] for i in range(self._n))
+
+    @property
+    def rids(self) -> np.ndarray:
+        """All record ids as an int64 array."""
+        return np.arange(self._n, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # batch accessors used by hash families and pairwise engines
+    # ------------------------------------------------------------------
+    def vectors(self, field_name: str) -> np.ndarray:
+        """The full ``(n, d)`` matrix of a vector field."""
+        try:
+            return self._vectors[field_name]
+        except KeyError:
+            raise SchemaError(f"{field_name!r} is not a vector field") from None
+
+    def shingle_sets(self, field_name: str) -> list[np.ndarray]:
+        """All shingle-id arrays of a shingle field (indexed by rid)."""
+        try:
+            return self._shingles[field_name]
+        except KeyError:
+            raise SchemaError(f"{field_name!r} is not a shingles field") from None
+
+    def shingle_csr(self, field_name: str) -> sp.csr_matrix:
+        """Binary ``(n, vocab)`` incidence matrix of a shingle field.
+
+        Built lazily and cached; used for vectorized pairwise Jaccard.
+        """
+        if field_name not in self._csr_cache:
+            sets = self.shingle_sets(field_name)
+            indptr = np.zeros(self._n + 1, dtype=np.int64)
+            lengths = np.array([s.size for s in sets], dtype=np.int64)
+            np.cumsum(lengths, out=indptr[1:])
+            if indptr[-1]:
+                raw = np.concatenate(sets)
+                # Ids can come from 32-bit hashes; compact them so the
+                # matrix width is the number of *distinct* shingles.
+                vocab_ids, indices = np.unique(raw, return_inverse=True)
+                vocab = int(vocab_ids.size)
+            else:
+                indices = np.zeros(0, dtype=np.int64)
+                vocab = 1
+            data = np.ones(indptr[-1], dtype=np.float64)
+            self._csr_cache[field_name] = sp.csr_matrix(
+                (data, indices, indptr), shape=(self._n, vocab)
+            )
+        return self._csr_cache[field_name]
+
+    def set_sizes(self, field_name: str) -> np.ndarray:
+        """Per-record shingle-set cardinalities."""
+        return np.array(
+            [s.size for s in self.shingle_sets(field_name)], dtype=np.int64
+        )
+
+    # ------------------------------------------------------------------
+    # dataset manipulation
+    # ------------------------------------------------------------------
+    def take(self, rids) -> "RecordStore":
+        """A new store holding only ``rids`` (in the given order)."""
+        rids = np.asarray(rids, dtype=np.int64)
+        columns: dict = {}
+        for name, mat in self._vectors.items():
+            columns[name] = mat[rids]
+        for name, sets in self._shingles.items():
+            columns[name] = [sets[int(i)] for i in rids]
+        return RecordStore(self.schema, columns)
+
+    def concat(self, other: "RecordStore") -> "RecordStore":
+        """A new store with ``other``'s rows appended after this one's."""
+        if other.schema != self.schema:
+            raise SchemaError("cannot concat stores with different schemas")
+        columns: dict = {}
+        for name, mat in self._vectors.items():
+            columns[name] = np.vstack([mat, other._vectors[name]])
+        for name, sets in self._shingles.items():
+            columns[name] = sets + other._shingles[name]
+        return RecordStore(self.schema, columns)

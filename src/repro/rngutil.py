@@ -1,0 +1,36 @@
+"""Seeded random-number-generation helpers.
+
+All stochastic components of the library (hash families, dataset
+generators, budget noise experiments) accept either an integer seed, a
+:class:`numpy.random.Generator`, or ``None``.  This module centralizes
+the coercion so behaviour is uniform and reproducible everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Any value acceptable as a source of randomness.
+SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+def make_rng(seed=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may be an existing generator (returned as-is), an integer,
+    a :class:`numpy.random.SeedSequence`, or ``None`` (OS entropy).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Children are seeded from integers drawn from ``rng`` so that a
+    single top-level seed deterministically fans out to independent
+    streams (one per hash family, per dataset field, ...).
+    """
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,62 @@
+"""Log-size bin array (paper Appendix B.4).
+
+Clusters are filed into bins by ``floor(log2(size))``; the largest
+cluster is found by scanning the last non-empty bin.  Insertions are
+O(1) and, because cluster sizes within one bin differ by at most 2x and
+bins hold few clusters in practice, pop-largest is effectively O(1).
+"""
+
+from __future__ import annotations
+
+
+class BinIndex:
+    """Size-binned collection supporting O(1)-ish pop-largest."""
+
+    def __init__(self):
+        # 64 bins cover any cluster size that fits in a machine word.
+        self._bins: list[list] = [[] for _ in range(64)]
+        self._count = 0
+
+    @staticmethod
+    def _bin_of(size: int) -> int:
+        if size < 1:
+            raise ValueError(f"cluster size must be >= 1, got {size}")
+        return size.bit_length() - 1
+
+    def add(self, item, size: int) -> None:
+        """File ``item`` under ``size``."""
+        self._bins[self._bin_of(size)].append((size, item))
+        self._count += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    def _last_nonempty(self) -> int:
+        for b in range(len(self._bins) - 1, -1, -1):
+            if self._bins[b]:
+                return b
+        raise IndexError("pop from empty BinIndex")
+
+    def peek_largest_size(self) -> int:
+        """Size of the largest stored item (without removing it)."""
+        b = self._last_nonempty()
+        return max(size for size, _item in self._bins[b])
+
+    def pop_largest(self):
+        """Remove and return ``(size, item)`` for the largest item."""
+        b = self._last_nonempty()
+        bucket = self._bins[b]
+        best = max(range(len(bucket)), key=lambda i: bucket[i][0])
+        # Swap-pop keeps removal O(1) within the bin.
+        bucket[best], bucket[-1] = bucket[-1], bucket[best]
+        size, item = bucket.pop()
+        self._count -= 1
+        return size, item
+
+    def drain(self):
+        """Yield all remaining ``(size, item)`` pairs, largest first."""
+        while self._count:
+            yield self.pop_largest()

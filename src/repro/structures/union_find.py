@@ -1,0 +1,47 @@
+"""Plain disjoint-set union over dense integer ids.
+
+Not used by the adaptive algorithm itself (which uses the paper's
+parent-pointer trees), but handy as an independent implementation for
+cross-checking connected components in tests and for the simple
+transitive-closure ER stage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class UnionFind:
+    """Union-find with path compression and union by size."""
+
+    def __init__(self, n: int):
+        self.parent = np.arange(n, dtype=np.int64)
+        self.size = np.ones(n, dtype=np.int64)
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return int(root)
+
+    def union(self, a: int, b: int) -> int:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        return ra
+
+    def connected(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def components(self) -> list[list[int]]:
+        """All components as lists of member ids (unordered)."""
+        groups: dict[int, list[int]] = {}
+        for x in range(len(self.parent)):
+            groups.setdefault(self.find(x), []).append(x)
+        return list(groups.values())

@@ -1,0 +1,100 @@
+"""Tests for the LSH-X / LSH-X-nP blocking baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LSHBlocking, PairsBaseline
+from repro.errors import ConfigurationError
+from tests.conftest import make_vector_store
+from repro.distance import CosineDistance, ThresholdRule
+
+
+@pytest.fixture(scope="module")
+def setup():
+    store, labels = make_vector_store(
+        cluster_sizes=(25, 15, 7), n_noise=40, seed=44
+    )
+    rule = ThresholdRule(CosineDistance("vec"), 10 / 180.0)
+    return store, rule
+
+
+class TestVerifiedLSH:
+    def test_matches_pairs(self, setup):
+        store, rule = setup
+        lsh = LSHBlocking(store, rule, 1280, seed=3)
+        pairs = PairsBaseline(store, rule)
+        got = [sorted(c.rids.tolist()) for c in lsh.run(3).clusters]
+        expected = [sorted(c.rids.tolist()) for c in pairs.run(3).clusters]
+        assert got == expected
+
+    def test_name(self, setup):
+        store, rule = setup
+        assert LSHBlocking(store, rule, 640, seed=0).name == "LSH640"
+        assert (
+            LSHBlocking(store, rule, 640, verify=False, seed=0).name
+            == "LSH640nP"
+        )
+
+    def test_every_record_hashed_x_times(self, setup):
+        """LSH-X applies (up to) X hash functions to every record —
+        the design may spend slightly less than X, never more."""
+        store, rule = setup
+        lsh = LSHBlocking(store, rule, 320, seed=3)
+        result = lsh.run(3)
+        per_record = result.counters.hashes_computed / len(store)
+        assert per_record <= 320
+        assert per_record > 320 * 0.5
+
+    def test_early_termination_skips_verification(self, setup):
+        """With k=1 the verifier must not pay for every candidate
+        cluster: pairs charged stay below the all-clusters total."""
+        store, rule = setup
+        lsh = LSHBlocking(store, rule, 1280, seed=3)
+        result = lsh.run(1)
+        n = len(store)
+        assert result.counters.pairs_charged < n * (n - 1) // 2
+
+    def test_k_must_be_positive(self, setup):
+        store, rule = setup
+        with pytest.raises(ConfigurationError):
+            LSHBlocking(store, rule, 320, seed=0).run(0)
+
+    def test_n_hashes_positive(self, setup):
+        store, rule = setup
+        with pytest.raises(ConfigurationError):
+            LSHBlocking(store, rule, 0)
+
+    def test_rerun_reuses_pools(self, setup):
+        store, rule = setup
+        lsh = LSHBlocking(store, rule, 320, seed=3)
+        first = lsh.run(2)
+        second = lsh.run(2)
+        # Hash pool warm after the first run: no new hashes computed.
+        assert second.counters.hashes_computed == 0
+        assert [c.size for c in second.clusters] == [
+            c.size for c in first.clusters
+        ]
+
+
+class TestNoPairsVariant:
+    def test_np_does_no_pairwise_work(self, setup):
+        store, rule = setup
+        lsh = LSHBlocking(store, rule, 640, verify=False, seed=3)
+        result = lsh.run(3)
+        assert result.counters.pairs_compared == 0
+        assert result.counters.pairs_charged == 0
+
+    def test_np_with_large_budget_close_to_truth(self, setup):
+        store, rule = setup
+        lsh = LSHBlocking(store, rule, 2560, verify=False, seed=3)
+        sizes = [c.size for c in lsh.run(3).clusters]
+        assert sizes[0] >= 25  # top cluster found (possibly merged)
+
+    def test_np_with_tiny_budget_inaccurate(self, setup):
+        """Appendix E.1: the first-stage-only variant with few hashes
+        merges unrelated records (low precision) — its top cluster is
+        noticeably bigger than the true top cluster."""
+        store, rule = setup
+        lsh = LSHBlocking(store, rule, 20, verify=False, seed=3)
+        sizes = [c.size for c in lsh.run(1).clusters]
+        assert sizes[0] > 25

@@ -1,0 +1,63 @@
+"""Tests for the Pairs baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PairsBaseline
+from repro.errors import ConfigurationError
+from repro.structures import UnionFind
+from tests.conftest import make_vector_store
+from repro.distance import CosineDistance, ThresholdRule
+
+
+@pytest.fixture(scope="module")
+def setup():
+    store, labels = make_vector_store(seed=55)
+    rule = ThresholdRule(CosineDistance("vec"), 10 / 180.0)
+    return store, rule, labels
+
+
+def test_finds_planted_clusters(setup):
+    store, rule, labels = setup
+    result = PairsBaseline(store, rule).run(3)
+    assert [c.size for c in result.clusters] == [30, 18, 8]
+
+
+def test_matches_brute_force(setup):
+    store, rule, _ = setup
+    n = len(store)
+    uf = UnionFind(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rule.is_match(store, i, j):
+                uf.union(i, j)
+    expected = sorted(
+        (sorted(c) for c in uf.components()), key=len, reverse=True
+    )[:3]
+    got = [sorted(c.rids.tolist()) for c in PairsBaseline(store, rule).run(3).clusters]
+    assert got == expected
+
+
+def test_counts_all_pairs(setup):
+    store, rule, _ = setup
+    result = PairsBaseline(store, rule).run(2)
+    n = len(store)
+    assert result.counters.pairs_charged == n * (n - 1) // 2
+
+
+def test_component_count_reported(setup):
+    store, rule, _ = setup
+    result = PairsBaseline(store, rule).run(2)
+    assert result.info["components"] >= 3
+
+
+def test_k_must_be_positive(setup):
+    store, rule, _ = setup
+    with pytest.raises(ConfigurationError):
+        PairsBaseline(store, rule).run(0)
+
+
+def test_k_exceeding_components(setup):
+    store, rule, _ = setup
+    result = PairsBaseline(store, rule).run(10_000)
+    assert result.k == result.info["components"]

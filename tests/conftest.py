@@ -1,0 +1,94 @@
+"""Shared fixtures: small clustered stores and tiny datasets.
+
+Session-scoped where generation is deterministic and read-only, so the
+whole suite stays fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_cora, generate_popular_images, generate_spotsigs
+from repro.distance import CosineDistance, JaccardDistance, ThresholdRule
+from repro.records import RecordStore, Schema
+
+
+def make_vector_store(
+    cluster_sizes=(30, 18, 8), n_noise=40, dim=16, scale=0.01, seed=0
+):
+    """A vector store with planted clusters around random base vectors.
+
+    Returns ``(store, labels)``; noise records get label -1.
+    """
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=(len(cluster_sizes), dim))
+    rows, labels = [], []
+    for i, size in enumerate(cluster_sizes):
+        for _ in range(size):
+            rows.append(base[i] + rng.normal(scale=scale, size=dim))
+            labels.append(i)
+    for _ in range(n_noise):
+        rows.append(rng.normal(size=dim))
+        labels.append(-1)
+    store = RecordStore(Schema.single_vector(), {"vec": np.asarray(rows)})
+    return store, np.asarray(labels)
+
+
+def make_shingle_store(
+    cluster_sizes=(20, 12, 6), n_noise=30, base_size=60, keep_p=0.8, seed=0
+):
+    """A shingle store with planted near-duplicate clusters."""
+    rng = np.random.default_rng(seed)
+    sets, labels = [], []
+    next_id = 0
+    for i, size in enumerate(cluster_sizes):
+        base = np.arange(next_id, next_id + base_size)
+        next_id += base_size
+        for _ in range(size):
+            kept = base[rng.random(base.size) < keep_p]
+            sets.append(kept if kept.size else base[:1])
+            labels.append(i)
+    for _ in range(n_noise):
+        sets.append(np.arange(next_id, next_id + base_size))
+        next_id += base_size
+        labels.append(-1)
+    store = RecordStore(Schema.single_shingles(), {"shingles": sets})
+    return store, np.asarray(labels)
+
+
+@pytest.fixture(scope="session")
+def vector_store():
+    return make_vector_store()
+
+
+@pytest.fixture(scope="session")
+def shingle_store():
+    return make_shingle_store()
+
+
+@pytest.fixture(scope="session")
+def vector_rule():
+    return ThresholdRule(CosineDistance("vec"), 10.0 / 180.0)
+
+
+@pytest.fixture(scope="session")
+def shingle_rule():
+    return ThresholdRule(JaccardDistance("shingles"), 0.6)
+
+
+@pytest.fixture(scope="session")
+def tiny_spotsigs():
+    return generate_spotsigs(n_records=400, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_cora():
+    return generate_cora(n_records=400, seed=12)
+
+
+@pytest.fixture(scope="session")
+def tiny_images():
+    return generate_popular_images(
+        n_records=600, n_popular=25, top1_size=40, seed=13
+    )

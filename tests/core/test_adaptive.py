@@ -1,0 +1,201 @@
+"""Tests for Algorithm 1 (Adaptive LSH): correctness against the exact
+Pairs baseline, termination semantics, selection strategies, the
+incremental mode, and the refine() entry point."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PairsBaseline
+from repro.core import AdaptiveLSH, CostModel
+from repro.errors import ConfigurationError
+from tests.conftest import make_vector_store
+from repro.distance import CosineDistance, ThresholdRule
+
+
+@pytest.fixture(scope="module")
+def setup():
+    store, labels = make_vector_store(
+        cluster_sizes=(30, 18, 8, 5), n_noise=50, seed=33
+    )
+    rule = ThresholdRule(CosineDistance("vec"), 10 / 180.0)
+    return store, rule, labels
+
+
+def truth_clusters(store, rule, k):
+    return [c.rids.tolist() for c in PairsBaseline(store, rule).run(k).clusters]
+
+
+class TestCorrectness:
+    def test_matches_pairs_output(self, setup):
+        store, rule, _ = setup
+        ada = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
+        result = ada.run(3)
+        expected = truth_clusters(store, rule, 3)
+        got = [sorted(c.rids.tolist()) for c in result.clusters]
+        assert got == [sorted(c) for c in expected]
+
+    def test_all_final_clusters(self, setup):
+        store, rule, _ = setup
+        ada = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
+        result = ada.run(3)
+        for cluster in result.clusters:
+            assert cluster.is_final(ada.last_level)
+
+    def test_sizes_descending(self, setup):
+        store, rule, _ = setup
+        result = AdaptiveLSH(store, rule, seed=5, cost_model="analytic").run(4)
+        sizes = [c.size for c in result.clusters]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_k_larger_than_cluster_count(self, setup):
+        """With k exceeding the number of components, all are returned."""
+        store, rule, _ = setup
+        small_store = store.take(np.arange(6))
+        ada = AdaptiveLSH(small_store, rule, seed=5, cost_model="analytic")
+        result = ada.run(100)
+        assert result.k <= 6
+        assert result.output_size == 6
+
+    def test_k_one(self, setup):
+        store, rule, _ = setup
+        result = AdaptiveLSH(store, rule, seed=5, cost_model="analytic").run(1)
+        assert result.k == 1
+        assert result.clusters[0].size == 30
+
+    def test_k_must_be_positive(self, setup):
+        store, rule, _ = setup
+        ada = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
+        with pytest.raises(ConfigurationError):
+            ada.run(0)
+
+    def test_rerun_is_consistent(self, setup):
+        """Reusing one instance across k values (pool reuse) gives the
+        same answer as fresh instances."""
+        store, rule, _ = setup
+        ada = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
+        first = [c.size for c in ada.run(2).clusters]
+        second = [c.size for c in ada.run(4).clusters]
+        fresh = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
+        assert [c.size for c in fresh.run(4).clusters] == second
+        assert second[:2] == first
+
+
+class TestSelectionStrategies:
+    @pytest.mark.parametrize("selection", ["largest-unoptimized", "smallest", "random"])
+    def test_alternative_selections_same_output(self, setup, selection):
+        """All selection strategies terminate with the same top-k (they
+        differ only in cost), on the same execution instance."""
+        store, rule, _ = setup
+        base = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
+        alt = AdaptiveLSH(
+            store, rule, seed=5, cost_model="analytic", selection=selection
+        )
+        base_sizes = sorted((c.size for c in base.run(3).clusters), reverse=True)
+        alt_sizes = sorted((c.size for c in alt.run(3).clusters), reverse=True)
+        assert base_sizes == alt_sizes
+
+    def test_largest_first_does_less_work_than_smallest(self, setup):
+        """Largest-First optimality in practice: strictly fewer or equal
+        hashes than smallest-first on a clustered dataset."""
+        store, rule, _ = setup
+        largest = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
+        smallest = AdaptiveLSH(
+            store, rule, seed=5, cost_model="analytic", selection="smallest"
+        )
+        h_largest = largest.run(2).counters.hashes_computed
+        h_smallest = smallest.run(2).counters.hashes_computed
+        assert h_largest <= h_smallest
+
+    def test_invalid_selection(self, setup):
+        store, rule, _ = setup
+        with pytest.raises(ConfigurationError):
+            AdaptiveLSH(store, rule, selection="bogus")
+
+
+class TestIncrementalMode:
+    def test_iter_clusters_order(self, setup):
+        """Incremental mode yields clusters largest-first, matching the
+        batch output."""
+        store, rule, _ = setup
+        ada = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
+        batch = [c.size for c in ada.run(3).clusters]
+        fresh = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
+        incremental = [c.size for c in fresh.iter_clusters(3)]
+        assert incremental == batch
+
+    def test_partial_consumption(self, setup):
+        """Stopping after the first cluster is allowed (Theorem 2's
+        point: top-1 is ready before the rest)."""
+        store, rule, _ = setup
+        ada = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
+        gen = ada.iter_clusters(3)
+        first = next(gen)
+        assert first.size == 30
+        gen.close()
+
+
+class TestCostModelInteraction:
+    def test_jump_immediately_with_expensive_hashing(self, setup):
+        """If hashing is absurdly expensive, everything goes to P and
+        the result is still exact."""
+        store, rule, _ = setup
+        budgets = [20, 40, 80]
+        model = CostModel.from_budgets(budgets, cost_per_hash=1e9, cost_p=1e-9)
+        ada = AdaptiveLSH(store, rule, budgets=budgets, seed=5, cost_model=model)
+        result = ada.run(2)
+        expected = truth_clusters(store, rule, 2)
+        assert [sorted(c.rids.tolist()) for c in result.clusters] == [
+            sorted(c) for c in expected
+        ]
+
+    def test_never_jump_with_free_hashing(self, setup):
+        """If hashing is free, the algorithm rides the whole sequence;
+        output still matches (H_L clusters are final)."""
+        store, rule, _ = setup
+        budgets = [20, 40, 80, 160, 320, 640]
+        model = CostModel.from_budgets(budgets, cost_per_hash=1e-12, cost_p=1e9)
+        ada = AdaptiveLSH(store, rule, budgets=budgets, seed=5, cost_model=model)
+        result = ada.run(2)
+        assert [c.size for c in result.clusters] == [30, 18]
+
+    def test_noise_factor_changes_work_profile(self, setup):
+        store, rule, _ = setup
+        clean = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
+        noisy = AdaptiveLSH(
+            store, rule, seed=5, cost_model="analytic", noise_factor=0.01
+        )
+        r_clean = clean.run(2)
+        r_noisy = noisy.run(2)
+        # Heavy under-estimation of P -> P applied sooner -> more pairs.
+        assert r_noisy.counters.pairs_charged >= r_clean.counters.pairs_charged
+
+    def test_records_per_level_histogram(self, setup):
+        store, rule, _ = setup
+        ada = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
+        result = ada.run(2)
+        hist = result.info["records_per_level"]
+        assert sum(hist.values()) == len(store)
+        # Level 0 means never touched by any function; H_1 covers all.
+        assert 0 not in hist
+
+
+class TestRefine:
+    def test_refine_from_h1_clusters(self, setup):
+        """refine() over H_1 output equals a full run."""
+        store, rule, _ = setup
+        ada = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
+        full = ada.run(3)
+        fresh = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
+        fresh.prepare()
+        h1_clusters = fresh._functions[0].apply(store.rids)
+        refined = fresh.refine([(c, 1) for c in h1_clusters], 3)
+        assert [c.size for c in refined.clusters] == [
+            c.size for c in full.clusters
+        ]
+
+    def test_refine_counts_k(self, setup):
+        store, rule, _ = setup
+        ada = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
+        ada.prepare()
+        refined = ada.refine([(store.rids, 1)], 2)
+        assert refined.k == 2

@@ -1,0 +1,83 @@
+"""End-to-end Adaptive LSH with an OR rule (two table groups) and with
+a mixed vector+shingle schema — paths not covered by the single-field
+integration tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PairsBaseline
+from repro.core import AdaptiveLSH
+from repro.distance import (
+    CosineDistance,
+    JaccardDistance,
+    OrRule,
+    ThresholdRule,
+)
+from repro.records import FieldKind, FieldSpec, RecordStore, Schema
+
+SCHEMA = Schema(
+    (
+        FieldSpec("vec", FieldKind.VECTOR),
+        FieldSpec("toks", FieldKind.SHINGLES),
+    )
+)
+
+
+@pytest.fixture(scope="module")
+def or_dataset():
+    """Entities connected through EITHER similar vectors OR similar
+    token sets: entity A shares vectors, entity B shares tokens."""
+    rng = np.random.default_rng(42)
+    vectors, tokens = [], []
+    # Entity A: 20 records, near-identical vectors, random tokens.
+    base_vec = rng.normal(size=12)
+    for _ in range(20):
+        vectors.append(base_vec + rng.normal(scale=0.005, size=12))
+        tokens.append(rng.choice(10_000, size=30, replace=False))
+    # Entity B: 12 records, random vectors, near-identical token sets.
+    base_toks = rng.choice(10_000, size=40, replace=False)
+    for _ in range(12):
+        vectors.append(rng.normal(size=12))
+        kept = base_toks[rng.random(40) < 0.9]
+        tokens.append(kept if kept.size else base_toks[:1])
+    # Background noise.
+    for _ in range(60):
+        vectors.append(rng.normal(size=12))
+        tokens.append(rng.choice(10_000, size=30, replace=False))
+    store = RecordStore(SCHEMA, {"vec": np.asarray(vectors), "toks": tokens})
+    rule = OrRule(
+        [
+            ThresholdRule(CosineDistance("vec"), 6 / 180.0),
+            ThresholdRule(JaccardDistance("toks"), 0.4),
+        ]
+    )
+    return store, rule
+
+
+class TestOrRuleEndToEnd:
+    def test_matches_pairs(self, or_dataset):
+        store, rule = or_dataset
+        ada = AdaptiveLSH(store, rule, seed=1, cost_model="analytic").run(2)
+        pairs = PairsBaseline(store, rule).run(2)
+        assert [sorted(c.rids.tolist()) for c in ada.clusters] == [
+            sorted(c.rids.tolist()) for c in pairs.clusters
+        ]
+
+    def test_finds_both_entity_types(self, or_dataset):
+        store, rule = or_dataset
+        result = AdaptiveLSH(store, rule, seed=1, cost_model="analytic").run(2)
+        assert result.clusters[0].size >= 20
+        assert result.clusters[1].size >= 12
+
+    def test_design_has_two_branches(self, or_dataset):
+        store, rule = or_dataset
+        ada = AdaptiveLSH(store, rule, seed=1, cost_model="analytic")
+        ada.prepare()
+        for design in ada._designs:
+            assert len(design.groups) == 2
+
+    def test_two_pools_live(self, or_dataset):
+        store, rule = or_dataset
+        ada = AdaptiveLSH(store, rule, seed=1, cost_model="analytic")
+        ada.prepare()
+        assert len(ada._pools) == 2

@@ -1,0 +1,53 @@
+"""Tests for budget schedules (§5.2)."""
+
+import pytest
+
+from repro.core.budget import exponential_budgets, linear_budgets
+from repro.errors import ConfigurationError
+
+
+class TestExponential:
+    def test_paper_default(self):
+        budgets = exponential_budgets()
+        assert budgets[:4] == [20, 40, 80, 160]
+        assert len(budgets) == 10
+
+    def test_custom_factor(self):
+        assert exponential_budgets(10, 3.0, 4) == [10, 30, 90, 270]
+
+    def test_non_integer_factor(self):
+        assert exponential_budgets(10, 1.5, 3) == [10, 15, 22]
+
+    def test_strictly_increasing(self):
+        budgets = exponential_budgets(4, 2, 12)
+        assert all(b < c for b, c in zip(budgets, budgets[1:]))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"start": 0},
+            {"factor": 1.0},
+            {"factor": 0.5},
+            {"length": 0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            exponential_budgets(**kwargs)
+
+
+class TestLinear:
+    def test_paper_lin320(self):
+        budgets = linear_budgets(320, length=4)
+        assert budgets == [320, 640, 960, 1280]
+
+    def test_custom_step(self):
+        assert linear_budgets(100, 50, 3) == [100, 150, 200]
+
+    def test_step_defaults_to_start(self):
+        assert linear_budgets(640, length=2) == [640, 1280]
+
+    @pytest.mark.parametrize("kwargs", [{"start": 0}, {"step": 0}, {"length": 0}])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            linear_budgets(start=kwargs.get("start", 10), step=kwargs.get("step"), length=kwargs.get("length", 3))

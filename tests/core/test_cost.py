@@ -1,0 +1,82 @@
+"""Tests for the cost model (Definition 3) and its calibration."""
+
+import pytest
+
+from repro.core.cost import CostModel
+from repro.errors import CalibrationError
+from repro.lsh.design import build_design_context, design_scheme
+from repro.distance import JaccardDistance, ThresholdRule
+from tests.conftest import make_shingle_store
+
+
+class TestAnalyticModel:
+    def test_level_costs_from_budgets(self):
+        model = CostModel.from_budgets([20, 40, 80], cost_per_hash=2.0, cost_p=5.0)
+        assert model.cost_level(1) == 40.0
+        assert model.cost_level(3) == 160.0
+
+    def test_marginal_cost(self):
+        model = CostModel.from_budgets([20, 40, 80], cost_p=5.0)
+        assert model.marginal_hash_cost(1, 10) == (40 - 20) * 10
+
+    def test_pairwise_cost(self):
+        model = CostModel.from_budgets([20], cost_p=4.0)
+        assert model.pairwise_cost(5) == 4.0 * 10
+
+    def test_noise_factor_scales_pairwise_only(self):
+        clean = CostModel.from_budgets([20, 40], cost_p=4.0)
+        noisy = CostModel.from_budgets([20, 40], cost_p=4.0, noise_factor=0.5)
+        assert noisy.pairwise_cost(6) == clean.pairwise_cost(6) * 0.5
+        assert noisy.marginal_hash_cost(1, 6) == clean.marginal_hash_cost(1, 6)
+
+    def test_jump_decision_line5(self):
+        """Line 5: jump iff (cost_{t+1}-cost_t)*|C| >= cost_P*C(|C|,2)."""
+        model = CostModel.from_budgets([10, 30], cost_per_hash=1.0, cost_p=1.0)
+        # marginal per record = 20; for size m: 20*m >= m(m-1)/2 iff m <= 41.
+        assert model.should_jump_to_pairwise(1, 41)
+        assert not model.should_jump_to_pairwise(1, 42)
+
+    def test_underestimating_p_jumps_sooner(self):
+        base = CostModel.from_budgets([10, 30], cost_p=1.0)
+        under = CostModel.from_budgets([10, 30], cost_p=1.0, noise_factor=0.5)
+        # With nf < 1 a larger cluster still jumps to P.
+        size = 60
+        assert not base.should_jump_to_pairwise(1, size)
+        assert under.should_jump_to_pairwise(1, size)
+
+    def test_non_decreasing_levels_required(self):
+        with pytest.raises(CalibrationError):
+            CostModel([3.0, 2.0], cost_p=1.0)
+
+    def test_positive_cost_p_required(self):
+        with pytest.raises(CalibrationError):
+            CostModel([1.0], cost_p=0.0)
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(CalibrationError):
+            CostModel([], cost_p=1.0)
+
+
+class TestCalibration:
+    def test_calibrated_model_is_positive_and_monotone(self):
+        store, _ = make_shingle_store(seed=30)
+        rule = ThresholdRule(JaccardDistance("shingles"), 0.6)
+        ctx = build_design_context(store, rule, seed=0)
+        designs = [design_scheme(ctx, b) for b in (20, 40, 80)]
+        # design_scheme needs prev for monotonicity; rebuild properly
+        designs = []
+        prev = None
+        for budget in (20, 40, 80):
+            prev = design_scheme(ctx, budget, prev=prev)
+            designs.append(prev)
+        model = CostModel.calibrate(store, rule, designs, seed=0)
+        assert model.cost_p > 0
+        assert model.cost_level(1) > 0
+        assert model.cost_level(3) >= model.cost_level(1)
+        assert model.info["mode"] == "calibrated"
+
+    def test_calibration_needs_records(self):
+        store, _ = make_shingle_store(cluster_sizes=(1,), n_noise=0, seed=1)
+        rule = ThresholdRule(JaccardDistance("shingles"), 0.6)
+        with pytest.raises(CalibrationError):
+            CostModel.calibrate(store, rule, [], seed=0)

@@ -1,0 +1,41 @@
+"""Tests for CostModel.with_noise and the noise semantics (App. E.2)."""
+
+import pytest
+
+from repro.core.cost import CostModel
+
+
+def test_with_noise_copies_constants():
+    base = CostModel.from_budgets([10, 20], cost_p=3.0)
+    noisy = base.with_noise(0.5)
+    assert noisy.level_costs == base.level_costs
+    assert noisy.cost_p == base.cost_p
+    assert noisy.noise_factor == 0.5
+    assert base.noise_factor == 1.0  # original untouched
+
+
+def test_with_noise_affects_only_pairwise_estimate():
+    base = CostModel.from_budgets([10, 20], cost_p=3.0)
+    noisy = base.with_noise(2.0)
+    assert noisy.pairwise_cost(4) == base.pairwise_cost(4) * 2.0
+    assert noisy.marginal_hash_cost(1, 4) == base.marginal_hash_cost(1, 4)
+
+
+def test_noise_shifts_jump_threshold_monotonically():
+    base = CostModel.from_budgets([10, 30], cost_p=1.0)
+    under = base.with_noise(0.25)   # P looks cheap -> jump on bigger clusters
+    over = base.with_noise(4.0)     # P looks dear -> defer to smaller clusters
+
+    def largest_jumping_size(model):
+        size = 2
+        while model.should_jump_to_pairwise(1, size):
+            size += 1
+        return size - 1
+
+    assert largest_jumping_size(under) > largest_jumping_size(base)
+    assert largest_jumping_size(over) < largest_jumping_size(base)
+
+
+def test_with_noise_chainable():
+    base = CostModel.from_budgets([10], cost_p=1.0)
+    assert base.with_noise(2.0).with_noise(0.5).noise_factor == 0.5

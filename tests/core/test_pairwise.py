@@ -1,0 +1,120 @@
+"""Tests for the pairwise computation function P (Definition 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pairwise_fn import PairwiseComputation
+from repro.core.result import WorkCounters
+from repro.errors import ConfigurationError
+from repro.structures import UnionFind
+from tests.conftest import make_shingle_store, make_vector_store
+from repro.distance import CosineDistance, JaccardDistance, ThresholdRule
+
+
+def brute_force_components(store, rule):
+    n = len(store)
+    uf = UnionFind(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rule.is_match(store, i, j):
+                uf.union(i, j)
+    return {frozenset(c) for c in uf.components()}
+
+
+@pytest.fixture(scope="module")
+def vector_setup():
+    store, _ = make_vector_store(seed=21)
+    rule = ThresholdRule(CosineDistance("vec"), 10 / 180.0)
+    return store, rule
+
+
+@pytest.fixture(scope="module")
+def shingle_setup():
+    store, _ = make_shingle_store(seed=22)
+    rule = ThresholdRule(JaccardDistance("shingles"), 0.6)
+    return store, rule
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("strategy", ["rowwise", "blocked", "auto"])
+    def test_components_match_brute_force_vectors(self, vector_setup, strategy):
+        store, rule = vector_setup
+        p = PairwiseComputation(store, rule, strategy=strategy)
+        got = {frozenset(c.tolist()) for c in p.apply(store.rids)}
+        assert got == brute_force_components(store, rule)
+
+    @pytest.mark.parametrize("strategy", ["rowwise", "blocked"])
+    def test_components_match_brute_force_shingles(self, shingle_setup, strategy):
+        store, rule = shingle_setup
+        p = PairwiseComputation(store, rule, strategy=strategy)
+        got = {frozenset(c.tolist()) for c in p.apply(store.rids)}
+        assert got == brute_force_components(store, rule)
+
+    def test_subset_components(self, vector_setup):
+        store, rule = vector_setup
+        subset = np.array([0, 1, 2, 50, 51, 90])
+        p = PairwiseComputation(store, rule)
+        clusters = p.apply(subset)
+        assert np.array_equal(
+            np.sort(np.concatenate(clusters)), np.sort(subset)
+        )
+
+    def test_rowwise_equals_blocked(self, vector_setup):
+        store, rule = vector_setup
+        row = PairwiseComputation(store, rule, strategy="rowwise")
+        blk = PairwiseComputation(store, rule, strategy="blocked")
+        got_row = {frozenset(c.tolist()) for c in row.apply(store.rids)}
+        got_blk = {frozenset(c.tolist()) for c in blk.apply(store.rids)}
+        assert got_row == got_blk
+
+
+class TestEdgeCases:
+    def test_empty_input(self, vector_setup):
+        store, rule = vector_setup
+        assert PairwiseComputation(store, rule).apply(np.array([], dtype=int)) == []
+
+    def test_single_record(self, vector_setup):
+        store, rule = vector_setup
+        clusters = PairwiseComputation(store, rule).apply(np.array([7]))
+        assert len(clusters) == 1 and clusters[0].tolist() == [7]
+
+    def test_two_matching_records(self, vector_setup):
+        store, rule = vector_setup
+        clusters = PairwiseComputation(store, rule).apply(np.array([0, 1]))
+        assert len(clusters) == 1
+
+    def test_invalid_strategy(self, vector_setup):
+        store, rule = vector_setup
+        with pytest.raises(ConfigurationError):
+            PairwiseComputation(store, rule, strategy="quantum")
+
+
+class TestCounters:
+    def test_pairs_charged_is_conservative(self, vector_setup):
+        """Cost model charges C(m, 2) regardless of skipping."""
+        store, rule = vector_setup
+        counters = WorkCounters()
+        m = len(store)
+        PairwiseComputation(store, rule, strategy="blocked").apply(
+            store.rids, counters
+        )
+        assert counters.pairs_charged == m * (m - 1) // 2
+
+    def test_rowwise_skipping_compares_fewer(self, vector_setup):
+        """Optimization (2): transitively closed pairs are skipped, so
+        rowwise compares strictly fewer pairs than charged (the store
+        has planted clusters, so closures exist)."""
+        store, rule = vector_setup
+        counters = WorkCounters()
+        PairwiseComputation(store, rule, strategy="rowwise").apply(
+            store.rids, counters
+        )
+        assert counters.pairs_compared < counters.pairs_charged
+
+    def test_charges_accumulate(self, vector_setup):
+        store, rule = vector_setup
+        counters = WorkCounters()
+        p = PairwiseComputation(store, rule)
+        p.apply(np.arange(4), counters)
+        p.apply(np.arange(6), counters)
+        assert counters.pairs_charged == 6 + 15

@@ -1,0 +1,97 @@
+"""Tests for the analytic work planner."""
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveLSH, CostModel
+from repro.core.planning import predict_filter_work
+from repro.errors import ConfigurationError
+from tests.conftest import make_vector_store
+from repro.distance import CosineDistance, ThresholdRule
+
+BUDGETS = [20, 40, 80, 160, 320, 640]
+
+
+def model(cost_p=20.0):
+    return CostModel.from_budgets(BUDGETS, cost_p=cost_p)
+
+
+class TestStructure:
+    def test_basic_fields(self):
+        est = predict_filter_work([50, 20, 5, 1, 1], k=2, cost_model=model())
+        assert est.hash_evaluations > 0
+        assert est.pair_comparisons > 0
+        assert est.total_cost > 0
+        assert sum(est.records_per_level.values()) == 77
+
+    def test_summary_readable(self):
+        est = predict_filter_work([10, 5], k=1, cost_model=model())
+        assert "hash evals" in est.summary()
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            predict_filter_work([5], k=0, cost_model=model())
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            predict_filter_work([], k=1, cost_model=model())
+        with pytest.raises(ConfigurationError):
+            predict_filter_work([0, 3], k=1, cost_model=model())
+
+    def test_budget_length_checked(self):
+        with pytest.raises(ConfigurationError):
+            predict_filter_work([5], k=1, cost_model=model(), budgets=[20])
+
+
+class TestMonotonicity:
+    def test_bigger_top_entity_costs_more(self):
+        small = predict_filter_work([20] + [1] * 100, k=1, cost_model=model())
+        large = predict_filter_work([200] + [1] * 100, k=1, cost_model=model())
+        assert large.total_cost > small.total_cost
+
+    def test_larger_k_never_cheaper(self):
+        sizes = [50, 30, 20, 10, 5, 2, 1, 1]
+        costs = [
+            predict_filter_work(sizes, k=k, cost_model=model()).total_cost
+            for k in (1, 2, 4, 6)
+        ]
+        assert costs == sorted(costs)
+
+    def test_cheap_pairs_stop_ladder_early(self):
+        """With nearly-free P, entities jump to P immediately and the
+        hashing bill collapses to the H_1 sweep."""
+        cheap = predict_filter_work([100, 50, 1], k=2, cost_model=model(1e-9))
+        expensive = predict_filter_work([100, 50, 1], k=2, cost_model=model(1e9))
+        assert cheap.hash_evaluations < expensive.hash_evaluations
+        assert cheap.pair_comparisons >= expensive.pair_comparisons - 1
+
+    def test_untouched_tail_pays_h1_only(self):
+        est = predict_filter_work([40, 30] + [1] * 500, k=2, cost_model=model())
+        assert est.records_per_level.get(1, 0) >= 500
+
+
+class TestAgainstRealRun:
+    def test_prediction_tracks_measurement_on_clean_data(self):
+        """On well-separated vector clusters the idealized prediction is
+        within a small factor of the real run's counted work."""
+        sizes = (40, 25, 12)
+        store, labels = make_vector_store(
+            cluster_sizes=sizes, n_noise=80, scale=0.005, seed=101
+        )
+        rule = ThresholdRule(CosineDistance("vec"), 8 / 180.0)
+        budgets = BUDGETS
+        cm = CostModel.from_budgets(budgets, cost_p=20.0)
+        ada = AdaptiveLSH(store, rule, budgets=budgets, seed=0, cost_model=cm)
+        result = ada.run(2)
+        entity_sizes = list(sizes) + [1] * 80
+        est = predict_filter_work(
+            entity_sizes,
+            k=2,
+            cost_model=cm,
+            budgets=[d.spent_budget for d in ada._designs],
+        )
+        measured_h = result.counters.hashes_computed
+        measured_p = result.counters.pairs_charged
+        assert est.hash_evaluations <= measured_h * 1.5
+        assert measured_h <= est.hash_evaluations * 8
+        assert est.pair_comparisons <= measured_p * 1.5 + 100

@@ -1,0 +1,73 @@
+"""Tests for result types (clusters, counters, FilterResult)."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import (
+    SOURCE_PAIRWISE,
+    Cluster,
+    FilterResult,
+    WorkCounters,
+)
+
+
+class TestCluster:
+    def test_size(self):
+        assert Cluster(np.array([1, 2, 3]), 1).size == 3
+
+    def test_final_by_last_level(self):
+        assert Cluster(np.array([1]), 5).is_final(5)
+        assert not Cluster(np.array([1]), 4).is_final(5)
+
+    def test_final_by_pairwise(self):
+        assert Cluster(np.array([1]), SOURCE_PAIRWISE).is_final(5)
+
+
+class TestWorkCounters:
+    def test_defaults(self):
+        counters = WorkCounters()
+        assert counters.hashes_computed == 0
+        assert counters.pairs_compared == 0
+        assert counters.rounds == 0
+
+    def test_merge_pool_counts(self):
+        class FakePool:
+            hashes_computed = 11
+
+        counters = WorkCounters()
+        counters.merge_pool_counts([FakePool(), FakePool()])
+        assert counters.hashes_computed == 22
+
+
+class TestFilterResult:
+    def _result(self):
+        clusters = [
+            Cluster(np.array([4, 5]), SOURCE_PAIRWISE),
+            Cluster(np.array([1, 2, 3]), SOURCE_PAIRWISE),
+        ]
+        return FilterResult.from_clusters(clusters, WorkCounters(), 0.5)
+
+    def test_orders_by_size(self):
+        result = self._result()
+        assert [c.size for c in result.clusters] == [3, 2]
+
+    def test_output_union(self):
+        result = self._result()
+        assert result.output_rids.tolist() == [1, 2, 3, 4, 5]
+        assert result.output_size == 5
+
+    def test_k_property(self):
+        assert self._result().k == 2
+
+    def test_empty_clusters(self):
+        result = FilterResult.from_clusters([], WorkCounters(), 0.0)
+        assert result.k == 0
+        assert result.output_size == 0
+
+    def test_overlapping_clusters_deduplicated_in_union(self):
+        clusters = [
+            Cluster(np.array([1, 2]), SOURCE_PAIRWISE),
+            Cluster(np.array([2, 3]), SOURCE_PAIRWISE),
+        ]
+        result = FilterResult.from_clusters(clusters, WorkCounters(), 0.0)
+        assert result.output_rids.tolist() == [1, 2, 3]

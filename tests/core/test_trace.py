@@ -1,0 +1,55 @@
+"""Tests for the per-round execution trace of Algorithm 1."""
+
+import pytest
+
+from repro.core import AdaptiveLSH
+from tests.conftest import make_vector_store
+from repro.distance import CosineDistance, ThresholdRule
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    store, _ = make_vector_store(seed=77)
+    rule = ThresholdRule(CosineDistance("vec"), 10 / 180.0)
+    method = AdaptiveLSH(store, rule, seed=1, cost_model="analytic", trace=True)
+    result = method.run(3)
+    return method, result
+
+
+class TestTrace:
+    def test_disabled_by_default(self):
+        store, _ = make_vector_store(seed=77)
+        rule = ThresholdRule(CosineDistance("vec"), 10 / 180.0)
+        method = AdaptiveLSH(store, rule, seed=1, cost_model="analytic")
+        method.run(2)
+        assert method.trace == []
+
+    def test_one_entry_per_round(self, traced_run):
+        method, result = traced_run
+        assert len(method.trace) == result.counters.rounds
+
+    def test_entries_have_schema(self, traced_run):
+        method, _ = traced_run
+        for entry in method.trace:
+            assert {"round", "action", "size", "from_level", "subclusters",
+                    "largest_out"} <= set(entry)
+            assert entry["size"] >= 1
+            assert entry["subclusters"] >= 1
+            assert entry["largest_out"] <= entry["size"]
+
+    def test_actions_are_valid(self, traced_run):
+        method, _ = traced_run
+        valid = {"P"} | {f"H{i}" for i in range(2, method.last_level + 1)}
+        assert {e["action"] for e in method.trace} <= valid
+
+    def test_hash_actions_follow_sequence(self, traced_run):
+        method, _ = traced_run
+        for entry in method.trace:
+            if entry["action"].startswith("H"):
+                assert int(entry["action"][1:]) == entry["from_level"] + 1
+
+    def test_trace_resets_between_runs(self, traced_run):
+        method, _ = traced_run
+        first_len = len(method.trace)
+        method.run(1)
+        assert len(method.trace) <= first_len

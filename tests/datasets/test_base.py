@@ -1,0 +1,96 @@
+"""Tests for the Dataset container and the paper's extension sampler."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import extend_dataset
+from repro.datasets.base import Dataset
+from repro.errors import DatasetError
+from tests.conftest import make_shingle_store
+from repro.distance import JaccardDistance, ThresholdRule
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    store, labels = make_shingle_store(seed=10)
+    # Noise records get unique entity labels.
+    labels = labels.copy()
+    next_label = labels.max() + 1
+    for i in np.nonzero(labels == -1)[0]:
+        labels[i] = next_label
+        next_label += 1
+    return Dataset(
+        name="toy",
+        store=store,
+        labels=labels,
+        rule=ThresholdRule(JaccardDistance("shingles"), 0.6),
+    )
+
+
+class TestGroundTruth:
+    def test_clusters_partition_records(self, dataset):
+        clusters = dataset.ground_truth_clusters()
+        merged = np.sort(np.concatenate(clusters))
+        assert np.array_equal(merged, np.arange(len(dataset)))
+
+    def test_clusters_sorted_by_size(self, dataset):
+        sizes = [c.size for c in dataset.ground_truth_clusters()]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_entity_sizes(self, dataset):
+        assert dataset.entity_sizes()[:3].tolist() == [20, 12, 6]
+
+    def test_top_k_rids(self, dataset):
+        top1 = dataset.top_k_rids(1)
+        assert top1.size == 20
+        top2 = dataset.top_k_rids(2)
+        assert top2.size == 32
+
+    def test_top_k_fraction(self, dataset):
+        assert dataset.top_k_fraction(1) == pytest.approx(20 / len(dataset))
+
+    def test_label_count_validated(self, dataset):
+        with pytest.raises(DatasetError):
+            Dataset("bad", dataset.store, dataset.labels[:-1], dataset.rule)
+
+
+class TestExtension:
+    def test_factor_one_is_identity(self, dataset):
+        assert extend_dataset(dataset, 1) is dataset
+
+    def test_extension_size(self, dataset):
+        ext = extend_dataset(dataset, 3, seed=0)
+        assert len(ext) == 3 * len(dataset)
+
+    def test_new_records_are_copies(self, dataset):
+        """Each appended record duplicates an existing record of its
+        entity (paper §6.3)."""
+        ext = extend_dataset(dataset, 2, seed=0)
+        n = len(dataset)
+        originals = dataset.store.shingle_sets("shingles")
+        for rid in range(n, len(ext)):
+            new_set = ext.store.shingle_sets("shingles")[rid]
+            entity = ext.labels[rid]
+            members = np.nonzero(dataset.labels == entity)[0]
+            assert any(
+                np.array_equal(new_set, originals[int(m)]) for m in members
+            )
+
+    def test_extension_preserves_original_prefix(self, dataset):
+        ext = extend_dataset(dataset, 2, seed=0)
+        n = len(dataset)
+        assert np.array_equal(ext.labels[:n], dataset.labels)
+
+    def test_extension_deterministic(self, dataset):
+        a = extend_dataset(dataset, 2, seed=5)
+        b = extend_dataset(dataset, 2, seed=5)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_invalid_factor(self, dataset):
+        with pytest.raises(DatasetError):
+            extend_dataset(dataset, 0)
+
+    def test_name_and_info(self, dataset):
+        ext = extend_dataset(dataset, 4, seed=0)
+        assert ext.name == "toy4x"
+        assert ext.info["factor"] == 4

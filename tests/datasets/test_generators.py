@@ -1,0 +1,184 @@
+"""Tests for the three paper-dataset generators: structural invariants
+and the similarity regimes the paper's experiments depend on."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    generate_cora,
+    generate_popular_images,
+    generate_spotsigs,
+)
+from repro.datasets.popularimages import images_rule
+from repro.datasets.spotsigs import spotsigs_rule
+from repro.distance import JaccardDistance
+from repro.distance.cosine import CosineDistance
+from repro.errors import DatasetError
+
+
+class TestSpotSigs:
+    def test_record_count(self, tiny_spotsigs):
+        assert len(tiny_spotsigs) == 400
+
+    def test_top1_fraction_near_five_percent(self, tiny_spotsigs):
+        assert tiny_spotsigs.top_k_fraction(1) == pytest.approx(0.05, abs=0.01)
+
+    def test_sizes_zipf_shaped(self, tiny_spotsigs):
+        sizes = tiny_spotsigs.entity_sizes()
+        assert sizes[0] > sizes[1] > sizes[3]
+
+    def test_intra_entity_pairs_mostly_match(self, tiny_spotsigs):
+        ds = tiny_spotsigs
+        top = ds.ground_truth_clusters()[0]
+        matches = ds.rule.pairwise_match(ds.store, top)
+        rate = (matches.sum() - top.size) / (top.size * (top.size - 1))
+        assert rate > 0.6
+
+    def test_cross_entity_pairs_rarely_match(self, tiny_spotsigs):
+        ds = tiny_spotsigs
+        clusters = ds.ground_truth_clusters()
+        a, b = clusters[0][:10], clusters[1][:10]
+        cross = ds.rule.match_block(ds.store, a, b)
+        assert cross.mean() < 0.02
+
+    def test_threshold_variants(self):
+        rule = spotsigs_rule(0.5)
+        assert rule.threshold == pytest.approx(0.5)
+
+    def test_deterministic(self):
+        a = generate_spotsigs(n_records=200, seed=3)
+        b = generate_spotsigs(n_records=200, seed=3)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = generate_spotsigs(n_records=200, seed=3)
+        b = generate_spotsigs(n_records=200, seed=4)
+        assert not np.array_equal(a.labels, b.labels)
+
+
+class TestCora:
+    def test_record_count(self, tiny_cora):
+        assert len(tiny_cora) == 400
+
+    def test_has_three_fields(self, tiny_cora):
+        assert set(tiny_cora.store.schema.names) == {"title", "authors", "rest"}
+
+    def test_rule_is_combined_and(self, tiny_cora):
+        from repro.distance import AndRule, WeightedAverageRule
+
+        assert isinstance(tiny_cora.rule, AndRule)
+        assert isinstance(tiny_cora.rule.children[0], WeightedAverageRule)
+
+    def test_intra_entity_title_similarity_high(self, tiny_cora):
+        ds = tiny_cora
+        top = ds.ground_truth_clusters()[0][:15]
+        dist = JaccardDistance("title").pairwise(ds.store, top)
+        off_diag = dist[np.triu_indices(top.size, k=1)]
+        assert np.median(off_diag) < 0.3
+
+    def test_most_intra_entity_pairs_match(self, tiny_cora):
+        ds = tiny_cora
+        top = ds.ground_truth_clusters()[0]
+        matches = ds.rule.pairwise_match(ds.store, top)
+        rate = (matches.sum() - top.size) / (top.size * (top.size - 1))
+        assert rate > 0.5
+
+    def test_raw_strings_available(self, tiny_cora):
+        raw = tiny_cora.info["raw"]
+        assert len(raw) == len(tiny_cora)
+        assert {"title", "authors", "rest"} <= set(raw[0])
+
+    def test_deterministic(self):
+        a = generate_cora(n_records=150, seed=9)
+        b = generate_cora(n_records=150, seed=9)
+        assert np.array_equal(a.labels, b.labels)
+
+
+class TestPopularImages:
+    def test_record_count(self, tiny_images):
+        assert len(tiny_images) == 600
+
+    def test_top1_size_respected(self, tiny_images):
+        assert tiny_images.entity_sizes()[0] == 40
+
+    def test_histograms_are_unit_nonnegative(self, tiny_images):
+        vectors = tiny_images.store.vectors("histogram")
+        assert np.all(vectors >= 0)
+        norms = np.linalg.norm(vectors, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-9)
+
+    def test_copies_cluster_near_original(self, tiny_images):
+        ds = tiny_images
+        top = ds.ground_truth_clusters()[0][:20]
+        dist = CosineDistance("histogram").pairwise(ds.store, top)
+        degrees = dist[np.triu_indices(top.size, k=1)] * 180.0
+        # Perturbations are capped at 6 degrees from the base, so any
+        # pair is within 12 degrees; most are far closer.
+        assert degrees.max() < 12.0
+        assert np.median(degrees) < 4.0
+
+    def test_threshold_sensitivity(self, tiny_images):
+        """Figure 17's lever: a 5-degree rule matches more intra-entity
+        pairs than a 2-degree rule."""
+        ds = tiny_images
+        top = ds.ground_truth_clusters()[0]
+        loose = images_rule(5.0).pairwise_match(ds.store, top).mean()
+        strict = images_rule(2.0).pairwise_match(ds.store, top).mean()
+        assert loose > strict
+
+    def test_fillers_are_singletons(self, tiny_images):
+        sizes = tiny_images.entity_sizes()
+        assert (sizes == 1).sum() > 0
+
+    def test_zipf_exponent_changes_top_sizes(self):
+        flat = generate_popular_images(
+            n_records=400, n_popular=20, zipf_exponent=1.05, top1_size=30, seed=1
+        )
+        steep = generate_popular_images(
+            n_records=400, n_popular=20, zipf_exponent=1.2, top1_size=60, seed=1
+        )
+        assert steep.entity_sizes()[0] > flat.entity_sizes()[0]
+
+    def test_popular_overflow_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_popular_images(
+                n_records=100, n_popular=50, top1_size=90, seed=0
+            )
+
+    def test_deterministic(self):
+        a = generate_popular_images(n_records=300, n_popular=10, top1_size=25, seed=2)
+        b = generate_popular_images(n_records=300, n_popular=10, top1_size=25, seed=2)
+        assert np.allclose(
+            a.store.vectors("histogram"), b.store.vectors("histogram")
+        )
+
+
+class TestText:
+    def test_vocabulary_size_and_uniqueness(self):
+        from repro.datasets.text import make_vocabulary
+
+        vocab = make_vocabulary(200, seed=1)
+        assert len(vocab) == 200
+        assert len(set(vocab)) == 200
+
+    def test_token_ids_stable(self):
+        from repro.datasets.text import token_ids
+
+        a = token_ids(["alpha", "beta"])
+        b = token_ids(["beta", "alpha"])
+        assert np.array_equal(a, b)
+
+    def test_corrupt_tokens_drop(self):
+        from repro.datasets.text import corrupt_tokens
+
+        rng = np.random.default_rng(0)
+        tokens = [f"t{i}" for i in range(200)]
+        out = corrupt_tokens(tokens, rng, drop_p=0.5)
+        assert 40 < len(out) < 160
+
+    def test_corrupt_tokens_never_empty(self):
+        from repro.datasets.text import corrupt_tokens
+
+        rng = np.random.default_rng(0)
+        out = corrupt_tokens(["only"], rng, drop_p=1.0)
+        assert out == ["only"]

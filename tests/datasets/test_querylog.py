@@ -1,0 +1,81 @@
+"""Tests for the query-log generator (the short-set stress regime)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PairsBaseline
+from repro.core import AdaptiveLSH
+from repro.datasets import generate_querylog
+from repro.datasets.querylog import querylog_rule
+
+
+@pytest.fixture(scope="module")
+def querylog():
+    return generate_querylog(n_records=600, seed=5)
+
+
+class TestStructure:
+    def test_record_count(self, querylog):
+        assert len(querylog) == 600
+
+    def test_sets_are_short(self, querylog):
+        sizes = querylog.store.set_sizes("tokens")
+        assert sizes.max() <= 25
+        assert np.median(sizes) <= 14
+
+    def test_top1_fraction(self, querylog):
+        assert querylog.top_k_fraction(1) == pytest.approx(0.04, abs=0.01)
+
+    def test_background_singletons_exist(self, querylog):
+        assert (querylog.entity_sizes() == 1).sum() > 100
+
+    def test_deterministic(self):
+        a = generate_querylog(n_records=200, seed=1)
+        b = generate_querylog(n_records=200, seed=1)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_rule_threshold(self):
+        assert querylog_rule(0.5).threshold == pytest.approx(0.5)
+
+
+class TestSimilarityRegime:
+    def test_intra_entity_pairs_mostly_match(self, querylog):
+        top = querylog.ground_truth_clusters()[0]
+        matches = querylog.rule.pairwise_match(querylog.store, top)
+        rate = (matches.sum() - top.size) / (top.size * (top.size - 1))
+        assert rate > 0.3  # transitivity closes the rest
+
+    def test_noise_floor_higher_than_spotsigs(self, querylog, tiny_spotsigs):
+        """The documented stress property: random query pairs are much
+        closer (in Jaccard) than random article pairs."""
+        from repro.distance import JaccardDistance
+
+        rng = np.random.default_rng(0)
+
+        def mean_random_sim(ds, field):
+            rids = rng.choice(len(ds), size=60, replace=False)
+            dist = JaccardDistance(field).pairwise(ds.store, rids)
+            off = dist[np.triu_indices(60, k=1)]
+            return 1.0 - float(np.mean(off))
+
+        assert mean_random_sim(querylog, "tokens") > 3 * mean_random_sim(
+            tiny_spotsigs, "signatures"
+        )
+
+
+class TestEndToEnd:
+    def test_adaptive_matches_pairs(self, querylog):
+        ada = AdaptiveLSH(
+            querylog.store, querylog.rule, seed=3, cost_model="analytic"
+        ).run(3)
+        pairs = PairsBaseline(querylog.store, querylog.rule).run(3)
+        assert [c.size for c in ada.clusters] == [c.size for c in pairs.clusters]
+
+    def test_reasonable_accuracy(self, querylog):
+        from repro.eval.metrics import precision_recall_f1
+
+        result = PairsBaseline(querylog.store, querylog.rule).run(3)
+        _p, _r, f1 = precision_recall_f1(
+            result.output_rids, querylog.top_k_rids(3)
+        )
+        assert f1 > 0.7

@@ -1,0 +1,65 @@
+"""Tests for Zipfian entity-size construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.zipfsizes import zipf_sizes, zipf_sizes_for_total
+from repro.errors import DatasetError
+
+
+class TestZipfSizes:
+    def test_anchored_top1(self):
+        sizes = zipf_sizes(10, 1.0, largest=100)
+        assert sizes[0] == 100
+        assert sizes[1] == 50
+
+    def test_descending(self):
+        sizes = zipf_sizes(50, 1.2, largest=500)
+        assert np.all(np.diff(sizes) <= 0)
+
+    def test_min_size_floor(self):
+        sizes = zipf_sizes(100, 2.0, largest=10, min_size=1)
+        assert sizes.min() == 1
+
+    def test_paper_exponent_values(self):
+        """§7.4.2: top-1 1700 at s=1.2 gives top-2 ~800, top-3 ~500."""
+        sizes = zipf_sizes(500, 1.2, largest=1700)
+        assert sizes[1] == pytest.approx(800, abs=80)
+        assert sizes[2] == pytest.approx(500, abs=60)
+
+    def test_invalid_params(self):
+        with pytest.raises(DatasetError):
+            zipf_sizes(0, 1.0, largest=10)
+        with pytest.raises(DatasetError):
+            zipf_sizes(5, -1.0, largest=10)
+        with pytest.raises(DatasetError):
+            zipf_sizes(5, 1.0, largest=0)
+
+
+class TestZipfSizesForTotal:
+    def test_exact_total(self):
+        sizes = zipf_sizes_for_total(20, 1.3, total=500)
+        assert sizes.sum() == 500
+
+    def test_descending(self):
+        sizes = zipf_sizes_for_total(20, 1.3, total=500)
+        assert np.all(np.diff(sizes) <= 0)
+
+    def test_total_too_small(self):
+        with pytest.raises(DatasetError):
+            zipf_sizes_for_total(10, 1.0, total=5)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(1, 40),
+        exponent=st.floats(0.3, 2.5),
+        extra=st.integers(0, 400),
+    )
+    def test_property_exact_total_and_floor(self, n, exponent, extra):
+        total = n + extra
+        sizes = zipf_sizes_for_total(n, exponent, total)
+        assert sizes.sum() == total
+        assert sizes.min() >= 1
+        assert len(sizes) == n

@@ -1,0 +1,123 @@
+"""Tests for the normalized-angle cosine distance."""
+
+import numpy as np
+import pytest
+
+from repro.distance import CosineDistance
+from repro.distance.cosine import degrees_to_normalized, normalized_to_degrees
+from repro.errors import SchemaError
+from repro.records import RecordStore, Schema
+
+
+def store_from(rows):
+    return RecordStore(Schema.single_vector(), {"vec": np.asarray(rows, float)})
+
+
+@pytest.fixture
+def dist():
+    return CosineDistance("vec")
+
+
+class TestConversions:
+    def test_degrees_roundtrip(self):
+        assert degrees_to_normalized(90.0) == pytest.approx(0.5)
+        assert normalized_to_degrees(0.5) == pytest.approx(90.0)
+
+    def test_threshold_examples(self):
+        # Paper Example 5: 15 degrees -> 15/180.
+        assert degrees_to_normalized(15.0) == pytest.approx(15.0 / 180.0)
+
+
+class TestDistance:
+    def test_identical_vectors(self, dist):
+        store = store_from([[1, 0], [1, 0]])
+        assert dist.distance(store, 0, 1) == pytest.approx(0.0, abs=1e-12)
+
+    def test_orthogonal_vectors(self, dist):
+        store = store_from([[1, 0], [0, 1]])
+        assert dist.distance(store, 0, 1) == pytest.approx(0.5)
+
+    def test_opposite_vectors(self, dist):
+        store = store_from([[1, 0], [-1, 0]])
+        assert dist.distance(store, 0, 1) == pytest.approx(1.0)
+
+    def test_scale_invariance(self, dist):
+        store = store_from([[1, 2, 3], [10, 20, 30]])
+        assert dist.distance(store, 0, 1) == pytest.approx(0.0, abs=1e-7)
+
+    def test_forty_five_degrees(self, dist):
+        store = store_from([[1, 0], [1, 1]])
+        assert dist.distance(store, 0, 1) == pytest.approx(0.25)
+
+    def test_symmetry(self, dist):
+        store = store_from([[1, 0.3], [0.2, 1]])
+        assert dist.distance(store, 0, 1) == pytest.approx(
+            dist.distance(store, 1, 0)
+        )
+
+    def test_zero_vector_convention(self, dist):
+        # Zero vectors sit at 90 degrees from everything (arccos 0).
+        store = store_from([[0, 0], [1, 0]])
+        assert dist.distance(store, 0, 1) == pytest.approx(0.5)
+
+
+class TestBatchAccessors:
+    def test_pairwise_matches_scalar(self, dist):
+        rng = np.random.default_rng(0)
+        store = store_from(rng.normal(size=(8, 5)))
+        mat = dist.pairwise(store, np.arange(8))
+        # arccos is ill-conditioned near 0 distance, so compare loosely.
+        for i in range(8):
+            for j in range(8):
+                assert mat[i, j] == pytest.approx(
+                    dist.distance(store, i, j), abs=1e-6
+                )
+
+    def test_pairwise_diagonal_zero(self, dist):
+        store = store_from(np.random.default_rng(1).normal(size=(5, 4)))
+        mat = dist.pairwise(store, np.arange(5))
+        assert np.allclose(np.diag(mat), 0.0)
+
+    def test_one_to_many_matches_scalar(self, dist):
+        store = store_from(np.random.default_rng(2).normal(size=(7, 4)))
+        rids = np.array([0, 2, 4, 6])
+        got = dist.one_to_many(store, 3, rids)
+        expected = [dist.distance(store, 3, int(r)) for r in rids]
+        assert np.allclose(got, expected, atol=1e-9)
+
+    def test_block_matches_scalar(self, dist):
+        store = store_from(np.random.default_rng(3).normal(size=(6, 4)))
+        a, b = np.array([0, 1, 5]), np.array([2, 3])
+        got = dist.block(store, a, b)
+        assert got.shape == (3, 2)
+        for i, ra in enumerate(a):
+            for j, rb in enumerate(b):
+                assert got[i, j] == pytest.approx(
+                    dist.distance(store, int(ra), int(rb)), abs=1e-9
+                )
+
+    def test_pairwise_subset_selection(self, dist):
+        store = store_from(np.random.default_rng(4).normal(size=(6, 3)))
+        mat = dist.pairwise(store, np.array([5, 1]))
+        assert mat.shape == (2, 2)
+        assert mat[0, 1] == pytest.approx(dist.distance(store, 5, 1), abs=1e-9)
+
+
+class TestValidation:
+    def test_collision_prob_is_linear(self, dist):
+        x = np.linspace(0, 1, 11)
+        assert np.allclose(dist.collision_prob(x), 1 - x)
+
+    def test_collision_prob_clipped(self, dist):
+        assert dist.collision_prob(1.5) == 0.0
+
+    def test_validate_wrong_kind(self, dist):
+        store = RecordStore(Schema.single_shingles("vec"), {"vec": [[1]]})
+        with pytest.raises(SchemaError):
+            dist.validate(store)
+
+    def test_make_family_type(self, dist):
+        from repro.lsh.hyperplanes import RandomHyperplaneFamily
+
+        store = store_from([[1.0, 0.0]])
+        assert isinstance(dist.make_family(store, 0), RandomHyperplaneFamily)

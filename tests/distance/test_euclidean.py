@@ -1,0 +1,135 @@
+"""Tests for normalized Euclidean distance and the p-stable family."""
+
+import numpy as np
+import pytest
+
+from repro.distance import EuclideanDistance, ThresholdRule
+from repro.distance.euclidean import pstable_collision_prob
+from repro.errors import ConfigurationError
+from repro.lsh.pstable import PStableFamily
+from repro.records import RecordStore, Schema
+
+
+def store_from(rows):
+    return RecordStore(Schema.single_vector(), {"vec": np.asarray(rows, float)})
+
+
+@pytest.fixture
+def dist():
+    return EuclideanDistance("vec", scale=10.0, bucket_width=0.3)
+
+
+class TestDistance:
+    def test_identical(self, dist):
+        store = store_from([[1, 2], [1, 2]])
+        assert dist.distance(store, 0, 1) == 0.0
+
+    def test_known_distance(self, dist):
+        store = store_from([[0, 0], [3, 4]])
+        assert dist.distance(store, 0, 1) == pytest.approx(0.5)  # 5 / 10
+
+    def test_clamped_at_one(self, dist):
+        store = store_from([[0, 0], [100, 0]])
+        assert dist.distance(store, 0, 1) == 1.0
+
+    def test_pairwise_matches_scalar(self, dist):
+        store = store_from(np.random.default_rng(0).normal(size=(8, 4)))
+        mat = dist.pairwise(store, np.arange(8))
+        for i in range(8):
+            for j in range(8):
+                assert mat[i, j] == pytest.approx(
+                    dist.distance(store, i, j), abs=1e-9
+                )
+
+    def test_one_to_many_matches_scalar(self, dist):
+        store = store_from(np.random.default_rng(1).normal(size=(6, 3)))
+        got = dist.one_to_many(store, 2, np.array([0, 1, 5]))
+        expected = [dist.distance(store, 2, r) for r in (0, 1, 5)]
+        assert np.allclose(got, expected)
+
+    def test_block_matches_scalar(self, dist):
+        store = store_from(np.random.default_rng(2).normal(size=(6, 3)))
+        got = dist.block(store, np.array([0, 1]), np.array([2, 3, 4]))
+        for i, a in enumerate((0, 1)):
+            for j, b in enumerate((2, 3, 4)):
+                assert got[i, j] == pytest.approx(dist.distance(store, a, b))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            EuclideanDistance("vec", scale=0.0)
+        with pytest.raises(ConfigurationError):
+            EuclideanDistance("vec", bucket_width=-1.0)
+
+
+class TestCollisionCurve:
+    def test_boundary_values(self):
+        assert pstable_collision_prob(0.0) == 1.0
+        assert pstable_collision_prob(50.0) < 0.05
+
+    def test_monotone_decreasing(self):
+        c = np.linspace(0, 10, 100)
+        p = pstable_collision_prob(c)
+        assert np.all(np.diff(p) <= 1e-12)
+
+    def test_half_width_reference(self):
+        # At d = r the collision probability is a known constant ~0.37.
+        assert float(pstable_collision_prob(1.0)) == pytest.approx(0.368, abs=0.01)
+
+
+class TestFamily:
+    def _pair_at(self, distance, dim=8, seed=0):
+        rng = np.random.default_rng(seed)
+        v = rng.normal(size=dim)
+        direction = rng.normal(size=dim)
+        direction /= np.linalg.norm(direction)
+        return store_from([v, v + distance * direction])
+
+    @pytest.mark.parametrize("d_over_r", [0.25, 1.0, 3.0])
+    def test_empirical_collision_rate(self, d_over_r):
+        r = 2.0
+        store = self._pair_at(d_over_r * r, seed=int(d_over_r * 10))
+        family = PStableFamily(store, "vec", bucket_width=r, seed=1)
+        sig = family.compute(np.array([0, 1]), 0, 6000)
+        rate = float((sig[0] == sig[1]).mean())
+        expected = float(pstable_collision_prob(d_over_r))
+        assert rate == pytest.approx(expected, abs=0.03)
+
+    def test_prefix_stability(self):
+        store = self._pair_at(1.0)
+        f1 = PStableFamily(store, "vec", bucket_width=1.0, seed=5)
+        f2 = PStableFamily(store, "vec", bucket_width=1.0, seed=5)
+        chunked = np.hstack(
+            [f1.compute(np.array([0, 1]), 0, 10), f1.compute(np.array([0, 1]), 10, 30)]
+        )
+        oneshot = f2.compute(np.array([0, 1]), 0, 30)
+        assert np.array_equal(chunked, oneshot)
+
+    def test_invalid_width(self):
+        store = self._pair_at(1.0)
+        with pytest.raises(ValueError):
+            PStableFamily(store, "vec", bucket_width=0.0)
+
+
+class TestEndToEnd:
+    def test_adaptive_lsh_on_euclidean_rule(self):
+        """Planted Gaussian blobs are recovered through the full
+        adaptive pipeline with a Euclidean rule."""
+        from repro.baselines import PairsBaseline
+        from repro.core import AdaptiveLSH
+
+        rng = np.random.default_rng(3)
+        rows, expected_sizes = [], [25, 12]
+        for i, size in enumerate(expected_sizes):
+            center = rng.normal(scale=10.0, size=6)
+            for _ in range(size):
+                rows.append(center + rng.normal(scale=0.05, size=6))
+        for _ in range(60):
+            rows.append(rng.normal(scale=10.0, size=6))
+        store = store_from(rows)
+        rule = ThresholdRule(
+            EuclideanDistance("vec", scale=5.0, bucket_width=0.2), 0.1
+        )
+        ada = AdaptiveLSH(store, rule, seed=0, cost_model="analytic").run(2)
+        pairs = PairsBaseline(store, rule).run(2)
+        assert [c.size for c in ada.clusters] == [c.size for c in pairs.clusters]
+        assert [c.size for c in ada.clusters] == expected_sizes

@@ -1,0 +1,122 @@
+"""Tests for Jaccard distance over shingle sets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance import JaccardDistance
+from repro.distance.jaccard import jaccard_distance
+from repro.records import RecordStore, Schema
+
+
+def store_from(sets):
+    return RecordStore(Schema.single_shingles(), {"shingles": sets})
+
+
+@pytest.fixture
+def dist():
+    return JaccardDistance("shingles")
+
+
+class TestScalar:
+    def test_identical_sets(self, dist):
+        store = store_from([[1, 2, 3], [3, 2, 1]])
+        assert dist.distance(store, 0, 1) == 0.0
+
+    def test_disjoint_sets(self, dist):
+        store = store_from([[1, 2], [3, 4]])
+        assert dist.distance(store, 0, 1) == 1.0
+
+    def test_half_overlap(self, dist):
+        store = store_from([[1, 2], [2, 3]])
+        assert dist.distance(store, 0, 1) == pytest.approx(1 - 1 / 3)
+
+    def test_both_empty_sets_match(self, dist):
+        store = store_from([[], []])
+        assert dist.distance(store, 0, 1) == 0.0
+
+    def test_one_empty_set(self, dist):
+        store = store_from([[], [1]])
+        assert dist.distance(store, 0, 1) == 1.0
+
+    def test_subset(self, dist):
+        store = store_from([[1, 2, 3, 4], [1, 2]])
+        assert dist.distance(store, 0, 1) == pytest.approx(0.5)
+
+
+class TestBatch:
+    def _random_store(self, seed, n=10):
+        rng = np.random.default_rng(seed)
+        sets = [
+            rng.choice(40, size=rng.integers(0, 15), replace=False)
+            for _ in range(n)
+        ]
+        return store_from(sets)
+
+    def test_pairwise_matches_scalar(self, dist):
+        store = self._random_store(0)
+        mat = dist.pairwise(store, np.arange(10))
+        for i in range(10):
+            for j in range(10):
+                assert mat[i, j] == pytest.approx(
+                    dist.distance(store, i, j), abs=1e-12
+                )
+
+    def test_one_to_many_matches_scalar(self, dist):
+        store = self._random_store(1)
+        rids = np.array([1, 3, 5])
+        got = dist.one_to_many(store, 0, rids)
+        expected = [dist.distance(store, 0, int(r)) for r in rids]
+        assert np.allclose(got, expected)
+
+    def test_block_matches_scalar(self, dist):
+        store = self._random_store(2)
+        a, b = np.array([0, 4]), np.array([1, 2, 3])
+        got = dist.block(store, a, b)
+        for i, ra in enumerate(a):
+            for j, rb in enumerate(b):
+                assert got[i, j] == pytest.approx(
+                    dist.distance(store, int(ra), int(rb))
+                )
+
+    def test_pairwise_diagonal_zero(self, dist):
+        store = self._random_store(3)
+        mat = dist.pairwise(store, np.arange(10))
+        assert np.allclose(np.diag(mat), 0.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    a=st.frozensets(st.integers(0, 60), max_size=20),
+    b=st.frozensets(st.integers(0, 60), max_size=20),
+)
+def test_jaccard_matches_set_arithmetic(a, b):
+    arr_a = np.asarray(sorted(a), dtype=np.int64)
+    arr_b = np.asarray(sorted(b), dtype=np.int64)
+    got = jaccard_distance(arr_a, arr_b)
+    if not a and not b:
+        assert got == 0.0
+    else:
+        assert got == pytest.approx(1 - len(a & b) / len(a | b))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sets=st.lists(
+        st.frozensets(st.integers(0, 50), max_size=12), min_size=2, max_size=8
+    )
+)
+def test_triangle_like_bounds(sets):
+    """Jaccard distance is a metric: check symmetry and range on random
+    set collections (full triangle inequality spot-checked pairwise)."""
+    store = store_from([sorted(s) for s in sets])
+    dist = JaccardDistance("shingles")
+    n = len(sets)
+    mat = dist.pairwise(store, np.arange(n))
+    assert np.all(mat >= -1e-12) and np.all(mat <= 1 + 1e-12)
+    assert np.allclose(mat, mat.T)
+    for i in range(n):
+        for j in range(n):
+            for k in range(n):
+                assert mat[i, j] <= mat[i, k] + mat[k, j] + 1e-9

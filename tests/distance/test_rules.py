@@ -1,0 +1,205 @@
+"""Tests for match-rule composition (Appendix C semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.distance import (
+    AndRule,
+    CosineDistance,
+    JaccardDistance,
+    OrRule,
+    ThresholdRule,
+    WeightedAverageRule,
+)
+from repro.errors import ConfigurationError, SchemaError
+from repro.records import FieldKind, FieldSpec, RecordStore, Schema
+
+SCHEMA = Schema(
+    (
+        FieldSpec("vec", FieldKind.VECTOR),
+        FieldSpec("toks", FieldKind.SHINGLES),
+        FieldSpec("toks2", FieldKind.SHINGLES),
+    )
+)
+
+
+@pytest.fixture(scope="module")
+def store():
+    rng = np.random.default_rng(0)
+    n = 14
+    return RecordStore(
+        SCHEMA,
+        {
+            "vec": rng.normal(size=(n, 6)),
+            "toks": [
+                rng.choice(30, size=rng.integers(1, 12), replace=False)
+                for _ in range(n)
+            ],
+            "toks2": [
+                rng.choice(30, size=rng.integers(1, 12), replace=False)
+                for _ in range(n)
+            ],
+        },
+    )
+
+
+def brute_force(rule, store):
+    n = len(store)
+    out = np.zeros((n, n), dtype=bool)
+    for i in range(n):
+        for j in range(n):
+            out[i, j] = rule.is_match(store, i, j)
+    return out
+
+
+RULES = {
+    "threshold_vec": ThresholdRule(CosineDistance("vec"), 0.3),
+    "threshold_toks": ThresholdRule(JaccardDistance("toks"), 0.7),
+    "and": AndRule(
+        [
+            ThresholdRule(CosineDistance("vec"), 0.4),
+            ThresholdRule(JaccardDistance("toks"), 0.8),
+        ]
+    ),
+    "or": OrRule(
+        [
+            ThresholdRule(CosineDistance("vec"), 0.2),
+            ThresholdRule(JaccardDistance("toks"), 0.5),
+        ]
+    ),
+    "weighted": WeightedAverageRule(
+        [JaccardDistance("toks"), JaccardDistance("toks2")],
+        weights=[0.6, 0.4],
+        threshold=0.75,
+    ),
+    "combined": AndRule(
+        [
+            WeightedAverageRule(
+                [JaccardDistance("toks"), JaccardDistance("toks2")],
+                weights=[0.5, 0.5],
+                threshold=0.8,
+            ),
+            ThresholdRule(CosineDistance("vec"), 0.45),
+        ]
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(RULES))
+class TestConsistency:
+    """Every evaluation path must agree with scalar is_match."""
+
+    def test_pairwise_match(self, store, name):
+        rule = RULES[name]
+        expected = brute_force(rule, store)
+        got = rule.pairwise_match(store, np.arange(len(store)))
+        assert np.array_equal(got, expected)
+
+    def test_match_one_to_many(self, store, name):
+        rule = RULES[name]
+        rids = np.arange(len(store))
+        for rid in (0, 5, 13):
+            got = rule.match_one_to_many(store, rid, rids)
+            expected = [rule.is_match(store, rid, int(r)) for r in rids]
+            assert np.array_equal(got, expected)
+
+    def test_match_block(self, store, name):
+        rule = RULES[name]
+        a = np.array([0, 3, 7])
+        b = np.array([1, 2, 9, 11])
+        got = rule.match_block(store, a, b)
+        for i, ra in enumerate(a):
+            for j, rb in enumerate(b):
+                assert got[i, j] == rule.is_match(store, int(ra), int(rb))
+
+    def test_symmetry(self, store, name):
+        rule = RULES[name]
+        mat = rule.pairwise_match(store, np.arange(len(store)))
+        assert np.array_equal(mat, mat.T)
+
+    def test_diagonal_true(self, store, name):
+        rule = RULES[name]
+        mat = rule.pairwise_match(store, np.arange(len(store)))
+        assert mat.diagonal().all()
+
+
+class TestComposition:
+    def test_and_is_conjunction(self, store):
+        children = [
+            ThresholdRule(CosineDistance("vec"), 0.4),
+            ThresholdRule(JaccardDistance("toks"), 0.8),
+        ]
+        rule = AndRule(children)
+        rids = np.arange(len(store))
+        expected = children[0].pairwise_match(store, rids) & children[
+            1
+        ].pairwise_match(store, rids)
+        assert np.array_equal(rule.pairwise_match(store, rids), expected)
+
+    def test_or_is_disjunction(self, store):
+        children = [
+            ThresholdRule(CosineDistance("vec"), 0.2),
+            ThresholdRule(JaccardDistance("toks"), 0.5),
+        ]
+        rule = OrRule(children)
+        rids = np.arange(len(store))
+        expected = children[0].pairwise_match(store, rids) | children[
+            1
+        ].pairwise_match(store, rids)
+        assert np.array_equal(rule.pairwise_match(store, rids), expected)
+
+    def test_weighted_average_is_mixture(self, store):
+        rule = RULES["weighted"]
+        d1 = JaccardDistance("toks")
+        d2 = JaccardDistance("toks2")
+        combined = rule.combined_distance(store, 0, 1)
+        expected = 0.6 * d1.distance(store, 0, 1) + 0.4 * d2.distance(store, 0, 1)
+        assert combined == pytest.approx(expected)
+
+    def test_field_distances_collects_leaves(self):
+        rule = RULES["combined"]
+        fields = [d.field for d in rule.field_distances()]
+        assert fields == ["toks", "toks2", "vec"]
+
+
+class TestValidation:
+    def test_threshold_range(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdRule(CosineDistance("vec"), 0.0)
+        with pytest.raises(ConfigurationError):
+            ThresholdRule(CosineDistance("vec"), 1.5)
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            WeightedAverageRule(
+                [JaccardDistance("toks"), JaccardDistance("toks2")],
+                weights=[0.7, 0.7],
+                threshold=0.5,
+            )
+
+    def test_weights_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            WeightedAverageRule(
+                [JaccardDistance("toks"), JaccardDistance("toks2")],
+                weights=[1.2, -0.2],
+                threshold=0.5,
+            )
+
+    def test_weight_count_must_match(self):
+        with pytest.raises(ConfigurationError):
+            WeightedAverageRule(
+                [JaccardDistance("toks")], weights=[0.5, 0.5], threshold=0.5
+            )
+
+    def test_composite_needs_two_children(self):
+        with pytest.raises(ConfigurationError):
+            AndRule([ThresholdRule(CosineDistance("vec"), 0.5)])
+
+    def test_composite_children_type_checked(self):
+        with pytest.raises(ConfigurationError):
+            OrRule([ThresholdRule(CosineDistance("vec"), 0.5), "nope"])
+
+    def test_validate_against_schema(self, store):
+        rule = ThresholdRule(CosineDistance("missing"), 0.5)
+        with pytest.raises(SchemaError):
+            rule.validate(store)

@@ -1,0 +1,58 @@
+"""Tests for the Figure-1 end-to-end pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveLSH
+from repro.er import TopKPipeline
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def pipeline_setup(tiny_spotsigs):
+    ds = tiny_spotsigs
+    method = AdaptiveLSH(ds.store, ds.rule, seed=1, cost_model="analytic")
+    return ds, method
+
+
+class TestPipeline:
+    def test_top_k_entities(self, pipeline_setup):
+        ds, method = pipeline_setup
+        result = TopKPipeline(ds, method).run(3)
+        truth = [c.size for c in ds.ground_truth_clusters()[:3]]
+        got = [c.size for c in result.entities]
+        # ER on the filtered output reproduces entity sizes closely.
+        assert len(got) == 3
+        for g, t in zip(got, truth):
+            assert g >= 0.8 * t
+
+    def test_k_hat_improves_recall(self, pipeline_setup):
+        ds, method = pipeline_setup
+        plain = TopKPipeline(ds, method).run(3)
+        wide = TopKPipeline(ds, method, k_hat=10).run(3)
+        assert wide.filter_result.output_size >= plain.filter_result.output_size
+
+    def test_recovery_extends_entities(self, pipeline_setup):
+        ds, method = pipeline_setup
+        without = TopKPipeline(ds, method).run(2)
+        with_rec = TopKPipeline(ds, method, recover=True).run(2)
+        assert sum(c.size for c in with_rec.entities) >= sum(
+            c.size for c in without.entities
+        )
+        assert with_rec.recovery_time >= 0.0
+
+    def test_timing_breakdown(self, pipeline_setup):
+        ds, method = pipeline_setup
+        result = TopKPipeline(ds, method).run(2)
+        assert result.total_time >= result.er_time
+        assert result.info["er_pairs"] >= 0
+
+    def test_k_hat_below_k_rejected(self, pipeline_setup):
+        ds, method = pipeline_setup
+        with pytest.raises(ConfigurationError):
+            TopKPipeline(ds, method, k_hat=2).run(5)
+
+    def test_filter_method_validated(self, pipeline_setup):
+        ds, _ = pipeline_setup
+        with pytest.raises(ConfigurationError):
+            TopKPipeline(ds, object())

@@ -1,0 +1,76 @@
+"""Tests for the recovery process (§6.1.2)."""
+
+import numpy as np
+import pytest
+
+from repro.er import actual_recovery, perfect_recovery, recovery_pair_count
+
+
+class TestPairCount:
+    def test_formula(self):
+        assert recovery_pair_count(10, 100) == 900
+
+    def test_full_output(self):
+        assert recovery_pair_count(100, 100) == 0
+
+
+class TestPerfectRecovery:
+    def test_completes_entities(self, tiny_spotsigs):
+        ds = tiny_spotsigs
+        truth = ds.ground_truth_clusters()
+        # Drop half of the top entity from the "output".
+        partial = truth[0][: truth[0].size // 2]
+        recovered = perfect_recovery(ds, partial)
+        assert len(recovered) == 1
+        assert np.array_equal(np.sort(recovered[0]), np.sort(truth[0]))
+
+    def test_multiple_entities(self, tiny_spotsigs):
+        ds = tiny_spotsigs
+        truth = ds.ground_truth_clusters()
+        output = np.concatenate([truth[0][:3], truth[1][:2]])
+        recovered = perfect_recovery(ds, output)
+        assert len(recovered) == 2
+        sizes = [c.size for c in recovered]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_cannot_recover_missing_entities(self, tiny_spotsigs):
+        """§6.1.2: an entity entirely absent from the filtering output
+        is unrecoverable."""
+        ds = tiny_spotsigs
+        truth = ds.ground_truth_clusters()
+        recovered = perfect_recovery(ds, truth[1][:4])
+        recovered_rids = set(np.concatenate(recovered).tolist())
+        assert not (set(truth[0].tolist()) & recovered_rids)
+
+
+class TestActualRecovery:
+    def test_pulls_back_matching_records(self, tiny_spotsigs):
+        ds = tiny_spotsigs
+        truth = ds.ground_truth_clusters()
+        partial = truth[0][: truth[0].size - 3]
+        recovered = actual_recovery(ds.store, ds.rule, [partial])
+        assert recovered[0].size >= partial.size
+
+    def test_excluded_defaults_to_complement(self, tiny_spotsigs):
+        ds = tiny_spotsigs
+        truth = ds.ground_truth_clusters()
+        clusters = [truth[0][:5]]
+        recovered = actual_recovery(ds.store, ds.rule, clusters)
+        assert recovered[0].size > 5
+
+    def test_record_joins_single_cluster(self, tiny_spotsigs):
+        ds = tiny_spotsigs
+        truth = ds.ground_truth_clusters()
+        clusters = [truth[0][:5], truth[1][:5]]
+        recovered = actual_recovery(ds.store, ds.rule, clusters)
+        all_members = np.concatenate(recovered)
+        assert len(np.unique(all_members)) == len(all_members)
+
+    def test_sampling_cap(self, tiny_spotsigs):
+        ds = tiny_spotsigs
+        truth = ds.ground_truth_clusters()
+        clusters = [truth[0][:8]]
+        capped = actual_recovery(
+            ds.store, ds.rule, clusters, max_cluster_sample=2
+        )
+        assert capped[0].size >= 8

@@ -1,0 +1,37 @@
+"""Tests for the downstream ER stage."""
+
+import numpy as np
+
+from repro.er import benchmark_er_pairs, resolve
+from tests.conftest import make_vector_store
+from repro.distance import CosineDistance, ThresholdRule
+
+
+def test_resolve_whole_store():
+    store, _ = make_vector_store(seed=61)
+    rule = ThresholdRule(CosineDistance("vec"), 10 / 180.0)
+    clusters = resolve(store, rule)
+    assert [c.size for c in clusters[:3]] == [30, 18, 8]
+    merged = np.sort(np.concatenate(clusters))
+    assert np.array_equal(merged, np.arange(len(store)))
+
+
+def test_resolve_subset():
+    store, _ = make_vector_store(seed=61)
+    rule = ThresholdRule(CosineDistance("vec"), 10 / 180.0)
+    subset = np.array([0, 1, 2, 40, 50])
+    clusters = resolve(store, rule, subset)
+    assert np.array_equal(np.sort(np.concatenate(clusters)), np.sort(subset))
+
+
+def test_resolve_orders_largest_first():
+    store, _ = make_vector_store(seed=61)
+    rule = ThresholdRule(CosineDistance("vec"), 10 / 180.0)
+    sizes = [c.size for c in resolve(store, rule)]
+    assert sizes == sorted(sizes, reverse=True)
+
+
+def test_benchmark_er_pairs():
+    assert benchmark_er_pairs(10) == 45
+    assert benchmark_er_pairs(1) == 0
+    assert benchmark_er_pairs(0) == 0

@@ -1,0 +1,106 @@
+"""Smoke and shape tests for the per-figure experiment functions.
+
+The heavyweight sweeps live in benchmarks/; here we run the analytic
+experiments fully and the dataset experiments at toy scale.
+"""
+
+import pytest
+
+from repro.eval.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentConfig,
+    exp_fig5_probability,
+    exp_fig7_scheme_design,
+    exp_fig10_f1_gold,
+    exp_fig11_accuracy_vs_khat,
+)
+
+
+@pytest.fixture(scope="module")
+def toy_cfg():
+    return ExperimentConfig(
+        seed=0,
+        cora_records=250,
+        spotsigs_records=250,
+        images_records=400,
+        scales=(1, 2),
+        lsh_sweep=(20, 320),
+        ks=(2, 5),
+        khats=(5, 10),
+    )
+
+
+class TestAnalyticExperiments:
+    def test_fig5_shape(self, toy_cfg):
+        result = exp_fig5_probability(toy_cfg)
+        # Bigger schemes drop harder past the threshold.
+        by_scheme = {
+            (row["w"], row["z"]): row["prob"]
+            for row in result.rows
+            if row["angle_deg"] == 55
+        }
+        assert by_scheme[(30, 70)] < by_scheme[(15, 20)] < by_scheme[(1, 1)]
+
+    def test_fig5_probabilities_valid(self, toy_cfg):
+        for row in exp_fig5_probability(toy_cfg).rows:
+            assert 0.0 <= row["prob"] <= 1.0
+
+    def test_fig7_tradeoff(self, toy_cfg):
+        result = exp_fig7_scheme_design(toy_cfg)
+        rows = {(r["w"], r["z"]): r for r in result.rows[:3]}
+        # Monotone trade-off: larger w -> lower objective AND lower
+        # probability at the threshold.
+        assert (
+            rows[(15, 140)]["objective"]
+            > rows[(30, 70)]["objective"]
+            > rows[(60, 35)]["objective"]
+        )
+        assert (
+            rows[(15, 140)]["prob_at_threshold"]
+            > rows[(30, 70)]["prob_at_threshold"]
+            > rows[(60, 35)]["prob_at_threshold"]
+        )
+        # The designed optimum is feasible.
+        assert result.rows[-1]["feasible"]
+
+    def test_registry_complete(self):
+        expected = {
+            "fig5", "fig7", "fig8a", "fig8b", "fig9a", "fig9b", "fig10",
+            "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+            "fig20", "fig21", "fig22",
+        }
+        assert expected == set(ALL_EXPERIMENTS)
+
+
+class TestDatasetExperiments:
+    def test_fig10_runs_and_scores(self, toy_cfg):
+        result = exp_fig10_f1_gold(toy_cfg)
+        assert len(result.rows) == 2 * 3 * len(toy_cfg.ks)
+        for row in result.rows:
+            assert 0.0 <= row["F1"] <= 1.0
+
+    def test_fig10_methods_agree(self, toy_cfg):
+        result = exp_fig10_f1_gold(toy_cfg)
+        # adaLSH and Pairs give (nearly) the same F1 per (dataset, k).
+        by_key = {}
+        for row in result.rows:
+            by_key.setdefault((row["dataset"], row["k"]), {})[row["method"]] = row["F1"]
+        for scores in by_key.values():
+            assert abs(scores["adaLSH"] - scores["Pairs"]) < 0.1
+
+    def test_fig11_recall_grows_with_khat(self, toy_cfg):
+        result = exp_fig11_accuracy_vs_khat(toy_cfg, k=2)
+        series = {}
+        for row in result.rows:
+            series.setdefault(row["similarity_thr"], []).append(
+                (row["k_hat"], row["R"])
+            )
+        for points in series.values():
+            points.sort()
+            recalls = [r for _, r in points]
+            assert recalls[-1] >= recalls[0] - 1e-9
+
+    def test_markdown_rendering(self, toy_cfg):
+        md = exp_fig7_scheme_design(toy_cfg).to_markdown()
+        assert md.startswith("### fig7")
+        assert "| w |" in md

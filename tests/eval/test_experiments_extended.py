@@ -1,0 +1,105 @@
+"""Smoke/shape tests for the remaining experiment functions at toy
+scale — every figure function must run and produce the fields its
+benchmark reads."""
+
+import pytest
+
+from repro.eval.experiments import (
+    ExperimentConfig,
+    exp_fig12_reduction_speedup,
+    exp_fig13_map_mar,
+    exp_fig14_recovery,
+    exp_fig15_lsh_sweep,
+    exp_fig16_images_time,
+    exp_fig17_images_f1,
+    exp_fig20_np_variants,
+    exp_fig21_cost_noise,
+    exp_fig22_budget_modes,
+)
+
+
+@pytest.fixture(scope="module")
+def toy_cfg():
+    return ExperimentConfig(
+        seed=1,
+        cora_records=200,
+        spotsigs_records=200,
+        images_records=300,
+        scales=(1, 2),
+        lsh_sweep=(20, 320),
+        ks=(2, 3),
+        khats=(3, 6),
+    )
+
+
+def test_fig12_fields(toy_cfg):
+    rows = exp_fig12_reduction_speedup(toy_cfg, k=2).rows
+    assert rows
+    for row in rows:
+        assert {"scale", "actual_pct", "speedup_wo_recovery", "red%"} <= set(row)
+        assert row["speedup_wo_recovery"] > 0
+
+
+def test_fig13_fields(toy_cfg):
+    rows = exp_fig13_map_mar(toy_cfg).rows
+    assert all(0 <= row["mAP"] <= 1 for row in rows)
+    assert all(row["k_hat"] >= row["k"] for row in rows)
+
+
+def test_fig14_fields(toy_cfg):
+    rows = exp_fig14_recovery(toy_cfg, k=2).rows
+    for row in rows:
+        assert 0 <= row["mAP_rec"] <= 1
+        assert row["speedup_with_recovery"] > 0
+
+
+def test_fig14_recovery_improves_recall(toy_cfg):
+    rows = exp_fig14_recovery(toy_cfg, k=2).rows
+    for row in rows:
+        assert row["R_rec"] >= row["R"] - 1e-9
+
+
+def test_fig15_covers_sweep(toy_cfg):
+    rows = exp_fig15_lsh_sweep(toy_cfg, k=2).rows
+    methods = {row["method"] for row in rows}
+    assert methods == {"adaLSH", "LSH20", "LSH320"}
+
+
+def test_fig16_grid(toy_cfg):
+    rows = exp_fig16_images_time(toy_cfg, k=2).rows
+    assert len(rows) == 2 * 3 * 3  # thresholds x exponents x methods
+
+
+def test_fig17_grid(toy_cfg):
+    rows = exp_fig17_images_f1(toy_cfg, k=2).rows
+    assert len(rows) == 3 * 3
+    assert all(0 <= row["F1"] <= 1 for row in rows)
+
+
+def test_fig20_f1_target_bounds(toy_cfg):
+    rows = exp_fig20_np_variants(toy_cfg, k=3).rows
+    for row in rows:
+        assert 0 <= row["F1_target"] <= 1
+        assert isinstance(row["sizes_match_target"], bool)
+
+
+def test_fig21_shares_base_model(toy_cfg):
+    """All noise rows at one (k, scale) perturb the same calibration:
+    nf=1 work profile must sit between the nf extremes."""
+    rows = exp_fig21_cost_noise(toy_cfg, ks=(2,)).rows
+    by_scale: dict = {}
+    for row in rows:
+        by_scale.setdefault(row["scale"], {})[row["noise_factor"]] = row
+    for scale, by_nf in by_scale.items():
+        assert by_nf[0.2]["pairs"] >= by_nf[1.0]["pairs"] >= by_nf[5.0]["pairs"]
+
+
+def test_fig22_modes(toy_cfg):
+    rows = exp_fig22_budget_modes(toy_cfg, k=2).rows
+    modes = {row["mode"] for row in rows}
+    assert modes == {"expo", "lin320", "lin640", "lin1280"}
+    for row in rows:
+        if row["mode"] == "expo":
+            continue
+        # Linear modes hash every record with hundreds of functions.
+        assert row["hashes"] > 0

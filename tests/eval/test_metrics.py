@@ -1,0 +1,113 @@
+"""Tests for accuracy metrics, anchored on the paper's own worked
+example (§6.2.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (
+    dataset_reduction,
+    f1_score,
+    map_mar,
+    precision_recall_f1,
+)
+
+
+class TestPrecisionRecallF1:
+    def test_perfect(self):
+        p, r, f1 = precision_recall_f1([1, 2, 3], [1, 2, 3])
+        assert (p, r, f1) == (1.0, 1.0, 1.0)
+
+    def test_disjoint(self):
+        p, r, f1 = precision_recall_f1([1, 2], [3, 4])
+        assert (p, r, f1) == (0.0, 0.0, 0.0)
+
+    def test_partial(self):
+        p, r, _f1 = precision_recall_f1([1, 2, 3, 4], [3, 4, 5])
+        assert p == pytest.approx(0.5)
+        assert r == pytest.approx(2 / 3)
+
+    def test_empty_output_convention(self):
+        p, r, _ = precision_recall_f1([], [1, 2])
+        assert p == 1.0 and r == 0.0
+
+    def test_empty_truth_convention(self):
+        p, r, _ = precision_recall_f1([1], [])
+        assert p == 0.0 and r == 1.0
+
+    def test_duplicates_ignored(self):
+        p, r, _ = precision_recall_f1([1, 1, 2], [1, 2, 2])
+        assert p == 1.0 and r == 1.0
+
+    def test_f1_harmonic_mean(self):
+        assert f1_score(0.5, 1.0) == pytest.approx(2 / 3)
+        assert f1_score(0.0, 0.0) == 0.0
+
+
+class TestMapMar:
+    def test_paper_worked_example(self):
+        """§6.2.1: C = {{a,b,c,f},{e}}, C* = {{a,b,c},{e,g}} for k=2
+        gives mAP = 0.775 and mAR = 0.9 (letters mapped to ints)."""
+        a, b, c, e, f, g = 1, 2, 3, 4, 5, 6
+        clusters = [[a, b, c, f], [e]]
+        truth = [[a, b, c], [e, g]]
+        map_score, mar_score = map_mar(clusters, truth, 2)
+        assert map_score == pytest.approx(0.775)
+        assert mar_score == pytest.approx(0.9)
+
+    def test_perfect_clustering(self):
+        clusters = [[1, 2, 3], [4, 5]]
+        assert map_mar(clusters, clusters, 2) == (1.0, 1.0)
+
+    def test_k_one_uses_top_cluster_only(self):
+        clusters = [[1, 2], [99]]
+        truth = [[1, 2, 3], [4]]
+        map1, mar1 = map_mar(clusters, truth, 1)
+        assert map1 == 1.0
+        assert mar1 == pytest.approx(2 / 3)
+
+    def test_short_output_convention(self):
+        """Fewer output clusters than k: the output union freezes."""
+        map_score, mar_score = map_mar([[1, 2]], [[1, 2], [3, 4]], 2)
+        assert map_score == 1.0
+        assert mar_score == pytest.approx((1.0 + 0.5) / 2)
+
+    def test_k_defaults_to_truth_length(self):
+        clusters = [[1], [2]]
+        truth = [[1], [2]]
+        assert map_mar(clusters, truth) == (1.0, 1.0)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            map_mar([[1]], [[1]], 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=st.lists(
+            st.frozensets(st.integers(0, 30), min_size=1, max_size=8),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_self_comparison_is_perfect(self, data):
+        # Deduplicate overlaps: assign each element to its first cluster.
+        seen: set = set()
+        clusters = []
+        for group in data:
+            fresh = group - seen
+            if fresh:
+                clusters.append(sorted(fresh))
+                seen |= fresh
+        clusters.sort(key=len, reverse=True)
+        map_score, mar_score = map_mar(clusters, clusters, len(clusters))
+        assert map_score == 1.0 and mar_score == 1.0
+
+
+class TestReduction:
+    def test_percentage(self):
+        assert dataset_reduction(100, 1000) == pytest.approx(10.0)
+
+    def test_invalid_total(self):
+        with pytest.raises(ValueError):
+            dataset_reduction(1, 0)

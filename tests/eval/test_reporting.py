@@ -1,0 +1,30 @@
+"""Tests for Markdown table rendering."""
+
+from repro.eval.reporting import render_table
+
+
+def test_empty_rows():
+    assert render_table([]) == "(no rows)"
+
+
+def test_basic_table():
+    rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+    table = render_table(rows)
+    lines = table.splitlines()
+    assert lines[0] == "| a | b |"
+    assert lines[1] == "|---|---|"
+    assert lines[2] == "| 1 | x |"
+    assert len(lines) == 4
+
+
+def test_explicit_columns_and_missing_cells():
+    rows = [{"a": 1}, {"a": 2, "c": 3}]
+    table = render_table(rows, columns=["c", "a"])
+    lines = table.splitlines()
+    assert lines[0] == "| c | a |"
+    assert lines[2] == "|  | 1 |"
+
+
+def test_float_formatting():
+    table = render_table([{"x": 0.123456789}])
+    assert "0.1235" in table

@@ -1,0 +1,49 @@
+"""Tests for the ASCII series chart renderer."""
+
+import pytest
+
+from repro.eval.reporting import render_series_chart
+
+
+class TestChart:
+    def test_empty(self):
+        assert render_series_chart({}) == "(no data)"
+
+    def test_bar_lengths_proportional(self):
+        chart = render_series_chart({"a": [(1, 1.0), (2, 2.0)]}, width=10)
+        lines = [l for l in chart.splitlines() if "#" in l]
+        assert lines[0].count("#") * 2 == pytest.approx(
+            lines[1].count("#"), abs=1
+        )
+
+    def test_max_value_gets_full_width(self):
+        chart = render_series_chart({"a": [(1, 5.0)]}, width=20)
+        assert "#" * 20 in chart
+
+    def test_zero_values_have_no_bar(self):
+        chart = render_series_chart({"a": [(1, 0.0), (2, 4.0)]}, width=10)
+        zero_line = next(l for l in chart.splitlines() if l.endswith(" 0"))
+        assert "#" not in zero_line
+
+    def test_series_separated_by_blank_line(self):
+        chart = render_series_chart({"a": [(1, 1.0)], "b": [(1, 2.0)]})
+        assert "" in chart.splitlines()
+
+    def test_log_scale_compresses_ratios(self):
+        linear = render_series_chart(
+            {"a": [(1, 1.0), (2, 1000.0)]}, width=40, log_y=False
+        )
+        log = render_series_chart(
+            {"a": [(1, 1.0), (2, 1000.0)]}, width=40, log_y=True
+        )
+        first_linear = linear.splitlines()[0].count("#")
+        first_log = log.splitlines()[0].count("#")
+        assert first_log >= first_linear
+
+    def test_y_label_header(self):
+        chart = render_series_chart({"a": [(1, 3.0)]}, y_label="time")
+        assert chart.splitlines()[0].startswith("time")
+
+    def test_values_printed(self):
+        chart = render_series_chart({"m": [(10, 0.1234)]})
+        assert "0.1234" in chart

@@ -1,0 +1,78 @@
+"""Tests for the method registry and the run driver."""
+
+import pytest
+
+from repro.baselines import LSHBlocking, PairsBaseline
+from repro.core import AdaptiveLSH
+from repro.errors import ConfigurationError
+from repro.eval.runner import make_method, run_filter
+
+
+class TestMakeMethod:
+    def test_adalsh(self, tiny_spotsigs):
+        method = make_method(tiny_spotsigs, "adaLSH", seed=0)
+        assert isinstance(method, AdaptiveLSH)
+
+    def test_pairs(self, tiny_spotsigs):
+        assert isinstance(make_method(tiny_spotsigs, "Pairs"), PairsBaseline)
+
+    def test_lsh_with_budget(self, tiny_spotsigs):
+        method = make_method(tiny_spotsigs, "LSH640", seed=0)
+        assert isinstance(method, LSHBlocking)
+        assert method.n_hashes == 640
+        assert method.verify
+
+    def test_lsh_np_variant(self, tiny_spotsigs):
+        method = make_method(tiny_spotsigs, "LSH20nP", seed=0)
+        assert not method.verify
+
+    def test_unknown_spec(self, tiny_spotsigs):
+        with pytest.raises(ConfigurationError):
+            make_method(tiny_spotsigs, "FancyLSH")
+
+    def test_kwargs_forwarded(self, tiny_spotsigs):
+        method = make_method(
+            tiny_spotsigs, "adaLSH", seed=0, budgets=[20, 40], noise_factor=2.0
+        )
+        assert method.budgets == [20, 40]
+
+
+class TestRunFilter:
+    def test_record_fields(self, tiny_spotsigs):
+        rec = run_filter(tiny_spotsigs, "adaLSH", 3, seed=0, cost_model="analytic")
+        assert rec.dataset == "SpotSigs"
+        assert rec.method == "adaLSH"
+        assert rec.k == 3 and rec.k_hat == 3
+        assert 0 <= rec.precision <= 1
+        assert 0 <= rec.recall <= 1
+        assert rec.output_size == rec.output_rids.size
+        assert len(rec.cluster_sizes) == 3
+
+    def test_high_accuracy_on_easy_data(self, tiny_spotsigs):
+        rec = run_filter(tiny_spotsigs, "Pairs", 3)
+        assert rec.f1 > 0.9
+        assert rec.map_score > 0.9
+
+    def test_k_hat_increases_output(self, tiny_spotsigs):
+        small = run_filter(tiny_spotsigs, "Pairs", 3)
+        wide = run_filter(tiny_spotsigs, "Pairs", 3, k_hat=8)
+        assert wide.output_size >= small.output_size
+        assert wide.recall >= small.recall
+
+    def test_invalid_k_hat(self, tiny_spotsigs):
+        with pytest.raises(ConfigurationError):
+            run_filter(tiny_spotsigs, "Pairs", 5, k_hat=3)
+
+    def test_row_rendering(self, tiny_spotsigs):
+        rec = run_filter(tiny_spotsigs, "Pairs", 2)
+        row = rec.row()
+        assert row["method"] == "Pairs"
+        assert "F1" in row and "time_s" in row
+
+    def test_prebuilt_method_reused(self, tiny_spotsigs):
+        method = make_method(tiny_spotsigs, "adaLSH", seed=0, cost_model="analytic")
+        rec1 = run_filter(tiny_spotsigs, "adaLSH", 2, method=method)
+        rec2 = run_filter(tiny_spotsigs, "adaLSH", 2, method=method)
+        assert rec1.cluster_sizes == rec2.cluster_sizes
+        # Warm pools: second run computes no new hashes.
+        assert rec2.hashes == 0

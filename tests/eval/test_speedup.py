@@ -1,0 +1,47 @@
+"""Tests for the benchmark ER / recovery speedup model (§6.2.2)."""
+
+import pytest
+
+from repro.eval.speedup import SpeedupModel
+from tests.conftest import make_shingle_store
+from repro.distance import JaccardDistance, ThresholdRule
+
+
+class TestFormulas:
+    def test_whole_time(self):
+        model = SpeedupModel(seconds_per_pair=2.0, total_records=10)
+        assert model.whole_time() == 2.0 * 45
+
+    def test_reduced_time(self):
+        model = SpeedupModel(1.0, 100)
+        assert model.reduced_time(10) == 45.0
+
+    def test_recovery_time(self):
+        model = SpeedupModel(1.0, 100)
+        assert model.recovery_time(10) == 10 * 90
+
+    def test_speedup_without_recovery(self):
+        model = SpeedupModel(1.0, 100)
+        # Whole = 4950; filtering 50 + reduced 45 -> ~52x
+        assert model.speedup_without_recovery(50.0, 10) == pytest.approx(
+            4950 / 95.0
+        )
+
+    def test_speedup_with_recovery_lower(self):
+        model = SpeedupModel(1.0, 100)
+        without = model.speedup_without_recovery(10.0, 10)
+        with_rec = model.speedup_with_recovery(10.0, 10)
+        assert with_rec < without
+
+    def test_full_output_gives_no_speedup(self):
+        model = SpeedupModel(1.0, 100)
+        assert model.speedup_without_recovery(0.0, 100) == pytest.approx(1.0)
+
+
+class TestMeasurement:
+    def test_measured_cost_positive(self):
+        store, _ = make_shingle_store(seed=2)
+        rule = ThresholdRule(JaccardDistance("shingles"), 0.6)
+        model = SpeedupModel.measure(store, rule, seed=0)
+        assert model.seconds_per_pair > 0
+        assert model.total_records == len(store)

@@ -1,0 +1,88 @@
+"""Tests for b-bit minhashing (Li & König, the paper's [22])."""
+
+import numpy as np
+import pytest
+
+from repro.distance import JaccardDistance
+from repro.lsh.minhash import MinHashFamily
+from repro.records import RecordStore, Schema
+
+
+def store_with_jaccard(sim: float, base: int = 150):
+    overlap = int(round(2 * base * sim / (1 + sim)))
+    a = list(range(base))
+    b = list(range(base - overlap, 2 * base - overlap))
+    return RecordStore(Schema.single_shingles(), {"shingles": [a, b]})
+
+
+class TestFamily:
+    @pytest.mark.parametrize("bits", [1, 2, 4, 8])
+    def test_collision_rate_matches_theory(self, bits):
+        sim = 0.5
+        store = store_with_jaccard(sim)
+        family = MinHashFamily(store, "shingles", seed=bits, bits=bits)
+        sig = family.compute(np.array([0, 1]), 0, 8000)
+        rate = float((sig[0] == sig[1]).mean())
+        expected = sim + (1 - sim) * 2.0**-bits
+        assert rate == pytest.approx(expected, abs=0.03)
+
+    def test_values_fit_in_b_bits(self):
+        store = store_with_jaccard(0.5)
+        family = MinHashFamily(store, "shingles", seed=0, bits=3)
+        sig = family.compute(np.array([0, 1]), 0, 200)
+        assert sig.max() < 8
+
+    def test_invalid_bits(self):
+        store = store_with_jaccard(0.5)
+        with pytest.raises(ValueError):
+            MinHashFamily(store, "shingles", bits=0)
+        with pytest.raises(ValueError):
+            MinHashFamily(store, "shingles", bits=40)
+
+    def test_collision_prob_curve(self):
+        store = store_with_jaccard(0.5)
+        family = MinHashFamily(store, "shingles", bits=2)
+        x = np.array([0.0, 0.5, 1.0])
+        assert np.allclose(family.collision_prob(x), [1.0, 0.625, 0.25])
+
+
+class TestDistanceIntegration:
+    def test_jaccard_distance_carries_bits(self):
+        dist = JaccardDistance("shingles", minhash_bits=4)
+        assert float(dist.collision_prob(1.0)) == pytest.approx(2.0**-4)
+        store = store_with_jaccard(0.5)
+        family = dist.make_family(store, seed=0)
+        assert family.bits == 4
+
+    def test_design_compensates_for_flat_curve(self):
+        """With b-bit signatures the collision floor is 2^-b, so the
+        designer must use more hashes per table to stay selective."""
+        from repro.distance import ThresholdRule
+        from repro.lsh.design import build_design_context, design_scheme
+
+        store = store_with_jaccard(0.5, base=40)
+        plain = ThresholdRule(JaccardDistance("shingles"), 0.6)
+        bbit = ThresholdRule(JaccardDistance("shingles", minhash_bits=1), 0.6)
+        w_plain = design_scheme(
+            build_design_context(store, plain, seed=0), 640
+        ).groups[0].ws[0]
+        w_bbit = design_scheme(
+            build_design_context(store, bbit, seed=0), 640
+        ).groups[0].ws[0]
+        assert w_bbit >= w_plain
+
+    def test_end_to_end_with_bbit_rule(self, tiny_spotsigs):
+        """adaLSH still matches Pairs when hashing is 4-bit."""
+        from dataclasses import replace
+
+        from repro.baselines import PairsBaseline
+        from repro.core import AdaptiveLSH
+        from repro.distance import ThresholdRule
+
+        rule = ThresholdRule(
+            JaccardDistance("signatures", minhash_bits=4), 0.6
+        )
+        ds = replace(tiny_spotsigs, rule=rule)
+        ada = AdaptiveLSH(ds.store, ds.rule, seed=1, cost_model="analytic").run(3)
+        pairs = PairsBaseline(ds.store, ds.rule).run(3)
+        assert [c.size for c in ada.clusters] == [c.size for c in pairs.clusters]

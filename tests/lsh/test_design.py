@@ -1,0 +1,213 @@
+"""Tests for the scheme-design programs (§5.1, Appendix C)."""
+
+import numpy as np
+import pytest
+
+from repro.distance import (
+    AndRule,
+    CosineDistance,
+    JaccardDistance,
+    OrRule,
+    ThresholdRule,
+    WeightedAverageRule,
+)
+from repro.errors import ConfigurationError, DesignError
+from repro.lsh.design import (
+    build_design_context,
+    design_group,
+    design_scheme,
+    design_sequence,
+)
+from repro.lsh.probability import collision_prob_curve
+from repro.records import FieldKind, FieldSpec, RecordStore, Schema
+from tests.conftest import make_shingle_store, make_vector_store
+
+
+def linear_p(x):
+    return np.clip(1.0 - np.asarray(x, dtype=float), 0.0, 1.0)
+
+
+class FakeComponent:
+    """Leaf component stub with a linear p(x)."""
+
+    def __init__(self, d_thr):
+        self.label = f"fake@{d_thr}"
+        self.pool = None
+        self.pfunc = linear_p
+        self.d_thr = d_thr
+
+
+class TestDesignGroup:
+    def test_budget_respected(self):
+        design = design_group([FakeComponent(0.1)], budget=2100)
+        assert design.budget <= 2100
+
+    def test_constraint_satisfied(self):
+        comp = FakeComponent(15 / 180.0)
+        design = design_group([comp], budget=2100, epsilon=1e-3)
+        assert design.feasible
+        prob = collision_prob_curve(linear_p, design.ws[0], design.z, comp.d_thr)
+        assert float(prob) >= 1 - 1e-3
+
+    def test_maximizes_w_among_feasible(self):
+        """The optimum is the largest feasible w (paper §5.1)."""
+        comp = FakeComponent(15 / 180.0)
+        design = design_group([comp], budget=2100, epsilon=1e-3)
+        w, z = design.ws[0], design.z
+        # One more hash per table (same table count) must be infeasible
+        # or exceed the budget.
+        bigger_feasible = (
+            (w + 1) * z <= 2100
+            and float(collision_prob_curve(linear_p, w + 1, z, comp.d_thr))
+            >= 1 - 1e-3
+        )
+        assert not bigger_feasible
+
+    def test_small_budget_tight_rule_falls_back(self):
+        """Two strict components under a tiny budget: no feasible
+        allocation exists; the fallback uses minimum hashes."""
+        comps = [FakeComponent(0.3), FakeComponent(0.8)]
+        design = design_group(comps, budget=20, epsilon=1e-3)
+        assert not design.feasible
+        assert design.ws == (1, 1)
+        assert design.z == 10
+
+    def test_two_components_feasible_with_big_budget(self):
+        comps = [FakeComponent(0.3), FakeComponent(0.8)]
+        design = design_group(comps, budget=640, epsilon=1e-3)
+        assert design.feasible
+
+    def test_min_ws_enforced(self):
+        comp = FakeComponent(0.5)
+        design = design_group([comp], budget=100, min_ws=(4,))
+        assert design.ws[0] >= 4
+
+    def test_min_z_enforced(self):
+        comp = FakeComponent(0.5)
+        design = design_group([comp], budget=100, min_z=12)
+        assert design.z >= 12
+
+    def test_budget_too_small_raises(self):
+        with pytest.raises(DesignError):
+            design_group([FakeComponent(0.5)], budget=3, min_ws=(2,), min_z=2)
+
+
+class TestBuildContext:
+    def test_single_threshold_rule(self):
+        store, _ = make_vector_store()
+        rule = ThresholdRule(CosineDistance("vec"), 0.1)
+        ctx = build_design_context(store, rule, seed=0)
+        assert len(ctx.branches) == 1
+        assert len(ctx.branches[0]) == 1
+
+    def test_and_rule_components(self, tiny_cora):
+        ctx = build_design_context(tiny_cora.store, tiny_cora.rule, seed=0)
+        assert len(ctx.branches) == 1
+        assert len(ctx.branches[0]) == 2  # weighted-average + rest
+
+    def test_or_rule_branches(self):
+        store, _ = make_shingle_store()
+        schema_rule = OrRule(
+            [
+                ThresholdRule(JaccardDistance("shingles"), 0.5),
+                ThresholdRule(JaccardDistance("shingles"), 0.7),
+            ]
+        )
+        ctx = build_design_context(store, schema_rule, seed=0)
+        assert len(ctx.branches) == 2
+
+    def test_nested_or_rejected(self):
+        store, _ = make_shingle_store()
+        inner = OrRule(
+            [
+                ThresholdRule(JaccardDistance("shingles"), 0.5),
+                ThresholdRule(JaccardDistance("shingles"), 0.7),
+            ]
+        )
+        nested = OrRule([inner, ThresholdRule(JaccardDistance("shingles"), 0.6)])
+        with pytest.raises(ConfigurationError):
+            build_design_context(store, nested, seed=0)
+
+
+class TestDesignScheme:
+    def test_monotonicity_across_sequence(self):
+        store, _ = make_shingle_store()
+        rule = ThresholdRule(JaccardDistance("shingles"), 0.6)
+        _, designs = design_sequence(
+            store, rule, [20, 40, 80, 160, 320], seed=0
+        )
+        for prev, nxt in zip(designs, designs[1:]):
+            for g_prev, g_next in zip(prev.groups, nxt.groups):
+                assert g_next.z >= g_prev.z
+                assert all(
+                    w_next >= w_prev
+                    for w_prev, w_next in zip(g_prev.ws, g_next.ws)
+                )
+
+    def test_pools_shared_across_sequence(self):
+        store, _ = make_shingle_store()
+        rule = ThresholdRule(JaccardDistance("shingles"), 0.6)
+        ctx, designs = design_sequence(store, rule, [20, 40, 80], seed=0)
+        pools = {id(comp.pool) for branch in ctx.branches for comp in branch}
+        for design in designs:
+            for group in design.groups:
+                for comp, _w in zip(group.components, group.ws):
+                    assert id(comp.pool) in pools
+
+    def test_budgets_must_increase(self):
+        store, _ = make_shingle_store()
+        rule = ThresholdRule(JaccardDistance("shingles"), 0.6)
+        with pytest.raises(ConfigurationError):
+            design_sequence(store, rule, [40, 40], seed=0)
+
+    def test_empty_budgets_rejected(self):
+        store, _ = make_shingle_store()
+        rule = ThresholdRule(JaccardDistance("shingles"), 0.6)
+        with pytest.raises(ConfigurationError):
+            design_sequence(store, rule, [], seed=0)
+
+    def test_or_rule_splits_budget(self):
+        store, _ = make_shingle_store()
+        rule = OrRule(
+            [
+                ThresholdRule(JaccardDistance("shingles"), 0.5),
+                ThresholdRule(JaccardDistance("shingles"), 0.7),
+            ]
+        )
+        ctx = build_design_context(store, rule, seed=0)
+        design = design_scheme(ctx, 640)
+        assert len(design.groups) == 2
+        assert design.spent_budget <= 640
+
+    def test_describe_is_readable(self):
+        store, _ = make_shingle_store()
+        rule = ThresholdRule(JaccardDistance("shingles"), 0.6)
+        ctx = build_design_context(store, rule, seed=0)
+        design = design_scheme(ctx, 320)
+        assert "w=" in design.describe() and "z=" in design.describe()
+
+    def test_weighted_average_uses_one_pool(self):
+        schema = Schema(
+            (
+                FieldSpec("a", FieldKind.SHINGLES),
+                FieldSpec("b", FieldKind.SHINGLES),
+            )
+        )
+        store = RecordStore(
+            schema, {"a": [[1, 2], [2, 3]], "b": [[4], [4, 5]]}
+        )
+        rule = WeightedAverageRule(
+            [JaccardDistance("a"), JaccardDistance("b")],
+            weights=[0.5, 0.5],
+            threshold=0.4,
+        )
+        ctx = build_design_context(store, rule, seed=0)
+        assert len(ctx.branches) == 1
+        assert len(ctx.branches[0]) == 1  # single mixture component
+
+    def test_cora_rule_design_eventually_feasible(self, tiny_cora):
+        _, designs = design_sequence(
+            tiny_cora.store, tiny_cora.rule, [20, 40, 80, 160, 320], seed=0
+        )
+        assert not designs[0].feasible  # AND rule too strict at 20
+        assert designs[-1].feasible

@@ -1,0 +1,112 @@
+"""Tests for hash families and the incremental signature pool."""
+
+import numpy as np
+import pytest
+
+from repro.lsh.families import SignaturePool
+from repro.lsh.hyperplanes import RandomHyperplaneFamily
+from repro.lsh.minhash import MinHashFamily
+from tests.conftest import make_shingle_store, make_vector_store
+
+
+@pytest.fixture(scope="module")
+def hyper_family():
+    store, _ = make_vector_store(seed=5)
+    return RandomHyperplaneFamily(store, "vec", seed=1)
+
+
+@pytest.fixture(scope="module")
+def min_family():
+    store, _ = make_shingle_store(seed=5)
+    return MinHashFamily(store, "shingles", seed=1)
+
+
+class TestDeterminism:
+    def test_hyperplane_columns_stable(self, hyper_family):
+        rids = np.arange(10)
+        first = hyper_family.compute(rids, 0, 32)
+        again = hyper_family.compute(rids, 0, 32)
+        assert np.array_equal(first, again)
+
+    def test_hyperplane_extension_preserves_prefix(self, hyper_family):
+        rids = np.arange(10)
+        small = hyper_family.compute(rids, 0, 16)
+        large = hyper_family.compute(rids, 0, 48)
+        assert np.array_equal(large[:, :16], small)
+
+    def test_minhash_columns_stable(self, min_family):
+        rids = np.arange(8)
+        first = min_family.compute(rids, 0, 20)
+        again = min_family.compute(rids, 0, 20)
+        assert np.array_equal(first, again)
+
+    def test_minhash_partial_range(self, min_family):
+        rids = np.arange(8)
+        full = min_family.compute(rids, 0, 30)
+        tail = min_family.compute(rids, 10, 30)
+        assert np.array_equal(full[:, 10:], tail)
+
+    def test_same_seed_same_family(self):
+        store, _ = make_vector_store(seed=7)
+        f1 = RandomHyperplaneFamily(store, "vec", seed=42)
+        f2 = RandomHyperplaneFamily(store, "vec", seed=42)
+        rids = np.arange(5)
+        assert np.array_equal(f1.compute(rids, 0, 8), f2.compute(rids, 0, 8))
+
+    def test_different_seed_different_family(self):
+        store, _ = make_vector_store(seed=7)
+        f1 = RandomHyperplaneFamily(store, "vec", seed=1)
+        f2 = RandomHyperplaneFamily(store, "vec", seed=2)
+        rids = np.arange(20)
+        assert not np.array_equal(
+            f1.compute(rids, 0, 32), f2.compute(rids, 0, 32)
+        )
+
+
+class TestSignaturePool:
+    def _pool(self):
+        store, _ = make_vector_store(seed=3)
+        return SignaturePool(RandomHyperplaneFamily(store, "vec", seed=3))
+
+    def test_initially_empty(self):
+        pool = self._pool()
+        assert pool.capacity == 0
+        assert pool.hashes_computed == 0
+        assert pool.filled(0) == 0
+
+    def test_signatures_shape(self):
+        pool = self._pool()
+        sig = pool.signatures(np.arange(6), 12)
+        assert sig.shape == (6, 12)
+
+    def test_counter_counts_new_hashes_only(self):
+        pool = self._pool()
+        pool.signatures(np.arange(6), 12)
+        assert pool.hashes_computed == 72
+        pool.signatures(np.arange(6), 12)
+        assert pool.hashes_computed == 72  # cached, nothing new
+        pool.signatures(np.arange(6), 20)
+        assert pool.hashes_computed == 72 + 6 * 8
+
+    def test_incremental_extension_is_consistent(self):
+        pool = self._pool()
+        small = pool.signatures(np.arange(4), 8).copy()
+        large = pool.signatures(np.arange(4), 24)
+        assert np.array_equal(large[:, :8], small)
+
+    def test_mixed_fill_levels(self):
+        """Records arriving at different fill levels must batch
+        correctly (the adaptive algorithm creates exactly this)."""
+        pool = self._pool()
+        pool.signatures(np.array([0, 1]), 10)
+        pool.signatures(np.array([2, 3]), 4)
+        mixed = pool.signatures(np.array([0, 1, 2, 3]), 16)
+        fresh_pool = self._pool()
+        fresh = fresh_pool.signatures(np.array([0, 1, 2, 3]), 16)
+        assert np.array_equal(mixed, fresh)
+
+    def test_subset_requests_leave_others_cold(self):
+        pool = self._pool()
+        pool.signatures(np.array([5]), 64)
+        assert pool.filled(5) == 64
+        assert pool.filled(6) == 0

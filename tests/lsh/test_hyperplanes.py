@@ -1,0 +1,57 @@
+"""Statistical tests: random hyperplanes collide with probability
+1 - theta/180 (paper Example 2 / Example 6)."""
+
+import numpy as np
+import pytest
+
+from repro.lsh.hyperplanes import RandomHyperplaneFamily
+from repro.records import RecordStore, Schema
+
+
+def make_pair_at_angle(degrees: float, dim: int = 8, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    v = rng.normal(size=dim)
+    v /= np.linalg.norm(v)
+    u = rng.normal(size=dim)
+    u -= (u @ v) * v
+    u /= np.linalg.norm(u)
+    theta = np.deg2rad(degrees)
+    w = np.cos(theta) * v + np.sin(theta) * u
+    return RecordStore(Schema.single_vector(), {"vec": np.vstack([v, w])})
+
+
+@pytest.mark.parametrize("degrees", [10, 30, 60, 90, 150])
+def test_collision_rate_matches_angle(degrees):
+    store = make_pair_at_angle(degrees, seed=degrees)
+    family = RandomHyperplaneFamily(store, "vec", seed=degrees)
+    n = 6000
+    sig = family.compute(np.array([0, 1]), 0, n)
+    rate = float((sig[0] == sig[1]).mean())
+    expected = 1 - degrees / 180.0
+    # Binomial std at n=6000 is <= 0.0065; 4 sigma tolerance.
+    assert rate == pytest.approx(expected, abs=0.03)
+
+
+def test_identical_vectors_always_collide():
+    store = RecordStore(
+        Schema.single_vector(), {"vec": np.array([[1.0, 2.0], [2.0, 4.0]])}
+    )
+    family = RandomHyperplaneFamily(store, "vec", seed=0)
+    sig = family.compute(np.array([0, 1]), 0, 500)
+    assert np.array_equal(sig[0], sig[1])
+
+
+def test_opposite_vectors_never_collide():
+    store = RecordStore(
+        Schema.single_vector(), {"vec": np.array([[1.0, 0.0], [-1.0, 0.0]])}
+    )
+    family = RandomHyperplaneFamily(store, "vec", seed=0)
+    sig = family.compute(np.array([0, 1]), 0, 500)
+    assert not np.any(sig[0] == sig[1])
+
+
+def test_values_are_binary():
+    store = make_pair_at_angle(45)
+    family = RandomHyperplaneFamily(store, "vec", seed=3)
+    sig = family.compute(np.array([0, 1]), 0, 64)
+    assert set(np.unique(sig)) <= {0, 1}

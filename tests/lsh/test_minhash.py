@@ -1,0 +1,96 @@
+"""Statistical tests: minhash collides with probability ~= Jaccard
+similarity, including the structured-id edge cases that broke naive
+multiplicative hashing (id 0, tiny sequential ids)."""
+
+import numpy as np
+import pytest
+
+from repro.distance.jaccard import jaccard_distance
+from repro.lsh.minhash import MinHashFamily
+from repro.records import RecordStore, Schema
+
+
+def store_from(sets):
+    return RecordStore(Schema.single_shingles(), {"shingles": sets})
+
+
+def collision_rate(store, r1, r2, n=4000, seed=0):
+    family = MinHashFamily(store, "shingles", seed=seed)
+    sig = family.compute(np.array([r1, r2]), 0, n)
+    return float((sig[0] == sig[1]).mean())
+
+
+@pytest.mark.parametrize(
+    "a,b",
+    [
+        (list(range(0, 100)), list(range(50, 150))),  # J = 1/3
+        (list(range(0, 40)), list(range(0, 40))),  # J = 1
+        (list(range(0, 30)), list(range(100, 130))),  # J = 0
+        (list(range(0, 80)), list(range(0, 20))),  # J = 0.25
+    ],
+)
+def test_collision_rate_matches_jaccard(a, b):
+    store = store_from([a, b])
+    expected = 1 - jaccard_distance(
+        np.asarray(sorted(set(a))), np.asarray(sorted(set(b)))
+    )
+    rate = collision_rate(store, 0, 1)
+    assert rate == pytest.approx(expected, abs=0.035)
+
+
+def test_id_zero_is_not_degenerate():
+    """Regression: with pure multiplicative hashing, id 0 hashes to 0
+    under every function and always wins the minimum; two sets sharing
+    id 0 would collide on every hash regardless of their Jaccard."""
+    a = [0] + list(range(1000, 1040))
+    b = [0] + list(range(2000, 2040))
+    store = store_from([a, b])  # J = 1/81
+    rate = collision_rate(store, 0, 1)
+    assert rate < 0.08
+
+def test_small_sequential_ids_not_biased():
+    a = list(range(0, 60))
+    b = list(range(30, 90))  # J = 30/90
+    store = store_from([a, b])
+    assert collision_rate(store, 0, 1) == pytest.approx(1 / 3, abs=0.04)
+
+
+def test_empty_sets_always_collide():
+    store = store_from([[], []])
+    assert collision_rate(store, 0, 1, n=200) == 1.0
+
+
+def test_empty_vs_nonempty_rarely_collide():
+    store = store_from([[], list(range(50))])
+    assert collision_rate(store, 0, 1, n=2000) < 0.01
+
+
+def test_batch_order_invariance():
+    """Signatures must not depend on which records are computed together
+    (the size-sorted batching must be transparent)."""
+    rng = np.random.default_rng(0)
+    sets = [
+        rng.choice(500, size=size, replace=False)
+        for size in (5, 200, 17, 90, 33, 150)
+    ]
+    store = store_from(sets)
+    family = MinHashFamily(store, "shingles", seed=9)
+    together = family.compute(np.arange(6), 0, 64)
+    family2 = MinHashFamily(store, "shingles", seed=9)
+    separate = np.vstack(
+        [family2.compute(np.array([i]), 0, 64) for i in range(6)]
+    )
+    assert np.array_equal(together, separate)
+
+
+def test_incremental_range_consistency():
+    store = store_from([list(range(40)), list(range(20, 60))])
+    family = MinHashFamily(store, "shingles", seed=2)
+    full = family.compute(np.array([0, 1]), 0, 100)
+    parts = np.hstack(
+        [
+            family.compute(np.array([0, 1]), 0, 30),
+            family.compute(np.array([0, 1]), 30, 100),
+        ]
+    )
+    assert np.array_equal(full, parts)

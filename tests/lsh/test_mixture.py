@@ -1,0 +1,94 @@
+"""Tests for the weighted-average mixture family (Definition 7,
+Theorem 3: collision probability equals 1 - weighted distance)."""
+
+import numpy as np
+import pytest
+
+from repro.distance import JaccardDistance
+from repro.lsh.minhash import MinHashFamily
+from repro.lsh.mixture import WeightedMixtureFamily
+from repro.errors import ConfigurationError
+from repro.records import FieldKind, FieldSpec, RecordStore, Schema
+
+SCHEMA = Schema(
+    (
+        FieldSpec("f1", FieldKind.SHINGLES),
+        FieldSpec("f2", FieldKind.SHINGLES),
+    )
+)
+
+
+def make_store(j1: float, j2: float, base: int = 120):
+    """Two records whose fields have Jaccard similarities j1 and j2."""
+
+    def pair(j, offset):
+        overlap = int(round(2 * base * j / (1 + j)))
+        a = list(range(offset, offset + base))
+        b = list(range(offset + base - overlap, offset + 2 * base - overlap))
+        return a, b
+
+    a1, b1 = pair(j1, 0)
+    a2, b2 = pair(j2, 10_000)
+    return RecordStore(SCHEMA, {"f1": [a1, b1], "f2": [a2, b2]})
+
+
+def mixture_for(store, weights, seed=0):
+    fams = [
+        MinHashFamily(store, "f1", seed=seed + 1),
+        MinHashFamily(store, "f2", seed=seed + 2),
+    ]
+    return WeightedMixtureFamily(store, fams, weights, seed=seed)
+
+
+class TestTheorem3:
+    @pytest.mark.parametrize(
+        "j1,j2,weights",
+        [
+            (0.8, 0.2, [0.5, 0.5]),
+            (0.6, 0.6, [0.3, 0.7]),
+            (1.0, 0.0, [0.25, 0.75]),
+        ],
+    )
+    def test_collision_rate_is_weighted_similarity(self, j1, j2, weights):
+        store = make_store(j1, j2)
+        d1 = JaccardDistance("f1").distance(store, 0, 1)
+        d2 = JaccardDistance("f2").distance(store, 0, 1)
+        expected = 1 - (weights[0] * d1 + weights[1] * d2)
+        mixture = mixture_for(store, weights, seed=17)
+        sig = mixture.compute(np.array([0, 1]), 0, 5000)
+        rate = float((sig[0] == sig[1]).mean())
+        assert rate == pytest.approx(expected, abs=0.04)
+
+
+class TestMechanics:
+    def test_assignment_roughly_follows_weights(self):
+        store = make_store(0.5, 0.5)
+        mixture = mixture_for(store, [0.2, 0.8], seed=3)
+        mixture._ensure_assignment(4000)
+        frac = float((mixture._assignment[:4000] == 0).mean())
+        assert frac == pytest.approx(0.2, abs=0.03)
+
+    def test_columns_deterministic(self):
+        store = make_store(0.5, 0.3)
+        mixture = mixture_for(store, [0.5, 0.5], seed=5)
+        first = mixture.compute(np.array([0, 1]), 0, 64)
+        again = mixture.compute(np.array([0, 1]), 0, 64)
+        assert np.array_equal(first, again)
+
+    def test_range_consistency(self):
+        store = make_store(0.5, 0.3)
+        mixture = mixture_for(store, [0.5, 0.5], seed=5)
+        full = mixture.compute(np.array([0, 1]), 0, 80)
+        tail = mixture.compute(np.array([0, 1]), 48, 80)
+        assert np.array_equal(full[:, 48:], tail)
+
+    def test_needs_families(self):
+        store = make_store(0.5, 0.5)
+        with pytest.raises(ConfigurationError):
+            WeightedMixtureFamily(store, [], [], seed=0)
+
+    def test_weight_count_checked(self):
+        store = make_store(0.5, 0.5)
+        fam = MinHashFamily(store, "f1", seed=0)
+        with pytest.raises(ConfigurationError):
+            WeightedMixtureFamily(store, [fam], [0.5, 0.5], seed=0)

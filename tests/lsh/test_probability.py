@@ -1,0 +1,114 @@
+"""Tests for the AND-OR collision probability math (Appendix A, §5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.lsh.probability import (
+    and_feasible,
+    and_objective,
+    and_or_collision_prob,
+    collision_prob_curve,
+    or_combine,
+    scheme_feasible,
+    scheme_objective,
+)
+
+
+def linear_p(x):
+    return np.clip(1.0 - np.asarray(x, dtype=float), 0.0, 1.0)
+
+
+class TestAndOrCollisionProb:
+    def test_single_table_single_hash(self):
+        assert and_or_collision_prob(0.3, 1) == pytest.approx(0.3)
+
+    def test_or_amplification(self):
+        # 1 - (1 - 0.3)^2 = 0.51
+        assert and_or_collision_prob(0.3, 2) == pytest.approx(0.51)
+
+    def test_extremes(self):
+        assert and_or_collision_prob(0.0, 10) == pytest.approx(0.0)
+        assert and_or_collision_prob(1.0, 10) == pytest.approx(1.0)
+
+    def test_vectorized(self):
+        q = np.array([0.0, 0.5, 1.0])
+        got = and_or_collision_prob(q, 3)
+        assert np.allclose(got, [0.0, 1 - 0.5**3, 1.0])
+
+    def test_example3_from_paper(self):
+        """Paper Example 3: two tables, three hyperplanes each; for an
+        angle theta the probability is 1 - (1 - (1-theta/180)^3)^2."""
+        theta = 30.0
+        p = 1 - theta / 180.0
+        expected = 1 - (1 - p**3) ** 2
+        got = collision_prob_curve(linear_p, 3, 2, theta / 180.0)
+        assert float(got) == pytest.approx(expected)
+
+    def test_monotone_decreasing_in_distance(self):
+        x = np.linspace(0, 1, 50)
+        curve = collision_prob_curve(linear_p, 8, 16, x)
+        assert np.all(np.diff(curve) <= 1e-12)
+
+    def test_more_hashes_sharper_drop(self):
+        """Figure 5's qualitative point: at a distance past the
+        threshold, a bigger scheme has a lower collision probability."""
+        x_far = 55.0 / 180.0
+        small = collision_prob_curve(linear_p, 1, 1, x_far)
+        mid = collision_prob_curve(linear_p, 15, 20, x_far)
+        big = collision_prob_curve(linear_p, 30, 70, x_far)
+        assert float(big) < float(mid) < float(small)
+
+
+class TestObjectiveAndFeasibility:
+    def test_objective_decreases_with_w_at_fixed_budget(self):
+        budget = 2100
+        objectives = [
+            scheme_objective(linear_p, w, budget // w) for w in (15, 30, 60)
+        ]
+        assert objectives[0] > objectives[1] > objectives[2]
+
+    def test_feasibility_monotone_in_w(self):
+        """Section 5.1: if the constraint fails for w, it fails for all
+        greater w (same budget)."""
+        budget, d_thr, eps = 2100, 15 / 180.0, 1e-3
+        feas = [
+            scheme_feasible(linear_p, w, budget // w, d_thr, eps)
+            for w in range(1, 80)
+        ]
+        # Once infeasible, always infeasible.
+        first_bad = feas.index(False) if False in feas else len(feas)
+        assert all(feas[:first_bad])
+        assert not any(feas[first_bad:])
+
+    def test_objective_bounds(self):
+        obj = scheme_objective(linear_p, 4, 5)
+        assert 0.0 < obj < 1.0
+
+    def test_and_objective_reduces_to_single(self):
+        single = scheme_objective(linear_p, 6, 7, grid_points=129)
+        multi = and_objective([linear_p], [6], 7, grid_points=129)
+        assert multi == pytest.approx(single, rel=1e-9)
+
+    def test_and_objective_two_fields_smaller_than_one(self):
+        """ANDing a second field can only reduce the collision volume."""
+        one = and_objective([linear_p], [4], 10, grid_points=65)
+        two = and_objective([linear_p, linear_p], [4, 2], 10, grid_points=65)
+        assert two < one
+
+    def test_and_feasible_corner(self):
+        assert and_feasible([linear_p, linear_p], [1, 1], 100, [0.3, 0.5], 1e-3)
+        assert not and_feasible([linear_p, linear_p], [9, 9], 2, [0.3, 0.5], 1e-3)
+
+
+class TestOrCombine:
+    def test_single_branch_identity(self):
+        assert or_combine([np.array([0.25])])[0] == pytest.approx(0.25)
+
+    def test_two_branches(self):
+        got = or_combine([np.array([0.5]), np.array([0.5])])
+        assert got[0] == pytest.approx(0.75)
+
+    def test_never_decreases(self):
+        a = np.linspace(0, 1, 11)
+        combined = or_combine([a, np.full_like(a, 0.1)])
+        assert np.all(combined >= a - 1e-12)

@@ -1,0 +1,47 @@
+"""Streaming adaLSH over vector data (hyperplane-family path)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveLSH
+from repro.online import StreamingTopK
+from tests.conftest import make_vector_store
+from repro.distance import CosineDistance, ThresholdRule
+
+
+@pytest.fixture(scope="module")
+def vector_setup():
+    store, _ = make_vector_store(
+        cluster_sizes=(25, 14, 7), n_noise=60, seed=88
+    )
+    rule = ThresholdRule(CosineDistance("vec"), 10 / 180.0)
+    return store, rule
+
+
+def test_streamed_matches_batch(vector_setup):
+    store, rule = vector_setup
+    stream = StreamingTopK(store, rule, seed=4, cost_model="analytic")
+    stream.insert_many(store.rids)
+    streamed = [c.size for c in stream.top_k(3).clusters]
+    batch = AdaptiveLSH(store, rule, seed=4, cost_model="analytic").run(3)
+    assert streamed == [c.size for c in batch.clusters]
+
+
+def test_out_of_order_arrival_same_answer(vector_setup):
+    store, rule = vector_setup
+    order = np.random.default_rng(1).permutation(len(store))
+    shuffled = StreamingTopK(store, rule, seed=4, cost_model="analytic")
+    shuffled.insert_many(order)
+    sequential = StreamingTopK(store, rule, seed=4, cost_model="analytic")
+    sequential.insert_many(store.rids)
+    assert [c.size for c in shuffled.top_k(3).clusters] == [
+        c.size for c in sequential.top_k(3).clusters
+    ]
+
+
+def test_partial_stream_respects_seen_records(vector_setup):
+    store, rule = vector_setup
+    stream = StreamingTopK(store, rule, seed=4, cost_model="analytic")
+    stream.insert_many(np.arange(40))
+    result = stream.top_k(2)
+    assert result.output_rids.max() < 40

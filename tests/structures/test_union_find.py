@@ -1,0 +1,70 @@
+"""Tests for the plain union-find cross-check structure."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures import UnionFind
+
+
+class TestBasics:
+    def test_initially_disjoint(self):
+        uf = UnionFind(4)
+        assert not uf.connected(0, 1)
+        assert len(uf.components()) == 4
+
+    def test_union_connects(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert not uf.connected(0, 2)
+
+    def test_union_idempotent(self):
+        uf = UnionFind(3)
+        root = uf.union(0, 1)
+        assert uf.union(0, 1) == root
+
+    def test_transitivity(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+
+    def test_sizes_accumulate(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        uf.union(0, 2)
+        assert uf.size[uf.find(3)] == 4
+
+    def test_components_partition(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        comps = sorted(sorted(c) for c in uf.components())
+        assert comps == [[0, 1], [2, 3], [4], [5]]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(1, 30),
+    edges=st.lists(st.tuples(st.integers(0, 29), st.integers(0, 29)), max_size=60),
+)
+def test_components_match_reference(n, edges):
+    """Property: components equal a brute-force graph reachability."""
+    uf = UnionFind(n)
+    adj = {i: {i} for i in range(n)}
+    for a, b in edges:
+        a, b = a % n, b % n
+        uf.union(a, b)
+    # Brute force: repeated merging of overlapping sets.
+    groups = [{i} for i in range(n)]
+    for a, b in edges:
+        a, b = a % n, b % n
+        ga = next(g for g in groups if a in g)
+        gb = next(g for g in groups if b in g)
+        if ga is not gb:
+            ga |= gb
+            groups.remove(gb)
+    assert {frozenset(c) for c in uf.components()} == {
+        frozenset(g) for g in groups
+    }

@@ -1,0 +1,43 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig5" in out and "fig22" in out
+
+
+def test_run_analytic_figure(capsys):
+    assert main(["run", "fig7"]) == 0
+    out = capsys.readouterr().out
+    assert "### fig7" in out
+
+
+def test_run_unknown_figure(capsys):
+    assert main(["run", "fig99"]) == 2
+
+
+def test_report_writes_file(tmp_path, capsys):
+    out_file = tmp_path / "report.md"
+    code = main(
+        ["report", "--out", str(out_file), "--figures", "fig5", "fig7"]
+    )
+    assert code == 0
+    body = out_file.read_text()
+    assert "# Experiment report" in body
+    assert "### fig5" in body and "### fig7" in body
+
+
+def test_demo(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "filtered in" in out
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,29 @@
+"""The exception hierarchy is catchable at the base."""
+
+import pytest
+
+from repro.errors import (
+    CalibrationError,
+    ConfigurationError,
+    DatasetError,
+    DesignError,
+    ReproError,
+    SchemaError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [SchemaError, DesignError, ConfigurationError, CalibrationError, DatasetError],
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    with pytest.raises(ReproError):
+        raise exc("boom")
+
+
+def test_public_api_raises_catchable_errors(tiny_spotsigs):
+    from repro import AdaptiveLSH
+
+    with pytest.raises(ReproError):
+        AdaptiveLSH(tiny_spotsigs.store, tiny_spotsigs.rule, selection="nope")

@@ -1,0 +1,203 @@
+"""Unit tests for the record model (schemas, stores, batch accessors)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.records import FieldKind, FieldSpec, RecordStore, Schema
+
+
+class TestSchema:
+    def test_single_vector_helper(self):
+        schema = Schema.single_vector("v")
+        assert schema.names == ("v",)
+        assert schema.kind_of("v") is FieldKind.VECTOR
+
+    def test_single_shingles_helper(self):
+        schema = Schema.single_shingles("s")
+        assert schema.kind_of("s") is FieldKind.SHINGLES
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(
+                (
+                    FieldSpec("a", FieldKind.VECTOR),
+                    FieldSpec("a", FieldKind.SHINGLES),
+                )
+            )
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(())
+
+    def test_empty_field_name_rejected(self):
+        with pytest.raises(SchemaError):
+            FieldSpec("", FieldKind.VECTOR)
+
+    def test_unknown_field_lookup(self):
+        schema = Schema.single_vector()
+        with pytest.raises(SchemaError):
+            schema.kind_of("nope")
+
+    def test_iteration_and_len(self):
+        schema = Schema(
+            (
+                FieldSpec("a", FieldKind.VECTOR),
+                FieldSpec("b", FieldKind.SHINGLES),
+            )
+        )
+        assert len(schema) == 2
+        assert [f.name for f in schema] == ["a", "b"]
+
+
+class TestRecordStore:
+    def _store(self):
+        schema = Schema(
+            (
+                FieldSpec("vec", FieldKind.VECTOR),
+                FieldSpec("toks", FieldKind.SHINGLES),
+            )
+        )
+        return RecordStore(
+            schema,
+            {
+                "vec": np.arange(12, dtype=float).reshape(4, 3),
+                "toks": [[1, 2], [2, 3, 4], [], [9]],
+            },
+        )
+
+    def test_len(self):
+        assert len(self._store()) == 4
+
+    def test_getitem_returns_record_view(self):
+        store = self._store()
+        record = store[1]
+        assert record.rid == 1
+        assert np.array_equal(record["vec"], [3.0, 4.0, 5.0])
+        assert np.array_equal(record["toks"], [2, 3, 4])
+
+    def test_getitem_out_of_range(self):
+        with pytest.raises(IndexError):
+            self._store()[4]
+
+    def test_iteration_covers_all_rows(self):
+        assert [r.rid for r in self._store()] == [0, 1, 2, 3]
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(SchemaError):
+            RecordStore(Schema.single_vector(), {})
+
+    def test_extra_column_rejected(self):
+        with pytest.raises(SchemaError):
+            RecordStore(
+                Schema.single_vector(),
+                {"vec": np.zeros((2, 2)), "other": np.zeros((2, 2))},
+            )
+
+    def test_inconsistent_row_counts_rejected(self):
+        schema = Schema(
+            (
+                FieldSpec("a", FieldKind.VECTOR),
+                FieldSpec("b", FieldKind.SHINGLES),
+            )
+        )
+        with pytest.raises(SchemaError):
+            RecordStore(schema, {"a": np.zeros((3, 2)), "b": [[1], [2]]})
+
+    def test_vector_must_be_2d(self):
+        with pytest.raises(SchemaError):
+            RecordStore(Schema.single_vector(), {"vec": np.zeros(5)})
+
+    def test_negative_shingle_ids_rejected(self):
+        with pytest.raises(SchemaError):
+            RecordStore(Schema.single_shingles(), {"shingles": [[-1, 2]]})
+
+    def test_shingles_deduplicated_and_sorted(self):
+        store = RecordStore(
+            Schema.single_shingles(), {"shingles": [[5, 1, 5, 3, 1]]}
+        )
+        assert np.array_equal(store.shingle_sets("shingles")[0], [1, 3, 5])
+
+    def test_vectors_accessor_rejects_shingle_field(self):
+        store = self._store()
+        with pytest.raises(SchemaError):
+            store.vectors("toks")
+
+    def test_shingles_accessor_rejects_vector_field(self):
+        store = self._store()
+        with pytest.raises(SchemaError):
+            store.shingle_sets("vec")
+
+    def test_set_sizes(self):
+        store = self._store()
+        assert np.array_equal(store.set_sizes("toks"), [2, 3, 0, 1])
+
+    def test_csr_row_sums_match_set_sizes(self):
+        store = self._store()
+        csr = store.shingle_csr("toks")
+        assert np.array_equal(
+            np.asarray(csr.sum(axis=1)).ravel(), [2, 3, 0, 1]
+        )
+
+    def test_csr_width_is_distinct_shingle_count(self):
+        store = RecordStore(
+            Schema.single_shingles(),
+            {"shingles": [[10**9, 5], [5, 7]]},
+        )
+        assert store.shingle_csr("shingles").shape[1] == 3
+
+    def test_csr_is_cached(self):
+        store = self._store()
+        assert store.shingle_csr("toks") is store.shingle_csr("toks")
+
+    def test_take_reorders_rows(self):
+        store = self._store()
+        sub = store.take([2, 0])
+        assert len(sub) == 2
+        assert np.array_equal(sub.vectors("vec")[0], store.vectors("vec")[2])
+        assert np.array_equal(
+            sub.shingle_sets("toks")[1], store.shingle_sets("toks")[0]
+        )
+
+    def test_concat_appends_rows(self):
+        store = self._store()
+        both = store.concat(store.take([0]))
+        assert len(both) == 5
+        assert np.array_equal(both.vectors("vec")[4], store.vectors("vec")[0])
+
+    def test_concat_schema_mismatch_rejected(self):
+        store = self._store()
+        other = RecordStore(Schema.single_vector(), {"vec": np.zeros((1, 3))})
+        with pytest.raises(SchemaError):
+            store.concat(other)
+
+    def test_rids_are_contiguous(self):
+        assert np.array_equal(self._store().rids, [0, 1, 2, 3])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    sets=st.lists(
+        st.lists(st.integers(min_value=0, max_value=200), max_size=20),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_csr_roundtrips_set_membership(sets):
+    """Property: the CSR incidence matrix preserves exact set contents
+    modulo the compaction mapping (row sums = distinct element counts,
+    pairwise intersections match set intersections)."""
+    store = RecordStore(Schema.single_shingles(), {"shingles": sets})
+    csr = store.shingle_csr("shingles")
+    stored = store.shingle_sets("shingles")
+    sums = np.asarray(csr.sum(axis=1)).ravel()
+    for i, s in enumerate(sets):
+        assert sums[i] == len(set(s))
+    inter = (csr @ csr.T).toarray()
+    for i in range(len(sets)):
+        for j in range(len(sets)):
+            assert inter[i, j] == len(
+                set(stored[i].tolist()) & set(stored[j].tolist())
+            )

@@ -1,0 +1,31 @@
+"""Tests for seeded RNG helpers."""
+
+import numpy as np
+
+from repro.rngutil import make_rng, spawn
+
+
+class TestMakeRng:
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        assert make_rng(7).integers(1 << 30) == make_rng(7).integers(1 << 30)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert make_rng(rng) is rng
+
+
+class TestSpawn:
+    def test_count(self):
+        assert len(spawn(make_rng(0), 5)) == 5
+
+    def test_children_deterministic(self):
+        a = [g.integers(1 << 30) for g in spawn(make_rng(3), 3)]
+        b = [g.integers(1 << 30) for g in spawn(make_rng(3), 3)]
+        assert a == b
+
+    def test_children_independent(self):
+        children = spawn(make_rng(3), 2)
+        assert children[0].integers(1 << 30) != children[1].integers(1 << 30)
