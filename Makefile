@@ -1,13 +1,22 @@
-.PHONY: install test bench bench-full report report-full examples clean
+.PHONY: install lint test bench bench-smoke bench-full report report-full examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
+lint:
+	ruff check .
+
+# Matches the tier-1 CI command exactly, so local runs and CI agree.
 test:
-	pytest tests/
+	PYTHONPATH=src python -m pytest -x -q
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Fast subset used by the CI smoke job (no REPRO_FULL).
+bench-smoke:
+	pytest benchmarks/bench_fig05_probability.py benchmarks/bench_fig08_cora.py \
+		--benchmark-only -q --benchmark-json=bench-smoke.json
 
 bench-full:
 	REPRO_FULL=1 pytest benchmarks/ --benchmark-only

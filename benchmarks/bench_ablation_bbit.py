@@ -12,7 +12,7 @@ import pytest
 
 from repro.distance import JaccardDistance, ThresholdRule
 
-from .conftest import SEED, timed_run
+from .conftest import timed_run
 
 
 @pytest.fixture(scope="module")

@@ -26,7 +26,10 @@ Public surface:
   :func:`generate_spotsigs`, :func:`generate_popular_images`,
   :func:`extend_dataset`;
 * metrics — :func:`precision_recall_f1`, :func:`map_mar`,
-  :class:`SpeedupModel`.
+  :class:`SpeedupModel`;
+* observability — :class:`RunObserver` (spans + metrics + round
+  events), :class:`RunReport` (serializable run report),
+  :class:`MetricsRegistry`, :class:`Tracer` (see :mod:`repro.obs`).
 """
 
 from .baselines import LSHBlocking, PairsBaseline
@@ -60,6 +63,7 @@ from .er import TopKPipeline
 from .errors import ReproError
 from .io import load_dataset, rule_from_spec, rule_to_spec, save_dataset
 from .eval import SpeedupModel, map_mar, precision_recall_f1
+from .obs import MetricsRegistry, RunObserver, RunReport, Tracer
 from .records import FieldKind, FieldSpec, Record, RecordStore, Schema
 
 __version__ = "1.0.0"
@@ -96,6 +100,10 @@ __all__ = [
     "SpeedupModel",
     "precision_recall_f1",
     "map_mar",
+    "MetricsRegistry",
+    "RunObserver",
+    "RunReport",
+    "Tracer",
     "ReproError",
     "save_dataset",
     "load_dataset",

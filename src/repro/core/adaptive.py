@@ -27,6 +27,7 @@ import numpy as np
 from ..distance.rules import MatchRule
 from ..errors import ConfigurationError
 from ..lsh.design import DEFAULT_EPSILON, design_sequence
+from ..obs import DISABLED, RoundEvent, RunObserver
 from ..records import RecordStore
 from ..rngutil import make_rng
 from ..structures.bin_index import BinIndex
@@ -61,6 +62,14 @@ class AdaptiveLSH:
     selection:
         Cluster-selection strategy; ``"largest"`` is the paper's
         (optimal) rule, others exist for ablations.
+    trace:
+        Record structured per-round events (see :attr:`trace` for the
+        legacy dict view and ``self.obs.rounds`` for the full events).
+    observer:
+        A :class:`~repro.obs.RunObserver` to collect spans, metrics and
+        round events into; implies ``trace``-style round recording when
+        enabled.  After :meth:`run`, :attr:`last_report` holds the
+        serializable :class:`~repro.obs.RunReport` of the run.
     """
 
     def __init__(
@@ -76,6 +85,7 @@ class AdaptiveLSH:
         pairwise_strategy: str = "auto",
         selection: str = "largest",
         trace: bool = False,
+        observer: "RunObserver | None" = None,
         jump_policy: str = "line5",
         lookahead_samples: int = 32,
         lookahead_density: float = 0.6,
@@ -102,11 +112,31 @@ class AdaptiveLSH:
         self.jump_policy = jump_policy
         self._lookahead_samples = int(lookahead_samples)
         self._lookahead_density = float(lookahead_density)
-        self._trace_enabled = trace
-        #: Per-round records of the latest run (when ``trace=True``):
-        #: dicts with round, action, cluster size, source level, and the
-        #: number of subclusters produced.
-        self.trace: list = []
+        # Observability: a caller-supplied RunObserver wins; trace=True
+        # alone creates a private enabled observer; otherwise the shared
+        # no-op observer keeps the hot paths branch-only.
+        if observer is not None:
+            self.obs = observer
+        elif trace:
+            self.obs = RunObserver(enabled=True)
+        else:
+            self.obs = DISABLED
+        #: :class:`~repro.obs.report.RunReport` of the latest
+        #: :meth:`run`/:meth:`refine` (``None`` when observability is
+        #: off or before the first run).
+        self.last_report = None
+
+    @property
+    def trace(self) -> list:
+        """Back-compat view of the structured round events.
+
+        Returns the pre-observability schema: one dict per round with
+        ``round``, ``action``, ``size``, ``from_level``,
+        ``subclusters`` and ``largest_out`` keys.  The structured
+        events themselves (with per-round wall-time and cost-model
+        predictions) live in ``self.obs.rounds``.
+        """
+        return [event.legacy_dict() for event in self.obs.rounds]
 
     # ------------------------------------------------------------------
     def prepare(self) -> None:
@@ -118,6 +148,10 @@ class AdaptiveLSH:
         """
         if self._prepared:
             return
+        with self.obs.span("adaLSH.prepare"):
+            self._prepare()
+
+    def _prepare(self) -> None:
         self._ctx, self._designs = design_sequence(
             self.store, self.rule, self.budgets, epsilon=self.epsilon, seed=self._rng
         )
@@ -149,6 +183,11 @@ class AdaptiveLSH:
         self._pools = [
             comp.pool for branch in self._ctx.branches for comp in branch
         ]
+        # Hand the hot-path collaborators the run observer; with the
+        # shared no-op observer this only sets an attribute once.
+        self._pairwise.observer = self.obs
+        for pool in self._pools:
+            pool.observer = self.obs
         self._prepared = True
 
     @property
@@ -163,26 +202,54 @@ class AdaptiveLSH:
         paper ("the whole function sequence design process is run
         offline", App. C.4), so they happen before the clock starts.
         """
+        obs = self.obs
+        if obs.enabled:
+            obs.reset()
         self.prepare()
         finals: list[Cluster] = []
         started = time.perf_counter()
         counters = WorkCounters()
-        for cluster in self._iter_final_clusters(k, counters):
-            finals.append(cluster)
+        with obs.span("adaLSH.run", k=k):
+            for cluster in self._iter_final_clusters(k, counters):
+                finals.append(cluster)
         wall = time.perf_counter() - started
         counters.merge_pool_counts(self._pools)
         counters.hashes_computed -= self._pool_baseline
-        return FilterResult.from_clusters(
-            finals,
-            counters,
-            wall,
-            info={
-                "method": "adaLSH",
-                "budgets": [d.spent_budget for d in self._designs],
-                "designs": [d.describe() for d in self._designs],
-                "selection": self.selection,
-                "records_per_level": counters.records_per_level,
+        info = {
+            "method": "adaLSH",
+            "budgets": [d.spent_budget for d in self._designs],
+            "designs": [d.describe() for d in self._designs],
+            "selection": self.selection,
+            "records_per_level": counters.records_per_level,
+        }
+        if obs.enabled:
+            self.last_report = self._build_report("adaLSH", k, wall, counters, info)
+        return FilterResult.from_clusters(finals, counters, wall, info=info)
+
+    def _build_report(self, method, k, wall, counters, info):
+        # String keys everywhere: JSON object keys are strings, and the
+        # report must round-trip losslessly through to_json/from_json.
+        per_level = {
+            str(level): n for level, n in counters.records_per_level.items()
+        }
+        info = {key: value for key, value in info.items() if key != "designs"}
+        if "records_per_level" in info:
+            info["records_per_level"] = per_level
+        return self.obs.build_report(
+            method=method,
+            k=k,
+            wall_time=wall,
+            counters={
+                "hashes_computed": counters.hashes_computed,
+                "pairs_compared": counters.pairs_compared,
+                "pairs_charged": counters.pairs_charged,
+                "table_inserts": counters.table_inserts,
+                "rounds": counters.rounds,
+                "records_per_level": per_level,
             },
+            cost_model=self.cost_model.to_dict(),
+            hash_pools=[pool.stats() for pool in self._pools],
+            info=info,
         )
 
     def iter_clusters(self, k: int):
@@ -199,21 +266,27 @@ class AdaptiveLSH:
         the streaming front-end).  Hash signatures cached in the shared
         pools are reused, so refinement is incremental.
         """
-        import time as _time
-
-        started = _time.perf_counter()
+        obs = self.obs
+        if obs.enabled:
+            obs.reset()
+        self.prepare()
+        started = time.perf_counter()
         counters = WorkCounters()
         initial = [
             Cluster(np.asarray(rids, dtype=np.int64), int(level))
             for rids, level in initial_clusters
         ]
-        finals = list(self._iter_final_clusters(k, counters, initial=initial))
-        wall = _time.perf_counter() - started
+        with obs.span("adaLSH.refine", k=k):
+            finals = list(self._iter_final_clusters(k, counters, initial=initial))
+        wall = time.perf_counter() - started
         counters.merge_pool_counts(self._pools)
         counters.hashes_computed -= self._pool_baseline
-        return FilterResult.from_clusters(
-            finals, counters, wall, info={"method": "adaLSH.refine"}
-        )
+        info = {"method": "adaLSH.refine"}
+        if obs.enabled:
+            self.last_report = self._build_report(
+                "adaLSH.refine", k, wall, counters, info
+            )
+        return FilterResult.from_clusters(finals, counters, wall, info=info)
 
     # ------------------------------------------------------------------
     def _iter_final_clusters(self, k: int, counters: WorkCounters, initial=None):
@@ -221,7 +294,7 @@ class AdaptiveLSH:
             raise ConfigurationError(f"k must be >= 1, got {k}")
         self.prepare()
         self._pool_baseline = sum(p.hashes_computed for p in self._pools)
-        self.trace = []
+        self.obs.reset_rounds()
         self._level_of = np.zeros(len(self.store), dtype=np.int64)
         if initial is None:
             first_clusters = self._apply_function(1, self.store.rids, counters)
@@ -244,7 +317,7 @@ class AdaptiveLSH:
         """Apply ``H_level`` on ``rids`` and wrap the output clusters."""
         fn = self._functions[level - 1]
         self._level_of[rids] = level
-        parts = fn.apply(rids, counters)
+        parts = fn.apply(rids, counters, observer=self.obs)
         return [Cluster(part, level) for part in parts]
 
     def _apply_pairwise(self, rids, counters) -> list[Cluster]:
@@ -304,21 +377,37 @@ class AdaptiveLSH:
         )
         if not jump and self.jump_policy == "lookahead":
             jump = self._lookahead_says_jump(level, cluster, counters)
-        if jump:
-            out = self._apply_pairwise(cluster.rids, counters)
-        else:
-            out = self._apply_function(level + 1, cluster.rids, counters)
-        if self._trace_enabled:
-            self.trace.append(
-                {
-                    "round": counters.rounds,
-                    "action": "P" if jump else f"H{level + 1}",
-                    "size": cluster.size,
-                    "from_level": level,
-                    "subclusters": len(out),
-                    "largest_out": max(c.size for c in out),
-                }
+        obs = self.obs
+        if not obs.enabled:
+            # Uninstrumented fast path: no timing, no event objects.
+            if jump:
+                return self._apply_pairwise(cluster.rids, counters)
+            return self._apply_function(level + 1, cluster.rids, counters)
+        action = "P" if jump else f"H{level + 1}"
+        predicted = self.cost_model.predicted_action_cost(level, cluster.size, jump)
+        with obs.span("round", n=counters.rounds, action=action, size=cluster.size):
+            started = time.perf_counter()
+            if jump:
+                out = self._apply_pairwise(cluster.rids, counters)
+            else:
+                out = self._apply_function(level + 1, cluster.rids, counters)
+            elapsed = time.perf_counter() - started
+        obs.record_round(
+            RoundEvent(
+                round=counters.rounds,
+                action=action,
+                size=cluster.size,
+                from_level=level,
+                subclusters=len(out),
+                largest_out=max(c.size for c in out),
+                wall_time=elapsed,
+                predicted_cost=predicted,
+                jump=jump,
             )
+        )
+        obs.histogram(
+            "round.pairwise_seconds" if jump else "round.hash_seconds"
+        ).observe(elapsed)
         return out
 
     # ------------------------------------------------------------------

@@ -84,6 +84,27 @@ class CostModel:
         """Line 5 of Algorithm 1."""
         return self.marginal_hash_cost(from_level, size) >= self.pairwise_cost(size)
 
+    def predicted_action_cost(self, from_level: int, size: int, jump: bool) -> float:
+        """The model's estimate for the action a round chose.
+
+        This is the prediction the observability layer pairs with the
+        measured wall-time of the same action to compute
+        prediction-vs-actual residuals (calibrated models predict in
+        seconds, analytic models in abstract work units).
+        """
+        if jump:
+            return self.pairwise_cost(size)
+        return self.marginal_hash_cost(from_level, size)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly view for run reports."""
+        return {
+            "level_costs": [float(c) for c in self.level_costs],
+            "cost_p": float(self.cost_p),
+            "noise_factor": float(self.noise_factor),
+            "info": dict(self.info),
+        }
+
     def with_noise(self, noise_factor: float) -> "CostModel":
         """A copy of this model with a different E.2 noise factor.
 

@@ -19,6 +19,8 @@ chosen strategy actually performed.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..distance.rules import MatchRule
@@ -46,6 +48,10 @@ class PairwiseComputation:
         self.store = store
         self.rule = rule
         self.strategy = strategy
+        #: Optional :class:`~repro.obs.observer.RunObserver`; when set
+        #: and enabled, :meth:`apply` feeds pair counters and per-call
+        #: timing histograms into its metrics registry.
+        self.observer = None
 
     # ------------------------------------------------------------------
     def apply(self, rids, counters: "WorkCounters | None" = None) -> list[np.ndarray]:
@@ -59,10 +65,25 @@ class PairwiseComputation:
         strategy = self.strategy
         if strategy == "auto":
             strategy = "rowwise" if m <= ROWWISE_LIMIT else "blocked"
+        obs = self.observer
+        timed = obs is not None and obs.enabled
+        if timed:
+            compared_before = counters.pairs_compared if counters is not None else 0
+            started = time.perf_counter()
         if strategy == "rowwise":
             forest = self._apply_rowwise(rids, counters)
         else:
             forest = self._apply_blocked(rids, counters)
+        if timed:
+            obs.histogram(f"pairwise.{strategy}_seconds").observe(
+                time.perf_counter() - started
+            )
+            obs.histogram("pairwise.cluster_size").observe(m)
+            obs.counter("pairwise.pairs_charged").inc(m * (m - 1) // 2)
+            if counters is not None:
+                obs.counter("pairwise.pairs_compared").inc(
+                    counters.pairs_compared - compared_before
+                )
         return [
             np.fromiter(
                 ParentPointerForest.leaves(root), dtype=np.int64, count=root.n_leaves

@@ -34,9 +34,19 @@ class TransitiveHashingFunction:
         """Hash functions this scheme applies per (fresh) record."""
         return self.design.spent_budget
 
-    def apply(self, rids, counters: "WorkCounters | None" = None) -> list[np.ndarray]:
+    def apply(
+        self,
+        rids,
+        counters: "WorkCounters | None" = None,
+        observer=None,
+    ) -> list[np.ndarray]:
         """Split ``rids`` into clusters (connected components of the
-        same-bucket graph across all tables)."""
+        same-bucket graph across all tables).
+
+        ``observer`` (an enabled
+        :class:`~repro.obs.observer.RunObserver`) is forwarded to the
+        scheme so per-table grouping work lands in the run metrics.
+        """
         rids = np.asarray(rids, dtype=np.int64)
         forest = ParentPointerForest()
         int_rids = [int(r) for r in rids]
@@ -46,7 +56,9 @@ class TransitiveHashingFunction:
         # Buckets are fresh per table, per invocation (App. B.2); the
         # scheme yields, for each table, the groups of rows that landed
         # in the same bucket, and group members get unioned.
-        for collision_groups in self.scheme.iter_table_collisions(rids):
+        for collision_groups in self.scheme.iter_table_collisions(
+            rids, observer=observer
+        ):
             for rows in collision_groups:
                 anchor = int_rids[int(rows[0])]
                 for pos in rows[1:]:

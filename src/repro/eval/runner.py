@@ -14,6 +14,7 @@ from ..baselines import LSHBlocking, PairsBaseline
 from ..core import AdaptiveLSH
 from ..datasets.base import Dataset
 from ..errors import ConfigurationError
+from ..obs.spans import NULL_SPAN
 from .metrics import dataset_reduction, map_mar, precision_recall_f1
 
 _LSH_SPEC = re.compile(r"^LSH(\d+)(nP)?$")
@@ -67,6 +68,9 @@ class RunRecord:
     #: Union of all output cluster members (record ids).
     output_rids: object = None
     info: dict = field(default_factory=dict)
+    #: :class:`~repro.obs.RunReport` of the run, when the method was
+    #: observed (adaLSH with an enabled observer); ``None`` otherwise.
+    report: object = None
 
     def row(self) -> dict:
         """Flat dict view for table rendering."""
@@ -95,6 +99,7 @@ def run_filter(
     k_hat: "int | None" = None,
     seed=None,
     method=None,
+    observer=None,
     **kwargs,
 ) -> RunRecord:
     """Run one filtering method and score it against the ground truth.
@@ -103,18 +108,30 @@ def run_filter(
     target top-k (the §6.1.2 accuracy knob); metrics always compare
     against the ground-truth top-``k``.  Pass a prebuilt ``method`` to
     reuse its designs/pools across several runs.
+
+    ``observer`` (a :class:`~repro.obs.RunObserver`) is handed to
+    methods that support observability; the resulting
+    :class:`~repro.obs.RunReport` lands on ``RunRecord.report``.
     """
     k_hat = k_hat or k
     if k_hat < k:
         raise ConfigurationError(f"k_hat ({k_hat}) must be >= k ({k})")
     if method is None:
+        if observer is not None and spec == "adaLSH":
+            kwargs = dict(kwargs, observer=observer)
         method = make_method(dataset, spec, seed=seed, **kwargs)
     result = method.run(k_hat)
     truth_clusters = dataset.ground_truth_clusters()
     truth_rids = dataset.top_k_rids(k)
-    precision, recall, f1 = precision_recall_f1(result.output_rids, truth_rids)
-    out_clusters = [c.rids for c in result.clusters]
-    map_score, mar_score = map_mar(out_clusters, truth_clusters, k)
+    score_span = (
+        observer.span("score", dataset=dataset.name, method=spec)
+        if observer is not None
+        else NULL_SPAN
+    )
+    with score_span:
+        precision, recall, f1 = precision_recall_f1(result.output_rids, truth_rids)
+        out_clusters = [c.rids for c in result.clusters]
+        map_score, mar_score = map_mar(out_clusters, truth_clusters, k)
     return RunRecord(
         dataset=dataset.name,
         method=spec,
@@ -133,4 +150,5 @@ def run_filter(
         pairs=result.counters.pairs_compared,
         output_rids=result.output_rids,
         info=result.info,
+        report=getattr(method, "last_report", None),
     )

@@ -11,6 +11,7 @@ model and the experiment harness read.
 from __future__ import annotations
 
 import abc
+import time
 
 import numpy as np
 
@@ -45,6 +46,11 @@ class HashFamily(abc.ABC):
         x = np.asarray(x, dtype=np.float64)
         return np.clip(1.0 - x, 0.0, 1.0)
 
+    @property
+    def label(self) -> str:
+        """Short family identifier used in metric names and reports."""
+        return f"{type(self).__name__}[{self.field}]"
+
 
 class SignaturePool:
     """Per-record cache of hash values for one :class:`HashFamily`.
@@ -63,6 +69,13 @@ class SignaturePool:
         self._data = np.zeros((n, 0), dtype=family.dtype)
         #: Total hash values ever computed (work counter).
         self.hashes_computed = 0
+        #: Wall-time spent in :meth:`HashFamily.compute` (only measured
+        #: while an enabled observer is attached; see :attr:`observer`).
+        self.hash_seconds = 0.0
+        #: Optional :class:`~repro.obs.observer.RunObserver`; when set
+        #: and enabled, :meth:`ensure` times hash computation and feeds
+        #: per-pool counters/histograms into its metrics registry.
+        self.observer = None
 
     def __len__(self) -> int:
         return self._filled.shape[0]
@@ -91,6 +104,11 @@ class SignaturePool:
         pending = rids[self._filled[rids] < count]
         if pending.size == 0:
             return
+        obs = self.observer
+        timed = obs is not None and obs.enabled
+        if timed:
+            before = self.hashes_computed
+            started = time.perf_counter()
         # Records arrive at a handful of distinct fill levels (one per
         # earlier budget), so batching by level keeps compute() calls few.
         levels = np.unique(self._filled[pending])
@@ -100,6 +118,22 @@ class SignaturePool:
             self._data[batch, int(level):count] = values
             self._filled[batch] = count
             self.hashes_computed += int(batch.size) * (count - int(level))
+        if timed:
+            elapsed = time.perf_counter() - started
+            self.hash_seconds += elapsed
+            obs.counter(f"hash.computed.{self.name}").inc(
+                self.hashes_computed - before
+            )
+            obs.histogram(f"hash.seconds.{self.name}").observe(elapsed)
+
+    def stats(self) -> dict:
+        """Per-pool work summary for run reports."""
+        return {
+            "name": self.name,
+            "family": self.family.label,
+            "hashes_computed": int(self.hashes_computed),
+            "seconds": float(self.hash_seconds),
+        }
 
     def signatures(self, rids, count: int) -> np.ndarray:
         """The first ``count`` hash values of each record in ``rids``."""

@@ -118,6 +118,12 @@ class MinHashFamily(HashFamily):
                 out[batch, lo - start : hi - start] = values
         return out
 
+    @property
+    def label(self) -> str:
+        if self.bits is None:
+            return f"minhash[{self.field}]"
+        return f"minhash{self.bits}bit[{self.field}]"
+
     def collision_prob(self, x):
         x = np.asarray(x, dtype=np.float64)
         base = np.clip(1.0 - x, 0.0, 1.0)

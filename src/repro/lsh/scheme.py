@@ -17,6 +17,7 @@ later function in the sequence uses larger ``w`` and ``z`` over the
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -98,7 +99,7 @@ class HashingScheme:
             row_bytes = block.view(np.uint8).reshape(block.shape[0], -1)
             yield [row.tobytes() for row in row_bytes]
 
-    def iter_table_collisions(self, rids):
+    def iter_table_collisions(self, rids, observer=None):
         """Yield, for every table, the bucket collision groups: arrays of
         *row positions* (indices into ``rids``) that share a bucket.
 
@@ -106,8 +107,15 @@ class HashingScheme:
         dictionary inserts — the difference between O(m·z) Python-level
         work and z NumPy passes, which dominates deep-sequence
         functions and large LSH-X budgets.
+
+        ``observer`` (an enabled
+        :class:`~repro.obs.observer.RunObserver`) adds per-table
+        grouping time and collision-group counts to the run metrics.
         """
+        timed = observer is not None and observer.enabled
         for block in self._iter_table_blocks(rids):
+            if timed:
+                started = time.perf_counter()
             void = block.view(
                 np.dtype((np.void, block.dtype.itemsize * block.shape[1]))
             ).ravel()
@@ -121,6 +129,12 @@ class HashingScheme:
             groups = [
                 order[s:e] for s, e in zip(starts, ends) if e - s >= 2
             ]
+            if timed:
+                observer.histogram("scheme.table_group_seconds").observe(
+                    time.perf_counter() - started
+                )
+                observer.counter("scheme.tables_processed").inc()
+                observer.counter("scheme.collision_groups").inc(len(groups))
             yield groups
 
     def _iter_table_blocks(self, rids):

@@ -1,0 +1,39 @@
+"""Observability: spans, metrics, and structured run reports.
+
+The subsystem has three layers, all near-zero-overhead when disabled:
+
+* :mod:`repro.obs.spans` — nested wall-time spans
+  (:class:`Tracer` / :class:`Span`);
+* :mod:`repro.obs.metrics` — named counters, gauges and histograms
+  (:class:`MetricsRegistry`);
+* :mod:`repro.obs.report` — the serializable :class:`RunReport` with
+  per-round :class:`RoundEvent` records and cost-model residuals.
+
+:class:`RunObserver` bundles one of each and is what
+:class:`~repro.core.adaptive.AdaptiveLSH` threads through its hot
+paths; :data:`DISABLED` is the shared no-op observer used when
+observability is off.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, NULL_REGISTRY
+from .observer import DISABLED, RunObserver
+from .report import REPORT_VERSION, RoundEvent, RunReport, cost_residuals
+from .spans import NULL_SPAN, NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "RunObserver",
+    "DISABLED",
+    "RoundEvent",
+    "RunReport",
+    "REPORT_VERSION",
+    "cost_residuals",
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+    "NULL_TRACER",
+]

@@ -1,0 +1,164 @@
+"""Named counters, gauges and histograms for one run.
+
+A :class:`MetricsRegistry` hands out metric instruments by name and
+serializes them all with :meth:`MetricsRegistry.snapshot`.  Instruments
+are created on first use, so instrumented code never needs to declare
+them up front::
+
+    reg = MetricsRegistry()
+    reg.counter("pairs.compared").inc(42)
+    reg.histogram("hash.seconds").observe(0.0013)
+
+A disabled registry returns shared no-op instruments — the cost of an
+``inc()`` on the disabled path is one dictionary-free method call.
+"""
+
+from __future__ import annotations
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: "int | float" = 1) -> None:
+        self.value += n
+
+    def to_value(self):
+        return self.value
+
+
+class Gauge:
+    """Last-written value (e.g. a calibration constant)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = None
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def to_value(self):
+        return self.value
+
+
+class Histogram:
+    """Streaming summary of observed values (count/total/min/max).
+
+    Keeps O(1) state rather than samples: runs can observe one value
+    per round, and the report only needs summary statistics.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_value(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram for disabled registries."""
+
+    __slots__ = ()
+
+    def inc(self, n=1) -> None:
+        return None
+
+    def set(self, value) -> None:
+        return None
+
+    def observe(self, value) -> None:
+        return None
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Name-indexed instrument store for one run."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str):
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        found = self._counters.get(name)
+        if found is None:
+            found = self._counters[name] = Counter(name)
+        return found
+
+    def gauge(self, name: str):
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        found = self._gauges.get(name)
+        if found is None:
+            found = self._gauges[name] = Gauge(name)
+        return found
+
+    def histogram(self, name: str):
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        found = self._histograms.get(name)
+        if found is None:
+            found = self._histograms[name] = Histogram(name)
+        return found
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def snapshot(self) -> dict:
+        """All instruments as one JSON-friendly dict, sorted by name."""
+        return {
+            "counters": {
+                name: self._counters[name].to_value()
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].to_value() for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].to_value()
+                for name in sorted(self._histograms)
+            },
+        }
+
+
+#: Shared disabled registry for uninstrumented runs.
+NULL_REGISTRY = MetricsRegistry(enabled=False)

@@ -1,0 +1,92 @@
+"""The per-run observation bundle threaded through the hot paths.
+
+A :class:`RunObserver` owns one :class:`~repro.obs.spans.Tracer`, one
+:class:`~repro.obs.metrics.MetricsRegistry`, and the list of
+:class:`~repro.obs.report.RoundEvent` records of the current run.  The
+filtering code holds a single observer reference and checks one
+``enabled`` flag before doing any timing work, so a disabled observer
+(the module-level :data:`DISABLED` singleton) adds only attribute
+checks to the hot paths.
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry
+from .report import RunReport, cost_residuals
+from .spans import Tracer
+
+
+class RunObserver:
+    """Tracer + metrics registry + round events for one run."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        tracer: "Tracer | None" = None,
+        metrics: "MetricsRegistry | None" = None,
+    ):
+        self.enabled = enabled
+        self.tracer = tracer if tracer is not None else Tracer(enabled=enabled)
+        self.metrics = (
+            metrics if metrics is not None else MetricsRegistry(enabled=enabled)
+        )
+        self.rounds: list = []
+
+    # ------------------------------------------------------------------
+    # Delegates, so instrumented code needs only the observer reference.
+    def span(self, name: str, **attrs):
+        return self.tracer.span(name, **attrs)
+
+    def counter(self, name: str):
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str):
+        return self.metrics.gauge(name)
+
+    def histogram(self, name: str):
+        return self.metrics.histogram(name)
+
+    def record_round(self, event) -> None:
+        if self.enabled:
+            self.rounds.append(event)
+
+    def reset(self) -> None:
+        """Clear per-run state (round events; spans and metrics too)."""
+        self.rounds = []
+        self.tracer.reset()
+        self.metrics.reset()
+
+    def reset_rounds(self) -> None:
+        """Clear only the round events (metrics/spans accumulate)."""
+        self.rounds = []
+
+    # ------------------------------------------------------------------
+    def build_report(
+        self,
+        method: str,
+        k: int,
+        wall_time: float,
+        counters: "dict | None" = None,
+        cost_model: "dict | None" = None,
+        hash_pools: "list | None" = None,
+        info: "dict | None" = None,
+    ) -> RunReport:
+        """Snapshot everything observed so far into a :class:`RunReport`."""
+        return RunReport(
+            method=method,
+            k=k,
+            wall_time=wall_time,
+            rounds=list(self.rounds),
+            counters=counters or {},
+            metrics=self.metrics.snapshot(),
+            spans=self.tracer.to_list(),
+            cost_model=cost_model or {},
+            residuals=cost_residuals(self.rounds),
+            hash_pools=hash_pools or [],
+            info=info or {},
+        )
+
+
+#: Shared disabled observer: safe to use from any number of methods at
+#: once (every mutating entry point is a no-op when disabled).
+DISABLED = RunObserver(enabled=False)

@@ -1,0 +1,138 @@
+"""Hierarchical timing spans.
+
+A :class:`Span` is a named, timed section of a run; spans nest through
+a :class:`Tracer`, which keeps the open-span stack and the finished
+root spans.  The API is context-manager based::
+
+    tracer = Tracer()
+    with tracer.span("run", k=10):
+        with tracer.span("prepare"):
+            ...
+
+When the tracer is disabled, :meth:`Tracer.span` returns one shared
+no-op span object whose ``__enter__``/``__exit__`` do nothing — the
+per-call overhead of instrumented code is a single attribute check plus
+a no-op context manager, so hot paths can stay instrumented
+unconditionally.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Span:
+    """One named, timed section; children are spans opened inside it."""
+
+    __slots__ = ("name", "attrs", "children", "start", "end", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.children: list[Span] = []
+        self.start = 0.0
+        self.end = 0.0
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        return max(self.end - self.start, 0.0)
+
+    def set(self, **attrs) -> "Span":
+        """Attach extra attributes to an open span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end = time.perf_counter()
+        self._tracer._pop(self)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly nested view of the span tree."""
+        out = {"name": self.name, "seconds": round(self.duration, 9)}
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Span({self.name!r}, {self.duration:.6f}s, {len(self.children)} children)"
+
+
+class _NullSpan:
+    """Shared do-nothing span returned by disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Factory and collector of :class:`Span` trees.
+
+    ``roots`` holds every finished top-level span; nested spans attach
+    to their parent.  ``reset()`` clears collected spans so one tracer
+    can serve several runs.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    def span(self, name: str, **attrs):
+        """Open a new span (use as a context manager)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attrs)
+
+    def reset(self) -> None:
+        self.roots = []
+        self._stack = []
+
+    @property
+    def current(self) -> "Span | None":
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def to_list(self) -> list[dict]:
+        """JSON-friendly view of all finished root spans."""
+        return [root.to_dict() for root in self.roots]
+
+    # ------------------------------------------------------------------
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # Tolerate out-of-order exits (generators abandoned mid-run):
+        # discard any spans opened after `span` that never closed.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        parent = self._stack[-1] if self._stack else None
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+
+
+#: Shared disabled tracer for uninstrumented runs.
+NULL_TRACER = Tracer(enabled=False)

@@ -11,7 +11,7 @@ class TestChart:
 
     def test_bar_lengths_proportional(self):
         chart = render_series_chart({"a": [(1, 1.0), (2, 2.0)]}, width=10)
-        lines = [l for l in chart.splitlines() if "#" in l]
+        lines = [ln for ln in chart.splitlines() if "#" in ln]
         assert lines[0].count("#") * 2 == pytest.approx(
             lines[1].count("#"), abs=1
         )
@@ -22,7 +22,7 @@ class TestChart:
 
     def test_zero_values_have_no_bar(self):
         chart = render_series_chart({"a": [(1, 0.0), (2, 4.0)]}, width=10)
-        zero_line = next(l for l in chart.splitlines() if l.endswith(" 0"))
+        zero_line = next(ln for ln in chart.splitlines() if ln.endswith(" 0"))
         assert "#" not in zero_line
 
     def test_series_separated_by_blank_line(self):

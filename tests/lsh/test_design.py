@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.distance import (
-    AndRule,
     CosineDistance,
     JaccardDistance,
     OrRule,

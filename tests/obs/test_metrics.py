@@ -1,0 +1,83 @@
+"""Tests for the metrics registry (counters/gauges/histograms)."""
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import NULL_INSTRUMENT
+
+
+class TestCounters:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        reg.counter("pairs").inc()
+        reg.counter("pairs").inc(41)
+        assert reg.counter("pairs").value == 42
+
+    def test_same_instance_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.counter("a") is not reg.counter("b")
+
+
+class TestGauges:
+    def test_set_overwrites(self):
+        reg = MetricsRegistry()
+        reg.gauge("cost_p").set(1.5)
+        reg.gauge("cost_p").set(2.5)
+        assert reg.gauge("cost_p").value == 2.5
+
+
+class TestHistograms:
+    def test_summary_stats(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("seconds")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.mean == 2.0
+        assert h.min == 1.0
+        assert h.max == 3.0
+
+    def test_empty_histogram(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("empty")
+        assert h.mean == 0.0
+        assert h.to_value()["min"] is None
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(7)
+        reg.histogram("h").observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 7}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_snapshot_sorted(self):
+        reg = MetricsRegistry()
+        for name in ("zeta", "alpha", "mid"):
+            reg.counter(name).inc()
+        assert list(reg.snapshot()["counters"]) == ["alpha", "mid", "zeta"]
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestDisabledRegistry:
+    def test_returns_shared_null_instrument(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("a") is NULL_INSTRUMENT
+        assert reg.gauge("b") is NULL_INSTRUMENT
+        assert reg.histogram("c") is NULL_INSTRUMENT
+
+    def test_noop_operations_record_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("a").inc(100)
+        reg.gauge("b").set(1)
+        reg.histogram("c").observe(2.0)
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}

@@ -1,0 +1,111 @@
+"""Tests for the Span/Tracer timing API."""
+
+import time
+
+from repro.obs import NULL_SPAN, Span, Tracer
+
+
+class TestSpanNesting:
+    def test_children_attach_to_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner-1"):
+                pass
+            with tracer.span("inner-2"):
+                with tracer.span("leaf"):
+                    pass
+        assert len(tracer.roots) == 1
+        outer = tracer.roots[0]
+        assert outer.name == "outer"
+        assert [c.name for c in outer.children] == ["inner-1", "inner-2"]
+        assert [c.name for c in outer.children[1].children] == ["leaf"]
+
+    def test_sequential_roots(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [s.name for s in tracer.roots] == ["a", "b"]
+
+    def test_duration_measured(self):
+        tracer = Tracer()
+        with tracer.span("sleep"):
+            time.sleep(0.01)
+        assert tracer.roots[0].duration >= 0.009
+
+    def test_parent_covers_children(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.005)
+        outer = tracer.roots[0]
+        assert outer.duration >= outer.children[0].duration
+
+    def test_current_tracks_open_span(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("open") as span:
+            assert tracer.current is span
+        assert tracer.current is None
+
+    def test_abandoned_inner_span_tolerated(self):
+        """Generators abandoned mid-run exit spans out of order."""
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        # outer exits while inner is still open (e.g. a GeneratorExit).
+        outer.__exit__(None, None, None)
+        assert tracer.current is None
+        assert [s.name for s in tracer.roots] == ["outer"]
+
+    def test_attrs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("s", k=5) as span:
+            span.set(rounds=7)
+        assert tracer.roots[0].attrs == {"k": 5, "rounds": 7}
+
+    def test_to_dict_round_trippable_shape(self):
+        tracer = Tracer()
+        with tracer.span("outer", k=1):
+            with tracer.span("inner"):
+                pass
+        data = tracer.to_list()
+        assert data[0]["name"] == "outer"
+        assert data[0]["attrs"] == {"k": 1}
+        assert data[0]["children"][0]["name"] == "inner"
+        assert data[0]["seconds"] >= 0.0
+
+    def test_reset(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+
+
+class TestDisabledTracer:
+    def test_returns_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("x") is NULL_SPAN
+        assert tracer.span("y", attr=1) is NULL_SPAN
+
+    def test_null_span_is_noop_context(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("x") as span:
+            span.set(foo=1)
+        assert tracer.roots == []
+        assert tracer.current is None
+
+    def test_no_span_objects_allocated(self):
+        """Disabled tracing must not build Span instances."""
+        tracer = Tracer(enabled=False)
+        for _ in range(100):
+            with tracer.span("hot"):
+                pass
+        assert tracer.roots == []
+
+    def test_null_span_is_not_a_span(self):
+        assert not isinstance(NULL_SPAN, Span)

@@ -38,6 +38,31 @@ def test_demo(capsys):
     assert "filtered in" in out
 
 
+def test_demo_metrics_out_and_summary(tmp_path, capsys):
+    from repro.obs import RunReport
+
+    path = tmp_path / "metrics.json"
+    assert main(["--metrics-out", str(path), "demo"]) == 0
+    out = capsys.readouterr().out
+    assert "wrote metrics to" in out
+
+    report = RunReport.load(path)
+    assert report.method == "adaLSH"
+    assert report.rounds  # per-round events present
+    assert report.residuals  # cost-model prediction vs actual
+    assert report.spans  # span tree present
+    assert report.counters["hashes_computed"] > 0
+
+    assert main(["metrics", str(path), "--rounds", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "run: adaLSH" in out
+    assert "cost-model residuals" in out
+
+
+def test_metrics_missing_file(tmp_path, capsys):
+    assert main(["metrics", str(tmp_path / "nope.json")]) == 2
+
+
 def test_requires_command():
     with pytest.raises(SystemExit):
         main([])
