@@ -1,10 +1,26 @@
-.PHONY: install lint test bench bench-smoke bench-full report report-full examples clean
+.PHONY: install lint lint-invariants typecheck test bench bench-smoke bench-full report report-full examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
 lint:
 	ruff check .
+
+# Repo-specific invariant linter (rules R1-R5; see docs/ANALYSIS.md).
+# The baseline file is the ratchet: it only ever shrinks.
+lint-invariants:
+	PYTHONPATH=src python -m repro lint src --baseline analysis_baseline.json
+
+# Strict zone only; the gradually-typed packages are relaxed via the
+# [[tool.mypy.overrides]] tables in pyproject.toml.  Skips cleanly when
+# mypy is not installed (it is an optional dev dependency).
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy --strict src/repro/core src/repro/lsh src/repro/structures \
+			src/repro/distance src/repro/obs; \
+	else \
+		echo "mypy not installed (pip install -e '.[dev]'); skipping"; \
+	fi
 
 # Matches the tier-1 CI command exactly, so local runs and CI agree.
 test:

@@ -1,0 +1,39 @@
+"""Repo-specific invariant linter (``repro lint``).
+
+AST-based checks for the invariants this codebase relies on but no
+off-the-shelf linter can express: the rngutil funnel (R1), the
+obs.clock wall-clock funnel (R2), the repro.errors taxonomy (R3),
+public-API annotation coverage (R4), and no mutable defaults (R5).
+See ``docs/ANALYSIS.md`` for the rule catalogue, the suppression
+syntax, and the baseline/ratchet workflow.
+"""
+
+from .engine import (
+    Baseline,
+    LintResult,
+    apply_baseline,
+    lint_file,
+    lint_paths,
+    make_baseline,
+    resolve_rules,
+)
+from .findings import Finding, render_json, render_text
+from .rules import RULES, FileContext, Rule, all_rules, register
+
+__all__ = [
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "RULES",
+    "Rule",
+    "all_rules",
+    "apply_baseline",
+    "lint_file",
+    "lint_paths",
+    "make_baseline",
+    "register",
+    "render_json",
+    "render_text",
+    "resolve_rules",
+]

@@ -1,0 +1,265 @@
+"""The lint engine: file discovery, parsing, suppression, baselines.
+
+The engine is what ``repro lint`` drives.  It walks the given paths,
+parses each ``*.py`` file once, hands the shared AST to every rule,
+then filters the raw findings through two mechanisms:
+
+* **noqa comments** — ``# repro: noqa`` on the offending line
+  suppresses every rule there; ``# repro: noqa[R1]`` (or
+  ``noqa[R1,R3]``) suppresses only the listed rules;
+* **baselines** — a JSON file recording, per rule and per file, how
+  many findings are grandfathered in.  The engine drops up to that
+  many findings (lowest line numbers first) and reports anything
+  beyond the allowance.  Because the allowance is a *count*, the
+  baseline acts as a ratchet: fixing violations and rewriting the
+  baseline (``--write-baseline``) can only shrink it.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..errors import AnalysisError
+from .findings import Finding
+from .rules import RULES, FileContext, Rule, all_rules
+
+BASELINE_VERSION = 1
+
+#: ``# repro: noqa`` or ``# repro: noqa[R1]`` / ``noqa[R1, R3]``.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?")
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+
+# ----------------------------------------------------------------------
+# baselines (the ratchet)
+# ----------------------------------------------------------------------
+@dataclass
+class Baseline:
+    """Grandfathered finding counts, keyed ``rule -> path -> count``."""
+
+    counts: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def allowance(self, rule: str, path: str) -> int:
+        return self.counts.get(rule, {}).get(path, 0)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> Baseline:
+        counts: dict[str, dict[str, int]] = {}
+        for f in findings:
+            per_path = counts.setdefault(f.rule, {})
+            per_path[f.path] = per_path.get(f.path, 0) + 1
+        return cls(
+            {rule: dict(sorted(paths.items())) for rule, paths in sorted(counts.items())}
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> Baseline:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except OSError as exc:
+            raise AnalysisError(f"cannot read baseline {path!s}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise AnalysisError(f"baseline {path!s} is not valid JSON: {exc}") from exc
+        if not isinstance(doc, dict) or "counts" not in doc:
+            raise AnalysisError(f"baseline {path!s} has no 'counts' key")
+        counts = doc["counts"]
+        if not isinstance(counts, dict):
+            raise AnalysisError(f"baseline {path!s}: 'counts' must be an object")
+        return cls({str(rule): dict(paths) for rule, paths in counts.items()})
+
+    def save(self, path: str | Path) -> None:
+        doc = {"version": BASELINE_VERSION, "counts": self.counts}
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Baseline
+) -> tuple[list[Finding], int]:
+    """Drop grandfathered findings; return (kept, number dropped).
+
+    Within each ``(rule, path)`` group the findings with the *lowest*
+    line numbers are considered grandfathered, so new violations added
+    below old ones still surface.
+    """
+    groups: dict[tuple[str, str], list[Finding]] = {}
+    for f in findings:
+        groups.setdefault((f.rule, f.path), []).append(f)
+    kept: list[Finding] = []
+    dropped = 0
+    for (rule, path), group in groups.items():
+        allowance = baseline.allowance(rule, path)
+        group.sort(key=Finding.sort_key)
+        dropped += min(allowance, len(group))
+        kept.extend(group[allowance:])
+    return kept, dropped
+
+
+# ----------------------------------------------------------------------
+# per-file analysis
+# ----------------------------------------------------------------------
+def _noqa_map(lines: Sequence[str]) -> dict[int, set[str] | None]:
+    """Line number -> suppressed rule ids (None = all rules)."""
+    out: dict[int, set[str] | None] = {}
+    for lineno, line in enumerate(lines, start=1):
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        spec = match.group("rules")
+        if spec is None:
+            out[lineno] = None
+        else:
+            out[lineno] = {
+                token.strip().upper()
+                for token in spec.split(",")
+                if token.strip()
+            }
+    return out
+
+
+def _scope_parts(file: Path, root: Path) -> tuple[str, ...]:
+    """Path parts relative to the ``repro`` package root.
+
+    Files under a directory literally named ``repro`` scope from there
+    (``src/repro/core/x.py`` -> ``("core", "x.py")``); anything else —
+    e.g. test fixtures laid out as ``tmpdir/core/bad.py`` — scopes
+    relative to the scanned root, so rules behave identically on both.
+    """
+    parts = file.parts
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        return parts[anchor + 1 :]
+    try:
+        return file.relative_to(root).parts
+    except ValueError:
+        return (file.name,)
+
+
+def _iter_python_files(target: Path) -> Iterator[Path]:
+    if target.is_file():
+        yield target
+        return
+    for path in sorted(target.rglob("*.py")):
+        if any(part in _SKIP_DIRS for part in path.parts):
+            continue
+        yield path
+
+
+def lint_file(
+    file: Path, root: Path, rules: Sequence[Rule]
+) -> tuple[list[Finding], int]:
+    """Run ``rules`` over one file; return (findings, suppressed count)."""
+    try:
+        source = file.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise AnalysisError(f"cannot read {file!s}: {exc}") from exc
+    try:
+        tree = ast.parse(source, filename=str(file))
+    except SyntaxError as exc:
+        raise AnalysisError(f"cannot parse {file!s}: {exc}") from exc
+    lines = source.splitlines()
+    ctx = FileContext(
+        path=str(file),
+        scope=_scope_parts(file, root),
+        tree=tree,
+        lines=lines,
+    )
+    noqa = _noqa_map(lines)
+    kept: list[Finding] = []
+    suppressed = 0
+    for rule in rules:
+        for finding in rule.check(ctx):
+            allowed = noqa.get(finding.line, ...)
+            if allowed is None or (
+                isinstance(allowed, set) and finding.rule in allowed
+            ):
+                suppressed += 1
+            else:
+                kept.append(finding)
+    return kept, suppressed
+
+
+# ----------------------------------------------------------------------
+# the engine entry point
+# ----------------------------------------------------------------------
+@dataclass
+class LintResult:
+    """Everything one ``repro lint`` run produced."""
+
+    findings: list[Finding]
+    checked_files: int
+    suppressed: int
+    baselined: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def resolve_rules(rule_ids: Sequence[str] | None = None) -> list[Rule]:
+    """Registry lookup for ``--rules``; all rules when None."""
+    if rule_ids is None:
+        return all_rules()
+    rules = []
+    for rule_id in rule_ids:
+        key = rule_id.strip().upper()
+        if key not in RULES:
+            raise AnalysisError(
+                f"unknown rule {rule_id!r}; known rules: {sorted(RULES)}"
+            )
+        rules.append(RULES[key])
+    return rules
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    rule_ids: Sequence[str] | None = None,
+    baseline: Baseline | None = None,
+) -> LintResult:
+    """Lint every ``*.py`` file under ``paths``.
+
+    Findings are returned post-suppression and post-baseline, sorted
+    by (path, line, rule).
+    """
+    rules = resolve_rules(rule_ids)
+    findings: list[Finding] = []
+    checked = 0
+    suppressed = 0
+    for raw in paths:
+        target = Path(raw)
+        if not target.exists():
+            raise AnalysisError(f"no such file or directory: {target!s}")
+        root = target if target.is_dir() else target.parent
+        for file in _iter_python_files(target):
+            file_findings, file_suppressed = lint_file(file, root, rules)
+            findings.extend(file_findings)
+            suppressed += file_suppressed
+            checked += 1
+    baselined = 0
+    if baseline is not None:
+        findings, baselined = apply_baseline(findings, baseline)
+    findings.sort(key=Finding.sort_key)
+    return LintResult(
+        findings=findings,
+        checked_files=checked,
+        suppressed=suppressed,
+        baselined=baselined,
+    )
+
+
+def make_baseline(
+    paths: Sequence[str | Path], rule_ids: Sequence[str] | None = None
+) -> Baseline:
+    """Baseline capturing every current (unsuppressed) finding."""
+    result = lint_paths(paths, rule_ids=rule_ids, baseline=None)
+    return Baseline.from_findings(result.findings)

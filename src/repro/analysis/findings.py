@@ -1,0 +1,69 @@
+"""Structured lint findings and their text / JSON renderings.
+
+A :class:`Finding` is one rule violation at one source location.  The
+renderers are deliberately dumb — ``render_text`` is what a human reads
+in a terminal, ``render_json`` is what CI archives as an artifact — and
+both consume the same list, so the two views can never drift.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant violation at one source location."""
+
+    #: Path of the offending file, as given to the engine (repo-relative
+    #: when the engine was invoked from the repo root).
+    path: str
+    #: 1-based line number of the violation.
+    line: int
+    #: Rule identifier (``R1`` .. ``R5``).
+    rule: str
+    #: Human-readable description of what is wrong.
+    message: str
+    #: Suggested fix (one line, imperative).
+    suggestion: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    def sort_key(self) -> tuple[str, int, str]:
+        return (self.path, self.line, self.rule)
+
+
+def render_text(findings: list[Finding]) -> str:
+    """One ``path:line: [Rx] message (fix: ...)`` line per finding."""
+    lines = [
+        f"{f.path}:{f.line}: [{f.rule}] {f.message} (fix: {f.suggestion})"
+        for f in sorted(findings, key=Finding.sort_key)
+    ]
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: list[Finding],
+    checked_files: int,
+    suppressed: int,
+    baselined: int,
+) -> str:
+    """JSON document with findings plus run-level counts."""
+    ordered = sorted(findings, key=Finding.sort_key)
+    per_rule: dict[str, int] = {}
+    for f in ordered:
+        per_rule[f.rule] = per_rule.get(f.rule, 0) + 1
+    doc = {
+        "findings": [f.to_dict() for f in ordered],
+        "counts": {
+            "total": len(ordered),
+            "per_rule": dict(sorted(per_rule.items())),
+            "checked_files": checked_files,
+            "suppressed": suppressed,
+            "baselined": baselined,
+        },
+    }
+    return json.dumps(doc, indent=2)

@@ -20,17 +20,21 @@ largest — by Theorem 2 the time-to-k'-th-cluster is optimal for every
 
 from __future__ import annotations
 
-import time
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Any
 
 import numpy as np
 
 from ..distance.rules import MatchRule
 from ..errors import ConfigurationError
-from ..lsh.design import DEFAULT_EPSILON, design_sequence
-from ..obs import DISABLED, RoundEvent, RunObserver
+from ..lsh.design import DEFAULT_EPSILON, DesignContext, SchemeDesign, design_sequence
+from ..lsh.families import SignaturePool
+from ..obs import DISABLED, RoundEvent, RunObserver, RunReport
+from ..obs.clock import monotonic
 from ..records import RecordStore
-from ..rngutil import make_rng
+from ..rngutil import SeedLike, make_rng
 from ..structures.bin_index import BinIndex
+from ..types import IntArray
 from .budget import exponential_budgets
 from .cost import CostModel
 from .pairwise_fn import PairwiseComputation
@@ -72,24 +76,32 @@ class AdaptiveLSH:
         serializable :class:`~repro.obs.RunReport` of the run.
     """
 
+    _ctx: DesignContext
+    _designs: list[SchemeDesign]
+    _functions: list[TransitiveHashingFunction]
+    _pools: list[SignaturePool]
+    _pool_baseline: int
+    _level_of: IntArray
+    cost_model: CostModel
+
     def __init__(
         self,
         store: RecordStore,
         rule: MatchRule,
-        budgets=None,
+        budgets: Sequence[int] | None = None,
         epsilon: float = DEFAULT_EPSILON,
-        seed=None,
-        cost_model="calibrate",
+        seed: SeedLike = None,
+        cost_model: CostModel | str = "calibrate",
         noise_factor: float = 1.0,
         analytic_pair_cost: float = 20.0,
         pairwise_strategy: str = "auto",
         selection: str = "largest",
         trace: bool = False,
-        observer: "RunObserver | None" = None,
+        observer: RunObserver | None = None,
         jump_policy: str = "line5",
         lookahead_samples: int = 32,
         lookahead_density: float = 0.6,
-    ):
+    ) -> None:
         if selection not in _SELECTIONS:
             raise ConfigurationError(
                 f"selection must be one of {_SELECTIONS}, got {selection!r}"
@@ -124,10 +136,10 @@ class AdaptiveLSH:
         #: :class:`~repro.obs.report.RunReport` of the latest
         #: :meth:`run`/:meth:`refine` (``None`` when observability is
         #: off or before the first run).
-        self.last_report = None
+        self.last_report: RunReport | None = None
 
     @property
-    def trace(self) -> list:
+    def trace(self) -> list[dict[str, Any]]:
         """Back-compat view of the structured round events.
 
         Returns the pre-observability schema: one dict per round with
@@ -207,15 +219,15 @@ class AdaptiveLSH:
             obs.reset()
         self.prepare()
         finals: list[Cluster] = []
-        started = time.perf_counter()
+        started = monotonic()
         counters = WorkCounters()
         with obs.span("adaLSH.run", k=k):
             for cluster in self._iter_final_clusters(k, counters):
                 finals.append(cluster)
-        wall = time.perf_counter() - started
+        wall = monotonic() - started
         counters.merge_pool_counts(self._pools)
         counters.hashes_computed -= self._pool_baseline
-        info = {
+        info: dict[str, Any] = {
             "method": "adaLSH",
             "budgets": [d.spent_budget for d in self._designs],
             "designs": [d.describe() for d in self._designs],
@@ -226,7 +238,14 @@ class AdaptiveLSH:
             self.last_report = self._build_report("adaLSH", k, wall, counters, info)
         return FilterResult.from_clusters(finals, counters, wall, info=info)
 
-    def _build_report(self, method, k, wall, counters, info):
+    def _build_report(
+        self,
+        method: str,
+        k: int,
+        wall: float,
+        counters: WorkCounters,
+        info: dict[str, Any],
+    ) -> RunReport:
         # String keys everywhere: JSON object keys are strings, and the
         # report must round-trip losslessly through to_json/from_json.
         per_level = {
@@ -252,13 +271,17 @@ class AdaptiveLSH:
             info=info,
         )
 
-    def iter_clusters(self, k: int):
+    def iter_clusters(self, k: int) -> Iterator[Cluster]:
         """Incremental mode (§4.2): yield final clusters one by one,
         largest first, as soon as each is known."""
         counters = WorkCounters()
         yield from self._iter_final_clusters(k, counters)
 
-    def refine(self, initial_clusters, k: int) -> FilterResult:
+    def refine(
+        self,
+        initial_clusters: Iterable[tuple[Any, int]],
+        k: int,
+    ) -> FilterResult:
         """Run the Largest-First loop over externally produced clusters.
 
         ``initial_clusters`` are ``(rids, level)`` pairs — clusters that
@@ -270,7 +293,7 @@ class AdaptiveLSH:
         if obs.enabled:
             obs.reset()
         self.prepare()
-        started = time.perf_counter()
+        started = monotonic()
         counters = WorkCounters()
         initial = [
             Cluster(np.asarray(rids, dtype=np.int64), int(level))
@@ -278,10 +301,10 @@ class AdaptiveLSH:
         ]
         with obs.span("adaLSH.refine", k=k):
             finals = list(self._iter_final_clusters(k, counters, initial=initial))
-        wall = time.perf_counter() - started
+        wall = monotonic() - started
         counters.merge_pool_counts(self._pools)
         counters.hashes_computed -= self._pool_baseline
-        info = {"method": "adaLSH.refine"}
+        info: dict[str, Any] = {"method": "adaLSH.refine"}
         if obs.enabled:
             self.last_report = self._build_report(
                 "adaLSH.refine", k, wall, counters, info
@@ -289,7 +312,12 @@ class AdaptiveLSH:
         return FilterResult.from_clusters(finals, counters, wall, info=info)
 
     # ------------------------------------------------------------------
-    def _iter_final_clusters(self, k: int, counters: WorkCounters, initial=None):
+    def _iter_final_clusters(
+        self,
+        k: int,
+        counters: WorkCounters,
+        initial: list[Cluster] | None = None,
+    ) -> Iterator[Cluster]:
         if k < 1:
             raise ConfigurationError(f"k must be >= 1, got {k}")
         self.prepare()
@@ -309,22 +337,24 @@ class AdaptiveLSH:
             yield from self._loop_generic(first_clusters, k, counters)
         counters.records_per_level = self._level_histogram()
 
-    def _level_histogram(self) -> dict:
+    def _level_histogram(self) -> dict[int, int]:
         values, counts = np.unique(self._level_of, return_counts=True)
         return {int(v): int(c) for v, c in zip(values, counts)}
 
-    def _apply_function(self, level: int, rids, counters) -> list[Cluster]:
+    def _apply_function(
+        self, level: int, rids: IntArray, counters: WorkCounters
+    ) -> list[Cluster]:
         """Apply ``H_level`` on ``rids`` and wrap the output clusters."""
         fn = self._functions[level - 1]
         self._level_of[rids] = level
         parts = fn.apply(rids, counters, observer=self.obs)
         return [Cluster(part, level) for part in parts]
 
-    def _apply_pairwise(self, rids, counters) -> list[Cluster]:
+    def _apply_pairwise(self, rids: IntArray, counters: WorkCounters) -> list[Cluster]:
         parts = self._pairwise.apply(rids, counters)
         return [Cluster(part, SOURCE_PAIRWISE) for part in parts]
 
-    def _estimate_density(self, rids, counters) -> float:
+    def _estimate_density(self, rids: IntArray, counters: WorkCounters) -> float:
         """Sampled match density of a cluster (Appendix D.2 lookahead).
 
         Draws up to ``lookahead_samples`` random record pairs and
@@ -348,7 +378,9 @@ class AdaptiveLSH:
         counters.pairs_compared += total
         return hits / total
 
-    def _lookahead_says_jump(self, level: int, cluster: Cluster, counters) -> bool:
+    def _lookahead_says_jump(
+        self, level: int, cluster: Cluster, counters: WorkCounters
+    ) -> bool:
         """Appendix D.2: jump straight to P on a cluster that likely
         will not split — for a dense cluster the ladder ends at H_L (or
         a later Line-5 jump) anyway, so P now wins whenever it is
@@ -366,7 +398,7 @@ class AdaptiveLSH:
             >= self._lookahead_density
         )
 
-    def _process(self, cluster: Cluster, counters) -> list[Cluster]:
+    def _process(self, cluster: Cluster, counters: WorkCounters) -> list[Cluster]:
         """One round's work on a selected non-final cluster."""
         level = int(cluster.source)
         # Line 5: jump to P when the marginal hashing cost of upgrading
@@ -386,12 +418,12 @@ class AdaptiveLSH:
         action = "P" if jump else f"H{level + 1}"
         predicted = self.cost_model.predicted_action_cost(level, cluster.size, jump)
         with obs.span("round", n=counters.rounds, action=action, size=cluster.size):
-            started = time.perf_counter()
+            started = monotonic()
             if jump:
                 out = self._apply_pairwise(cluster.rids, counters)
             else:
                 out = self._apply_function(level + 1, cluster.rids, counters)
-            elapsed = time.perf_counter() - started
+            elapsed = monotonic() - started
         obs.record_round(
             RoundEvent(
                 round=counters.rounds,
@@ -411,9 +443,11 @@ class AdaptiveLSH:
         return out
 
     # ------------------------------------------------------------------
-    def _loop_largest_first(self, clusters, k, counters):
+    def _loop_largest_first(
+        self, clusters: list[Cluster], k: int, counters: WorkCounters
+    ) -> Iterator[Cluster]:
         """Optimized Largest-First loop (Appendix B.4/B.5 structures)."""
-        bins = BinIndex()
+        bins: BinIndex[Cluster] = BinIndex()
         for cluster in clusters:
             bins.add(cluster, cluster.size)
         emitted = 0
@@ -429,7 +463,9 @@ class AdaptiveLSH:
             for sub in self._process(cluster, counters):
                 bins.add(sub, sub.size)
 
-    def _loop_generic(self, clusters, k, counters):
+    def _loop_generic(
+        self, clusters: list[Cluster], k: int, counters: WorkCounters
+    ) -> Iterator[Cluster]:
         """Reference loop for alternative selection strategies.
 
         Uses the paper's Line 11 termination directly: stop when the
@@ -464,7 +500,7 @@ def adaptive_filter(
     store: RecordStore,
     rule: MatchRule,
     k: int,
-    **kwargs,
+    **kwargs: Any,
 ) -> FilterResult:
     """One-shot convenience wrapper around :class:`AdaptiveLSH`."""
     return AdaptiveLSH(store, rule, **kwargs).run(k)

@@ -31,7 +31,7 @@ def exponential_budgets(
             f"invalid exponential schedule (start={start}, factor={factor}, "
             f"length={length})"
         )
-    budgets = []
+    budgets: list[int] = []
     value = float(start)
     for _ in range(length):
         budgets.append(int(round(value)))
@@ -39,7 +39,7 @@ def exponential_budgets(
     return budgets
 
 
-def linear_budgets(start: int, step: "int | None" = None, length: int = DEFAULT_LENGTH) -> list[int]:
+def linear_budgets(start: int, step: int | None = None, length: int = DEFAULT_LENGTH) -> list[int]:
     """Linear schedule: ``start, start+step, start+2*step, ...``.
 
     The paper's ``linX`` modes use ``step == start``.

@@ -18,19 +18,28 @@ The Appendix E.2 noise experiment multiplies the model's ``cost_P``
 estimate by a noise factor ``nf``: values below 1 under-estimate the
 pairwise cost (so ``P`` fires sooner, on larger clusters), values above
 1 defer ``P`` to smaller clusters.
+
+Calibration reads the clock through :func:`repro.obs.clock.monotonic`
+(the library's single wall-clock funnel, rule R2), so the model's unit
+— seconds — is the same unit every observability measurement uses.
 """
 
 from __future__ import annotations
 
-import time
+from collections.abc import Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from ..distance.rules import MatchRule
 from ..errors import CalibrationError
+from ..obs.clock import monotonic
 from ..records import RecordStore
-from ..rngutil import make_rng
+from ..rngutil import SeedLike, make_rng
+
+if TYPE_CHECKING:
+    from ..lsh.design import SchemeDesign
 
 #: Sample size used for calibration (paper Appendix E.2).
 CALIBRATION_SAMPLES = 100
@@ -44,12 +53,12 @@ class CostModel:
     cost of sequence function ``H_{i+1}`` (1-based in the paper).
     """
 
-    level_costs: list
+    level_costs: list[float]
     cost_p: float
     noise_factor: float = 1.0
-    info: dict = field(default_factory=dict)
+    info: dict[str, Any] = field(default_factory=dict)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.level_costs:
             raise CalibrationError("cost model needs at least one level cost")
         if any(
@@ -96,7 +105,7 @@ class CostModel:
             return self.pairwise_cost(size)
         return self.marginal_hash_cost(from_level, size)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-friendly view for run reports."""
         return {
             "level_costs": [float(c) for c in self.level_costs],
@@ -105,7 +114,7 @@ class CostModel:
             "info": dict(self.info),
         }
 
-    def with_noise(self, noise_factor: float) -> "CostModel":
+    def with_noise(self, noise_factor: float) -> CostModel:
         """A copy of this model with a different E.2 noise factor.
 
         Used by the noise-sensitivity experiment so every noise level
@@ -119,11 +128,11 @@ class CostModel:
     @classmethod
     def from_budgets(
         cls,
-        budgets,
+        budgets: Sequence[int | float],
         cost_per_hash: float = 1.0,
         cost_p: float = 20.0,
         noise_factor: float = 1.0,
-    ) -> "CostModel":
+    ) -> CostModel:
         """Analytic model: ``cost_i = cost_per_hash * budget_i``.
 
         Deterministic — used by tests and by callers who prefer counted
@@ -137,11 +146,11 @@ class CostModel:
         cls,
         store: RecordStore,
         rule: MatchRule,
-        designs,
+        designs: Sequence[SchemeDesign],
         noise_factor: float = 1.0,
         samples: int = CALIBRATION_SAMPLES,
-        seed=None,
-    ) -> "CostModel":
+        seed: SeedLike = None,
+    ) -> CostModel:
         """Measure per-hash and per-pair costs on a record sample.
 
         ``designs`` is the sequence of
@@ -162,12 +171,12 @@ class CostModel:
         hash_count = 64
         repeats = 5
         families = [dist.make_family(store, seed=rng) for dist in rule.field_distances()]
-        best = np.inf
+        best = float(np.inf)
         for _ in range(repeats):
-            t0 = time.perf_counter()
+            t0 = monotonic()
             for family in families:
                 family.compute(sample, 0, hash_count)
-            best = min(best, time.perf_counter() - t0)
+            best = min(best, monotonic() - t0)
         per_hash = best / max(sample.size * hash_count * len(families), 1)
 
         # --- per-pair cost: time block-matrix evaluations, the way
@@ -180,11 +189,11 @@ class CostModel:
         candidates = rng.choice(
             len(store), size=min(samples, len(store)), replace=False
         ).astype(np.int64)
-        best = np.inf
+        best = float(np.inf)
         for _ in range(5):
-            t0 = time.perf_counter()
+            t0 = monotonic()
             rule.match_block(store, rows, candidates)
-            best = min(best, time.perf_counter() - t0)
+            best = min(best, monotonic() - t0)
         evaluated = rows.size * candidates.size
         if evaluated == 0:
             raise CalibrationError("pair sample is empty")

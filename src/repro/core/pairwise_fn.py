@@ -19,15 +19,20 @@ chosen strategy actually performed.
 
 from __future__ import annotations
 
-import time
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..distance.rules import MatchRule
 from ..errors import ConfigurationError
+from ..obs.clock import monotonic
 from ..records import RecordStore
 from ..structures.parent_pointer_tree import ParentPointerForest
+from ..types import ArrayLike, IntArray
 from .result import WorkCounters
+
+if TYPE_CHECKING:
+    from ..obs.observer import RunObserver
 
 #: "auto" uses the rowwise strategy only below this set size; vectorized
 #: block evaluation beats Python-level pair skipping for anything
@@ -40,7 +45,9 @@ BLOCK = 512
 class PairwiseComputation:
     """Callable implementing function ``P`` over a record store."""
 
-    def __init__(self, store: RecordStore, rule: MatchRule, strategy: str = "auto"):
+    def __init__(
+        self, store: RecordStore, rule: MatchRule, strategy: str = "auto"
+    ) -> None:
         if strategy not in ("auto", "rowwise", "blocked"):
             raise ConfigurationError(
                 f"strategy must be auto|rowwise|blocked, got {strategy!r}"
@@ -51,10 +58,12 @@ class PairwiseComputation:
         #: Optional :class:`~repro.obs.observer.RunObserver`; when set
         #: and enabled, :meth:`apply` feeds pair counters and per-call
         #: timing histograms into its metrics registry.
-        self.observer = None
+        self.observer: RunObserver | None = None
 
     # ------------------------------------------------------------------
-    def apply(self, rids, counters: "WorkCounters | None" = None) -> list[np.ndarray]:
+    def apply(
+        self, rids: ArrayLike, counters: WorkCounters | None = None
+    ) -> list[IntArray]:
         """Split ``rids`` into clusters of matching records."""
         rids = np.asarray(rids, dtype=np.int64)
         m = int(rids.size)
@@ -67,16 +76,19 @@ class PairwiseComputation:
             strategy = "rowwise" if m <= ROWWISE_LIMIT else "blocked"
         obs = self.observer
         timed = obs is not None and obs.enabled
+        compared_before = 0
+        started = 0.0
         if timed:
             compared_before = counters.pairs_compared if counters is not None else 0
-            started = time.perf_counter()
+            started = monotonic()
         if strategy == "rowwise":
             forest = self._apply_rowwise(rids, counters)
         else:
             forest = self._apply_blocked(rids, counters)
         if timed:
+            assert obs is not None
             obs.histogram(f"pairwise.{strategy}_seconds").observe(
-                time.perf_counter() - started
+                monotonic() - started
             )
             obs.histogram("pairwise.cluster_size").observe(m)
             obs.counter("pairwise.pairs_charged").inc(m * (m - 1) // 2)
@@ -97,7 +109,9 @@ class PairwiseComputation:
     #: rest of that tree's members cost nothing.
     _ROW_CHUNK = 16
 
-    def _apply_rowwise(self, rids, counters) -> ParentPointerForest:
+    def _apply_rowwise(
+        self, rids: IntArray, counters: WorkCounters | None
+    ) -> ParentPointerForest:
         forest = ParentPointerForest()
         int_rids = [int(r) for r in rids]
         for rid in int_rids:
@@ -128,7 +142,9 @@ class PairwiseComputation:
             counters.pairs_compared += compared
         return forest
 
-    def _apply_blocked(self, rids, counters) -> ParentPointerForest:
+    def _apply_blocked(
+        self, rids: IntArray, counters: WorkCounters | None
+    ) -> ParentPointerForest:
         forest = ParentPointerForest()
         int_rids = [int(r) for r in rids]
         for rid in int_rids:

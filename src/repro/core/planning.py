@@ -21,11 +21,13 @@ query-log generator's.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..types import ArrayLike
 from .cost import CostModel
 
 
@@ -37,9 +39,9 @@ class WorkEstimate:
     pair_comparisons: int
     total_cost: float
     #: level -> records whose deepest hashing function is that level.
-    records_per_level: dict = field(default_factory=dict)
+    records_per_level: dict[int, int] = field(default_factory=dict)
     #: entities that end verified by P (size list).
-    pairwise_entities: list = field(default_factory=list)
+    pairwise_entities: list[int] = field(default_factory=list)
 
     def summary(self) -> str:
         levels = ", ".join(
@@ -52,7 +54,7 @@ class WorkEstimate:
         )
 
 
-def _stop_level(size: int, cost_model: CostModel) -> tuple:
+def _stop_level(size: int, cost_model: CostModel) -> tuple[int, bool]:
     """(level, via_pairwise): where an entity of ``size`` records stops.
 
     Mirrors Algorithm 1's Line 5 on a cluster that never splits: climb
@@ -67,10 +69,10 @@ def _stop_level(size: int, cost_model: CostModel) -> tuple:
 
 
 def predict_filter_work(
-    entity_sizes,
+    entity_sizes: ArrayLike,
     k: int,
     cost_model: CostModel,
-    budgets=None,
+    budgets: Sequence[int | float] | None = None,
 ) -> WorkEstimate:
     """Predict the work of ``AdaptiveLSH.run(k)`` on a dataset whose
     ground-truth entity sizes are ``entity_sizes`` (all records,
@@ -102,10 +104,10 @@ def predict_filter_work(
     hashes = 0
     pairs = 0
     cost = 0.0
-    per_level: dict = {}
-    pairwise_entities = []
-    for size in processed:
-        size = int(size)
+    per_level: dict[int, int] = {}
+    pairwise_entities: list[int] = []
+    for raw_size in processed:
+        size = int(raw_size)
         level, via_p = _stop_level(size, cost_model)
         hashes += size * int(budgets[level - 1])
         cost += cost_model.cost_level(level) * size

@@ -3,9 +3,13 @@ counters, and the :class:`FilterResult` that every method returns."""
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
+
+from ..types import IntArray
 
 #: Source tag for clusters produced by the pairwise computation P.
 SOURCE_PAIRWISE = "P"
@@ -19,8 +23,8 @@ class Cluster:
     function that produced the cluster, or :data:`SOURCE_PAIRWISE`.
     """
 
-    rids: np.ndarray
-    source: "int | str"
+    rids: IntArray
+    source: int | str
 
     @property
     def size(self) -> int:
@@ -48,9 +52,9 @@ class WorkCounters:
     rounds: int = 0
     #: records whose deepest processing was sequence function i (1-based
     #: index into the list; index 0 = only H_1 was applied).
-    records_per_level: dict = field(default_factory=dict)
+    records_per_level: dict[int, int] = field(default_factory=dict)
 
-    def merge_pool_counts(self, pools) -> None:
+    def merge_pool_counts(self, pools: Iterable[Any]) -> None:
         """Refresh ``hashes_computed`` from the signature pools."""
         self.hashes_computed = sum(p.hashes_computed for p in pools)
 
@@ -60,15 +64,15 @@ class FilterResult:
     """Output of a filtering method (the paper's Figure 1 stage)."""
 
     #: Top-k clusters, largest first, as arrays of record ids.
-    clusters: list
+    clusters: list[Cluster]
     #: Union of all cluster members.
-    output_rids: np.ndarray
+    output_rids: IntArray
     #: Work performed.
     counters: WorkCounters
     #: Wall-clock execution time in seconds (FilteringTime).
     wall_time: float
     #: Free-form per-method metadata (designs used, budgets, ...).
-    info: dict = field(default_factory=dict)
+    info: dict[str, Any] = field(default_factory=dict)
 
     @property
     def k(self) -> int:
@@ -79,7 +83,12 @@ class FilterResult:
         return int(self.output_rids.size)
 
     @staticmethod
-    def from_clusters(clusters, counters, wall_time, info=None) -> "FilterResult":
+    def from_clusters(
+        clusters: Sequence[Cluster],
+        counters: WorkCounters,
+        wall_time: float,
+        info: dict[str, Any] | None = None,
+    ) -> FilterResult:
         """Build a result from raw rid arrays, ordering by size."""
         ordered = sorted(clusters, key=lambda c: c.size, reverse=True)
         if ordered:

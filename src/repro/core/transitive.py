@@ -13,18 +13,24 @@ function's scheme (Property 4 — incremental computation).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..lsh.design import SchemeDesign
 from ..lsh.scheme import HashingScheme
 from ..structures.parent_pointer_tree import ParentPointerForest
+from ..types import ArrayLike, IntArray
 from .result import WorkCounters
+
+if TYPE_CHECKING:
+    from ..obs.observer import RunObserver
 
 
 class TransitiveHashingFunction:
     """One function ``H_i`` of the sequence."""
 
-    def __init__(self, level: int, design: SchemeDesign):
+    def __init__(self, level: int, design: SchemeDesign) -> None:
         self.level = level
         self.design = design
         self.scheme: HashingScheme = design.to_scheme()
@@ -36,10 +42,10 @@ class TransitiveHashingFunction:
 
     def apply(
         self,
-        rids,
-        counters: "WorkCounters | None" = None,
-        observer=None,
-    ) -> list[np.ndarray]:
+        rids: ArrayLike,
+        counters: WorkCounters | None = None,
+        observer: RunObserver | None = None,
+    ) -> list[IntArray]:
         """Split ``rids`` into clusters (connected components of the
         same-bucket graph across all tables).
 

@@ -13,7 +13,7 @@ import numpy as np
 from ..distance.rules import MatchRule
 from ..errors import DatasetError
 from ..records import RecordStore
-from ..rngutil import make_rng
+from ..rngutil import SeedLike, make_rng
 
 
 @dataclass
@@ -66,7 +66,7 @@ class Dataset:
         return self.top_k_rids(k).size / len(self)
 
 
-def extend_dataset(dataset: Dataset, factor: int, seed=None) -> Dataset:
+def extend_dataset(dataset: Dataset, factor: int, seed: SeedLike = None) -> Dataset:
     """The paper's 2x/4x/8x extension: add ``(factor-1) * n`` records,
     each a copy of a uniformly chosen record of a uniformly chosen
     entity."""

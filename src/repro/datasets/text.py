@@ -12,7 +12,7 @@ import zlib
 
 import numpy as np
 
-from ..rngutil import make_rng
+from ..rngutil import SeedLike, make_rng
 
 _SYLLABLES = (
     "ba be bi bo bu da de di do du ka ke ki ko ku la le li lo lu "
@@ -21,7 +21,12 @@ _SYLLABLES = (
 ).split()
 
 
-def make_vocabulary(size: int, seed=None, min_syllables: int = 2, max_syllables: int = 4) -> list[str]:
+def make_vocabulary(
+    size: int,
+    seed: SeedLike = None,
+    min_syllables: int = 2,
+    max_syllables: int = 4,
+) -> list[str]:
     """``size`` distinct pseudo-words built from random syllables."""
     rng = make_rng(seed)
     words: set[str] = set()

@@ -14,10 +14,16 @@ A :class:`FieldDistance` knows three things about one record field:
 from __future__ import annotations
 
 import abc
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..records import FieldKind, RecordStore
+from ..rngutil import SeedLike
+from ..types import ArrayLike, FloatArray
+
+if TYPE_CHECKING:
+    from ..lsh.families import HashFamily
 
 
 class FieldDistance(abc.ABC):
@@ -36,33 +42,33 @@ class FieldDistance(abc.ABC):
         """Normalized distance in ``[0, 1]`` between records ``r1``, ``r2``."""
 
     @abc.abstractmethod
-    def pairwise(self, store: RecordStore, rids: np.ndarray) -> np.ndarray:
+    def pairwise(self, store: RecordStore, rids: ArrayLike) -> FloatArray:
         """Symmetric ``(m, m)`` matrix of distances among ``rids``."""
 
     @abc.abstractmethod
     def one_to_many(
-        self, store: RecordStore, rid: int, rids: np.ndarray
-    ) -> np.ndarray:
+        self, store: RecordStore, rid: int, rids: ArrayLike
+    ) -> FloatArray:
         """Distances from record ``rid`` to each record in ``rids``."""
 
     @abc.abstractmethod
     def block(
-        self, store: RecordStore, rids_a: np.ndarray, rids_b: np.ndarray
-    ) -> np.ndarray:
+        self, store: RecordStore, rids_a: ArrayLike, rids_b: ArrayLike
+    ) -> FloatArray:
         """``(len(rids_a), len(rids_b))`` matrix of cross distances."""
 
-    def collision_prob(self, x):
+    def collision_prob(self, x: ArrayLike) -> FloatArray:
         """``p(x)``: probability one hash function collides at distance ``x``.
 
         Both families used in the paper (random hyperplanes for cosine,
         minhash for Jaccard) have the linear curve ``p(x) = 1 - x`` on
         the normalized distance; subclasses may override.
         """
-        x = np.asarray(x, dtype=np.float64)
-        return np.clip(1.0 - x, 0.0, 1.0)
+        arr = np.asarray(x, dtype=np.float64)
+        return np.clip(1.0 - arr, 0.0, 1.0)
 
     @abc.abstractmethod
-    def make_family(self, store: RecordStore, seed):
+    def make_family(self, store: RecordStore, seed: SeedLike) -> HashFamily:
         """Instantiate the LSH :class:`~repro.lsh.families.HashFamily`."""
 
     def validate(self, store: RecordStore) -> None:

@@ -8,10 +8,17 @@ hyperplane family collides with probability ``p(x) = 1 - x``.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..records import FieldKind, RecordStore
+from ..rngutil import SeedLike
+from ..types import ArrayLike, FloatArray
 from .base import FieldDistance
+
+if TYPE_CHECKING:
+    from ..lsh.hyperplanes import RandomHyperplaneFamily
 
 #: Angles are normalized by a straight angle (paper Example 5).
 DEGREES_FULL = 180.0
@@ -30,7 +37,7 @@ def normalized_to_degrees(x: float) -> float:
 class CosineDistance(FieldDistance):
     """Normalized-angle distance over one dense vector field."""
 
-    def __init__(self, field: str = "vec"):
+    def __init__(self, field: str = "vec") -> None:
         self.field = field
 
     @property
@@ -38,7 +45,7 @@ class CosineDistance(FieldDistance):
         return FieldKind.VECTOR
 
     # ------------------------------------------------------------------
-    def _unit_rows(self, mat: np.ndarray) -> np.ndarray:
+    def _unit_rows(self, mat: FloatArray) -> FloatArray:
         norms = np.linalg.norm(mat, axis=1, keepdims=True)
         # Zero vectors are kept as-is; their angle to anything is 90deg
         # by the arccos(0) convention below.
@@ -51,7 +58,7 @@ class CosineDistance(FieldDistance):
         cos = float(np.clip(u[0] @ u[1], -1.0, 1.0))
         return float(np.arccos(cos) / np.pi)
 
-    def pairwise(self, store: RecordStore, rids) -> np.ndarray:
+    def pairwise(self, store: RecordStore, rids: ArrayLike) -> FloatArray:
         rids = np.asarray(rids, dtype=np.int64)
         u = self._unit_rows(store.vectors(self.field)[rids])
         cos = np.clip(u @ u.T, -1.0, 1.0)
@@ -59,7 +66,7 @@ class CosineDistance(FieldDistance):
         np.fill_diagonal(dist, 0.0)
         return dist
 
-    def one_to_many(self, store: RecordStore, rid: int, rids) -> np.ndarray:
+    def one_to_many(self, store: RecordStore, rid: int, rids: ArrayLike) -> FloatArray:
         rids = np.asarray(rids, dtype=np.int64)
         mat = store.vectors(self.field)
         u = self._unit_rows(mat[rids])
@@ -67,17 +74,19 @@ class CosineDistance(FieldDistance):
         cos = np.clip(u @ v, -1.0, 1.0)
         return np.arccos(cos) / np.pi
 
-    def block(self, store: RecordStore, rids_a, rids_b) -> np.ndarray:
+    def block(
+        self, store: RecordStore, rids_a: ArrayLike, rids_b: ArrayLike
+    ) -> FloatArray:
         mat = store.vectors(self.field)
         ua = self._unit_rows(mat[np.asarray(rids_a, dtype=np.int64)])
         ub = self._unit_rows(mat[np.asarray(rids_b, dtype=np.int64)])
         cos = np.clip(ua @ ub.T, -1.0, 1.0)
         return np.arccos(cos) / np.pi
 
-    def make_family(self, store: RecordStore, seed):
+    def make_family(self, store: RecordStore, seed: SeedLike) -> RandomHyperplaneFamily:
         from ..lsh.hyperplanes import RandomHyperplaneFamily
 
         return RandomHyperplaneFamily(store, self.field, seed=seed)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"CosineDistance(field={self.field!r})"

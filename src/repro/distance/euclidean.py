@@ -19,15 +19,22 @@ exactly what the scheme-design programs need.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 from scipy.stats import norm
 
 from ..errors import ConfigurationError
 from ..records import FieldKind, RecordStore
+from ..rngutil import SeedLike
+from ..types import ArrayLike, FloatArray
 from .base import FieldDistance
 
+if TYPE_CHECKING:
+    from ..lsh.pstable import PStableFamily
 
-def pstable_collision_prob(c):
+
+def pstable_collision_prob(c: ArrayLike) -> FloatArray:
     """Collision probability of one p-stable hash at ratio ``c = d/r``."""
     c = np.asarray(c, dtype=np.float64)
     with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
@@ -48,7 +55,9 @@ class EuclideanDistance(FieldDistance):
     land in the same bucket with probability ~0.5).
     """
 
-    def __init__(self, field: str = "vec", scale: float = 1.0, bucket_width: float = 0.5):
+    def __init__(
+        self, field: str = "vec", scale: float = 1.0, bucket_width: float = 0.5
+    ) -> None:
         if scale <= 0.0:
             raise ConfigurationError(f"scale must be positive, got {scale}")
         if bucket_width <= 0.0:
@@ -69,7 +78,7 @@ class EuclideanDistance(FieldDistance):
         d = float(np.linalg.norm(mat[r1] - mat[r2]))
         return min(d / self.scale, 1.0)
 
-    def pairwise(self, store: RecordStore, rids) -> np.ndarray:
+    def pairwise(self, store: RecordStore, rids: ArrayLike) -> FloatArray:
         rids = np.asarray(rids, dtype=np.int64)
         mat = store.vectors(self.field)[rids]
         sq = np.sum(mat**2, axis=1)
@@ -78,13 +87,15 @@ class EuclideanDistance(FieldDistance):
         np.fill_diagonal(dist, 0.0)
         return np.minimum(dist, 1.0)
 
-    def one_to_many(self, store: RecordStore, rid: int, rids) -> np.ndarray:
+    def one_to_many(self, store: RecordStore, rid: int, rids: ArrayLike) -> FloatArray:
         rids = np.asarray(rids, dtype=np.int64)
         mat = store.vectors(self.field)
         diff = mat[rids] - mat[rid]
         return np.minimum(np.linalg.norm(diff, axis=1) / self.scale, 1.0)
 
-    def block(self, store: RecordStore, rids_a, rids_b) -> np.ndarray:
+    def block(
+        self, store: RecordStore, rids_a: ArrayLike, rids_b: ArrayLike
+    ) -> FloatArray:
         rids_a = np.asarray(rids_a, dtype=np.int64)
         rids_b = np.asarray(rids_b, dtype=np.int64)
         mat = store.vectors(self.field)
@@ -98,11 +109,11 @@ class EuclideanDistance(FieldDistance):
         return np.minimum(np.sqrt(d2) / self.scale, 1.0)
 
     # ------------------------------------------------------------------
-    def collision_prob(self, x):
-        x = np.asarray(x, dtype=np.float64)
-        return pstable_collision_prob(x / self.bucket_width)
+    def collision_prob(self, x: ArrayLike) -> FloatArray:
+        arr = np.asarray(x, dtype=np.float64)
+        return pstable_collision_prob(arr / self.bucket_width)
 
-    def make_family(self, store: RecordStore, seed):
+    def make_family(self, store: RecordStore, seed: SeedLike) -> PStableFamily:
         from ..lsh.pstable import PStableFamily
 
         return PStableFamily(
@@ -112,7 +123,7 @@ class EuclideanDistance(FieldDistance):
             seed=seed,
         )
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"EuclideanDistance(field={self.field!r}, scale={self.scale}, "
             f"bucket_width={self.bucket_width})"

@@ -6,13 +6,20 @@ on with probability exactly ``p(x) = 1 - x`` (the Jaccard similarity).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..records import FieldKind, RecordStore
+from ..rngutil import SeedLike
+from ..types import AnyArray, ArrayLike, FloatArray
 from .base import FieldDistance
 
+if TYPE_CHECKING:
+    from ..lsh.minhash import MinHashFamily
 
-def jaccard_distance(a: np.ndarray, b: np.ndarray) -> float:
+
+def jaccard_distance(a: AnyArray, b: AnyArray) -> float:
     """Jaccard distance of two sorted shingle-id arrays."""
     if a.size == 0 and b.size == 0:
         return 0.0
@@ -31,7 +38,7 @@ class JaccardDistance(FieldDistance):
     more hashes per table automatically.
     """
 
-    def __init__(self, field: str = "shingles", minhash_bits: "int | None" = None):
+    def __init__(self, field: str = "shingles", minhash_bits: int | None = None) -> None:
         self.field = field
         self.minhash_bits = minhash_bits
 
@@ -43,7 +50,7 @@ class JaccardDistance(FieldDistance):
         sets = store.shingle_sets(self.field)
         return jaccard_distance(sets[r1], sets[r2])
 
-    def pairwise(self, store: RecordStore, rids) -> np.ndarray:
+    def pairwise(self, store: RecordStore, rids: ArrayLike) -> FloatArray:
         rids = np.asarray(rids, dtype=np.int64)
         csr = store.shingle_csr(self.field)[rids]
         inter = np.asarray((csr @ csr.T).todense(), dtype=np.float64)
@@ -55,7 +62,7 @@ class JaccardDistance(FieldDistance):
         np.fill_diagonal(dist, 0.0)
         return dist
 
-    def one_to_many(self, store: RecordStore, rid: int, rids) -> np.ndarray:
+    def one_to_many(self, store: RecordStore, rid: int, rids: ArrayLike) -> FloatArray:
         rids = np.asarray(rids, dtype=np.int64)
         csr = store.shingle_csr(self.field)
         inter = np.asarray((csr[rids] @ csr[[rid]].T).todense()).ravel()
@@ -63,9 +70,11 @@ class JaccardDistance(FieldDistance):
         union = sizes[rids] + sizes[rid] - inter
         with np.errstate(divide="ignore", invalid="ignore"):
             sim = np.where(union > 0.0, inter / union, 1.0)
-        return 1.0 - sim
+        return np.asarray(1.0 - sim, dtype=np.float64)
 
-    def block(self, store: RecordStore, rids_a, rids_b) -> np.ndarray:
+    def block(
+        self, store: RecordStore, rids_a: ArrayLike, rids_b: ArrayLike
+    ) -> FloatArray:
         rids_a = np.asarray(rids_a, dtype=np.int64)
         rids_b = np.asarray(rids_b, dtype=np.int64)
         csr = store.shingle_csr(self.field)
@@ -74,21 +83,21 @@ class JaccardDistance(FieldDistance):
         union = sizes[rids_a][:, None] + sizes[rids_b][None, :] - inter
         with np.errstate(divide="ignore", invalid="ignore"):
             sim = np.where(union > 0.0, inter / union, 1.0)
-        return 1.0 - sim
+        return np.asarray(1.0 - sim, dtype=np.float64)
 
-    def collision_prob(self, x):
-        x = np.asarray(x, dtype=np.float64)
-        base = np.clip(1.0 - x, 0.0, 1.0)
+    def collision_prob(self, x: ArrayLike) -> FloatArray:
+        arr = np.asarray(x, dtype=np.float64)
+        base = np.clip(1.0 - arr, 0.0, 1.0)
         if self.minhash_bits is None:
             return base
         return base + (1.0 - base) * 2.0**-self.minhash_bits
 
-    def make_family(self, store: RecordStore, seed):
+    def make_family(self, store: RecordStore, seed: SeedLike) -> MinHashFamily:
         from ..lsh.minhash import MinHashFamily
 
         return MinHashFamily(store, self.field, seed=seed, bits=self.minhash_bits)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         if self.minhash_bits is not None:
             return (
                 f"JaccardDistance(field={self.field!r}, "

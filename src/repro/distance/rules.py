@@ -19,11 +19,13 @@ what Appendix C covers: ``Or(And | leaf-like, ...)``, ``And(leaf-like,
 from __future__ import annotations
 
 import abc
+from collections.abc import Iterable
 
 import numpy as np
 
 from ..errors import ConfigurationError
 from ..records import RecordStore
+from ..types import ArrayLike, BoolArray, FloatArray
 from .base import FieldDistance
 
 
@@ -44,18 +46,22 @@ class MatchRule(abc.ABC):
         """True iff records ``r1`` and ``r2`` satisfy the rule."""
 
     @abc.abstractmethod
-    def pairwise_match(self, store: RecordStore, rids) -> np.ndarray:
+    def pairwise_match(self, store: RecordStore, rids: ArrayLike) -> BoolArray:
         """Boolean ``(m, m)`` matrix of matches among ``rids``.
 
         The diagonal is always ``True``.
         """
 
     @abc.abstractmethod
-    def match_one_to_many(self, store: RecordStore, rid: int, rids) -> np.ndarray:
+    def match_one_to_many(
+        self, store: RecordStore, rid: int, rids: ArrayLike
+    ) -> BoolArray:
         """Boolean array: does ``rid`` match each record in ``rids``?"""
 
     @abc.abstractmethod
-    def match_block(self, store: RecordStore, rids_a, rids_b) -> np.ndarray:
+    def match_block(
+        self, store: RecordStore, rids_a: ArrayLike, rids_b: ArrayLike
+    ) -> BoolArray:
         """Boolean cross-match matrix between ``rids_a`` and ``rids_b``."""
 
     @abc.abstractmethod
@@ -71,26 +77,30 @@ class MatchRule(abc.ABC):
 class ThresholdRule(MatchRule):
     """``d(r1, r2) <= threshold`` on a single field distance."""
 
-    def __init__(self, distance: FieldDistance, threshold: float):
+    def __init__(self, distance: FieldDistance, threshold: float) -> None:
         self.distance = distance
         self.threshold = _validate_threshold(threshold)
 
-    def is_match(self, store, r1, r2):
+    def is_match(self, store: RecordStore, r1: int, r2: int) -> bool:
         return self.distance.distance(store, r1, r2) <= self.threshold
 
-    def pairwise_match(self, store, rids):
+    def pairwise_match(self, store: RecordStore, rids: ArrayLike) -> BoolArray:
         return self.distance.pairwise(store, rids) <= self.threshold
 
-    def match_one_to_many(self, store, rid, rids):
+    def match_one_to_many(
+        self, store: RecordStore, rid: int, rids: ArrayLike
+    ) -> BoolArray:
         return self.distance.one_to_many(store, rid, rids) <= self.threshold
 
-    def match_block(self, store, rids_a, rids_b):
+    def match_block(
+        self, store: RecordStore, rids_a: ArrayLike, rids_b: ArrayLike
+    ) -> BoolArray:
         return self.distance.block(store, rids_a, rids_b) <= self.threshold
 
-    def field_distances(self):
+    def field_distances(self) -> list[FieldDistance]:
         return [self.distance]
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"ThresholdRule({self.distance!r}, {self.threshold})"
 
 
@@ -100,9 +110,14 @@ class WeightedAverageRule(MatchRule):
     Weights must be positive and sum to 1.
     """
 
-    def __init__(self, distances, weights, threshold: float):
+    def __init__(
+        self,
+        distances: Iterable[FieldDistance],
+        weights: ArrayLike,
+        threshold: float,
+    ) -> None:
         self.distances = list(distances)
-        self.weights = np.asarray(weights, dtype=np.float64)
+        self.weights: FloatArray = np.asarray(weights, dtype=np.float64)
         if len(self.distances) != self.weights.size or not self.distances:
             raise ConfigurationError(
                 "need one positive weight per distance (and at least one)"
@@ -113,7 +128,7 @@ class WeightedAverageRule(MatchRule):
             )
         self.threshold = _validate_threshold(threshold)
 
-    def combined_distance(self, store, r1, r2) -> float:
+    def combined_distance(self, store: RecordStore, r1: int, r2: int) -> float:
         """The weighted-average distance ``d̄(r1, r2)``."""
         return float(
             sum(
@@ -122,34 +137,41 @@ class WeightedAverageRule(MatchRule):
             )
         )
 
-    def is_match(self, store, r1, r2):
+    def is_match(self, store: RecordStore, r1: int, r2: int) -> bool:
         return self.combined_distance(store, r1, r2) <= self.threshold
 
-    def pairwise_match(self, store, rids):
-        total = None
+    def pairwise_match(self, store: RecordStore, rids: ArrayLike) -> BoolArray:
+        total: FloatArray | None = None
         for w, d in zip(self.weights, self.distances):
             part = w * d.pairwise(store, rids)
             total = part if total is None else total + part
+        assert total is not None  # constructor guarantees >= 1 distance
         return total <= self.threshold
 
-    def match_one_to_many(self, store, rid, rids):
-        total = None
+    def match_one_to_many(
+        self, store: RecordStore, rid: int, rids: ArrayLike
+    ) -> BoolArray:
+        total: FloatArray | None = None
         for w, d in zip(self.weights, self.distances):
             part = w * d.one_to_many(store, rid, rids)
             total = part if total is None else total + part
+        assert total is not None
         return total <= self.threshold
 
-    def match_block(self, store, rids_a, rids_b):
-        total = None
+    def match_block(
+        self, store: RecordStore, rids_a: ArrayLike, rids_b: ArrayLike
+    ) -> BoolArray:
+        total: FloatArray | None = None
         for w, d in zip(self.weights, self.distances):
             part = w * d.block(store, rids_a, rids_b)
             total = part if total is None else total + part
+        assert total is not None
         return total <= self.threshold
 
-    def field_distances(self):
+    def field_distances(self) -> list[FieldDistance]:
         return list(self.distances)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"WeightedAverageRule({self.distances!r}, "
             f"weights={self.weights.tolist()}, threshold={self.threshold})"
@@ -159,7 +181,7 @@ class WeightedAverageRule(MatchRule):
 class _CompositeRule(MatchRule):
     """Shared plumbing for AND / OR composition."""
 
-    def __init__(self, children):
+    def __init__(self, children: Iterable[MatchRule]) -> None:
         self.children = list(children)
         if len(self.children) < 2:
             raise ConfigurationError(
@@ -172,7 +194,7 @@ class _CompositeRule(MatchRule):
                     f"got {type(child).__name__}"
                 )
 
-    def field_distances(self):
+    def field_distances(self) -> list[FieldDistance]:
         out: list[FieldDistance] = []
         for child in self.children:
             out.extend(child.field_distances())
@@ -182,60 +204,74 @@ class _CompositeRule(MatchRule):
 class AndRule(_CompositeRule):
     """All children must match (Appendix C.1)."""
 
-    def is_match(self, store, r1, r2):
+    def is_match(self, store: RecordStore, r1: int, r2: int) -> bool:
         return all(c.is_match(store, r1, r2) for c in self.children)
 
-    def pairwise_match(self, store, rids):
-        out = None
+    def pairwise_match(self, store: RecordStore, rids: ArrayLike) -> BoolArray:
+        out: BoolArray | None = None
         for child in self.children:
             part = child.pairwise_match(store, rids)
             out = part if out is None else out & part
+        assert out is not None  # constructor guarantees >= 2 children
         return out
 
-    def match_one_to_many(self, store, rid, rids):
-        out = None
+    def match_one_to_many(
+        self, store: RecordStore, rid: int, rids: ArrayLike
+    ) -> BoolArray:
+        out: BoolArray | None = None
         for child in self.children:
             part = child.match_one_to_many(store, rid, rids)
             out = part if out is None else out & part
+        assert out is not None
         return out
 
-    def match_block(self, store, rids_a, rids_b):
-        out = None
+    def match_block(
+        self, store: RecordStore, rids_a: ArrayLike, rids_b: ArrayLike
+    ) -> BoolArray:
+        out: BoolArray | None = None
         for child in self.children:
             part = child.match_block(store, rids_a, rids_b)
             out = part if out is None else out & part
+        assert out is not None
         return out
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"AndRule({self.children!r})"
 
 
 class OrRule(_CompositeRule):
     """Any child may match (Appendix C.2)."""
 
-    def is_match(self, store, r1, r2):
+    def is_match(self, store: RecordStore, r1: int, r2: int) -> bool:
         return any(c.is_match(store, r1, r2) for c in self.children)
 
-    def pairwise_match(self, store, rids):
-        out = None
+    def pairwise_match(self, store: RecordStore, rids: ArrayLike) -> BoolArray:
+        out: BoolArray | None = None
         for child in self.children:
             part = child.pairwise_match(store, rids)
             out = part if out is None else out | part
+        assert out is not None
         return out
 
-    def match_one_to_many(self, store, rid, rids):
-        out = None
+    def match_one_to_many(
+        self, store: RecordStore, rid: int, rids: ArrayLike
+    ) -> BoolArray:
+        out: BoolArray | None = None
         for child in self.children:
             part = child.match_one_to_many(store, rid, rids)
             out = part if out is None else out | part
+        assert out is not None
         return out
 
-    def match_block(self, store, rids_a, rids_b):
-        out = None
+    def match_block(
+        self, store: RecordStore, rids_a: ArrayLike, rids_b: ArrayLike
+    ) -> BoolArray:
+        out: BoolArray | None = None
         for child in self.children:
             part = child.match_block(store, rids_a, rids_b)
             out = part if out is None else out | part
+        assert out is not None
         return out
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"OrRule({self.children!r})"

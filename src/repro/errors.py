@@ -30,3 +30,8 @@ class CalibrationError(ReproError):
 
 class DatasetError(ReproError):
     """A synthetic dataset generator received unsatisfiable parameters."""
+
+
+class AnalysisError(ReproError):
+    """The invariant linter could not analyze its input (bad path,
+    unparseable source, or a corrupt baseline file)."""

@@ -72,7 +72,7 @@ class ExperimentResult:
     rows: list
     notes: str = ""
 
-    def to_markdown(self, columns=None) -> str:
+    def to_markdown(self, columns: list[str] | None = None) -> str:
         table = render_table(self.rows, columns)
         header = f"### {self.figure} — {self.title}\n\n"
         notes = f"\n\n{self.notes}" if self.notes else ""
@@ -89,7 +89,7 @@ class ExperimentResult:
 class _DatasetPool:
     """Caches generated/extended datasets within one experiment run."""
 
-    def __init__(self, cfg: ExperimentConfig):
+    def __init__(self, cfg: ExperimentConfig) -> None:
         self.cfg = cfg
         self._cache: dict = {}
 
@@ -250,13 +250,13 @@ def _time_vs_size(pool, dataset_fn, figure, title, cfg, k=10) -> ExperimentResul
     return ExperimentResult(figure, title, rows)
 
 
-def exp_fig8a_cora_time_vs_k(cfg) -> ExperimentResult:
+def exp_fig8a_cora_time_vs_k(cfg: ExperimentConfig) -> ExperimentResult:
     """Figure 8(a): execution time on Cora for k in {2, 5, 10, 20}."""
     pool = _DatasetPool(cfg)
     return _time_vs_k(pool, pool.cora, "fig8a", "execution time on Cora vs k", cfg)
 
 
-def exp_fig8b_cora_time_vs_size(cfg) -> ExperimentResult:
+def exp_fig8b_cora_time_vs_size(cfg: ExperimentConfig) -> ExperimentResult:
     """Figure 8(b): execution time on Cora 1x..8x at k = 10."""
     pool = _DatasetPool(cfg)
     return _time_vs_size(
@@ -264,7 +264,7 @@ def exp_fig8b_cora_time_vs_size(cfg) -> ExperimentResult:
     )
 
 
-def exp_fig9a_spotsigs_time_vs_k(cfg) -> ExperimentResult:
+def exp_fig9a_spotsigs_time_vs_k(cfg: ExperimentConfig) -> ExperimentResult:
     """Figure 9(a): execution time on SpotSigs for k in {2, 5, 10, 20}."""
     pool = _DatasetPool(cfg)
     return _time_vs_k(
@@ -272,7 +272,7 @@ def exp_fig9a_spotsigs_time_vs_k(cfg) -> ExperimentResult:
     )
 
 
-def exp_fig9b_spotsigs_time_vs_size(cfg) -> ExperimentResult:
+def exp_fig9b_spotsigs_time_vs_size(cfg: ExperimentConfig) -> ExperimentResult:
     """Figure 9(b): execution time on SpotSigs 1x..8x at k = 10."""
     pool = _DatasetPool(cfg)
     return _time_vs_size(
@@ -284,7 +284,7 @@ def exp_fig9b_spotsigs_time_vs_size(cfg) -> ExperimentResult:
     )
 
 
-def exp_fig10_f1_gold(cfg) -> ExperimentResult:
+def exp_fig10_f1_gold(cfg: ExperimentConfig) -> ExperimentResult:
     """Figure 10: F1 Gold vs k on Cora and SpotSigs; all methods give
     nearly identical clusters."""
     pool = _DatasetPool(cfg)
@@ -301,7 +301,7 @@ def exp_fig10_f1_gold(cfg) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Figures 11-14 — accuracy knobs: k_hat, reduction, recovery
 # ----------------------------------------------------------------------
-def exp_fig11_accuracy_vs_khat(cfg, k: int = 5) -> ExperimentResult:
+def exp_fig11_accuracy_vs_khat(cfg: ExperimentConfig, k: int = 5) -> ExperimentResult:
     """Figure 11: precision/recall gold vs k_hat for three similarity
     thresholds on SpotSigs."""
     pool = _DatasetPool(cfg)
@@ -319,7 +319,7 @@ def exp_fig11_accuracy_vs_khat(cfg, k: int = 5) -> ExperimentResult:
     )
 
 
-def exp_fig12_reduction_speedup(cfg, k: int = 5) -> ExperimentResult:
+def exp_fig12_reduction_speedup(cfg: ExperimentConfig, k: int = 5) -> ExperimentResult:
     """Figure 12: dataset reduction % and Speedup w/o Recovery vs k_hat
     across dataset scales."""
     pool = _DatasetPool(cfg)
@@ -342,7 +342,7 @@ def exp_fig12_reduction_speedup(cfg, k: int = 5) -> ExperimentResult:
     )
 
 
-def exp_fig13_map_mar(cfg) -> ExperimentResult:
+def exp_fig13_map_mar(cfg: ExperimentConfig) -> ExperimentResult:
     """Figure 13: mAP and mAR vs k_hat for several k on SpotSigs."""
     pool = _DatasetPool(cfg)
     dataset = pool.spotsigs(1)
@@ -357,7 +357,7 @@ def exp_fig13_map_mar(cfg) -> ExperimentResult:
     return ExperimentResult("fig13", "mAP and mAR vs k_hat on SpotSigs", rows)
 
 
-def exp_fig14_recovery(cfg, k: int = 5) -> ExperimentResult:
+def exp_fig14_recovery(cfg: ExperimentConfig, k: int = 5) -> ExperimentResult:
     """Figure 14: Speedup with Recovery and mAP with Recovery."""
     pool = _DatasetPool(cfg)
     rows = []
@@ -392,7 +392,7 @@ def exp_fig14_recovery(cfg, k: int = 5) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Figure 15 — adaLSH vs the LSH-X sweep
 # ----------------------------------------------------------------------
-def exp_fig15_lsh_sweep(cfg, k: int = 10) -> ExperimentResult:
+def exp_fig15_lsh_sweep(cfg: ExperimentConfig, k: int = 10) -> ExperimentResult:
     """Figure 15: execution time of LSH-X for X in the sweep vs adaLSH,
     on SpotSigs at two scales."""
     pool = _DatasetPool(cfg)
@@ -419,7 +419,7 @@ def exp_fig15_lsh_sweep(cfg, k: int = 10) -> ExperimentResult:
 _IMAGE_METHODS = ("adaLSH", "LSH320", "LSH2560")
 
 
-def exp_fig16_images_time(cfg, k: int = 10) -> ExperimentResult:
+def exp_fig16_images_time(cfg: ExperimentConfig, k: int = 10) -> ExperimentResult:
     """Figure 16: execution time vs Zipf exponent for thresholds 3/5 deg."""
     pool = _DatasetPool(cfg)
     rows = []
@@ -437,7 +437,7 @@ def exp_fig16_images_time(cfg, k: int = 10) -> ExperimentResult:
     )
 
 
-def exp_fig17_images_f1(cfg, k: int = 10) -> ExperimentResult:
+def exp_fig17_images_f1(cfg: ExperimentConfig, k: int = 10) -> ExperimentResult:
     """Figure 17: F1 Gold vs Zipf exponent for thresholds 2/3/5 deg."""
     pool = _DatasetPool(cfg)
     rows = []
@@ -455,7 +455,7 @@ def exp_fig17_images_f1(cfg, k: int = 10) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Appendix E — nP variants, cost-model noise, budget modes
 # ----------------------------------------------------------------------
-def exp_fig20_np_variants(cfg, k: int = 10) -> ExperimentResult:
+def exp_fig20_np_variants(cfg: ExperimentConfig, k: int = 10) -> ExperimentResult:
     """Figure 20: LSH20/LSH640 with and without the pairwise stage;
     accuracy measured as F1 *target* (vs the Pairs outcome)."""
     pool = _DatasetPool(cfg)
@@ -481,7 +481,7 @@ def exp_fig20_np_variants(cfg, k: int = 10) -> ExperimentResult:
     )
 
 
-def exp_fig21_cost_noise(cfg, ks=(2, 10)) -> ExperimentResult:
+def exp_fig21_cost_noise(cfg: ExperimentConfig, ks: tuple[int, ...] = (2, 10)) -> ExperimentResult:
     """Figure 21: execution time under cost-model noise nf.
 
     The cost model is calibrated once per dataset scale and each noise
@@ -513,7 +513,7 @@ def exp_fig21_cost_noise(cfg, ks=(2, 10)) -> ExperimentResult:
     )
 
 
-def exp_fig22_budget_modes(cfg, k: int = 10) -> ExperimentResult:
+def exp_fig22_budget_modes(cfg: ExperimentConfig, k: int = 10) -> ExperimentResult:
     """Figure 22: Exponential vs Linear budget selection modes."""
     pool = _DatasetPool(cfg)
     modes = {

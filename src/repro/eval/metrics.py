@@ -11,7 +11,11 @@ mAR = (1 + 4/5) / 2 = 0.9).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
+
+from ..types import ArrayLike
 
 
 def _as_set(rids) -> set:
@@ -25,7 +29,9 @@ def f1_score(precision: float, recall: float) -> float:
     return 2.0 * precision * recall / (precision + recall)
 
 
-def precision_recall_f1(output_rids, truth_rids) -> tuple:
+def precision_recall_f1(
+    output_rids: ArrayLike, truth_rids: ArrayLike
+) -> tuple[float, float, float]:
     """Set precision, recall and F1 of ``output_rids`` vs ``truth_rids``.
 
     Conventions: empty output has precision 1 (nothing wrong was
@@ -39,7 +45,11 @@ def precision_recall_f1(output_rids, truth_rids) -> tuple:
     return precision, recall, f1_score(precision, recall)
 
 
-def map_mar(clusters, truth_clusters, k: "int | None" = None) -> tuple:
+def map_mar(
+    clusters: Sequence[ArrayLike],
+    truth_clusters: Sequence[ArrayLike],
+    k: int | None = None,
+) -> tuple[float, float]:
     """Mean Average Precision / Recall over ranked cluster prefixes.
 
     ``clusters`` and ``truth_clusters`` must be ordered largest-first.

@@ -2,8 +2,13 @@
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
+from typing import Any
 
-def render_table(rows, columns=None) -> str:
+
+def render_table(
+    rows: Iterable[dict[str, Any]], columns: Sequence[str] | None = None
+) -> str:
     """Render dict rows as a GitHub-flavoured Markdown table.
 
     Column order follows ``columns`` if given, else the keys of the

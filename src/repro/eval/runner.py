@@ -9,18 +9,22 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
+from typing import Any
 
 from ..baselines import LSHBlocking, PairsBaseline
 from ..core import AdaptiveLSH
 from ..datasets.base import Dataset
 from ..errors import ConfigurationError
 from ..obs.spans import NULL_SPAN
+from ..rngutil import SeedLike
 from .metrics import dataset_reduction, map_mar, precision_recall_f1
 
 _LSH_SPEC = re.compile(r"^LSH(\d+)(nP)?$")
 
 
-def make_method(dataset: Dataset, spec: str, seed=None, **kwargs):
+def make_method(
+    dataset: Dataset, spec: str, seed: SeedLike = None, **kwargs: Any
+) -> AdaptiveLSH | PairsBaseline | LSHBlocking:
     """Instantiate a filtering method from its paper-style name.
 
     Extra keyword arguments are forwarded to the method constructor
@@ -96,11 +100,11 @@ def run_filter(
     dataset: Dataset,
     spec: str,
     k: int,
-    k_hat: "int | None" = None,
-    seed=None,
-    method=None,
-    observer=None,
-    **kwargs,
+    k_hat: int | None = None,
+    seed: SeedLike = None,
+    method: Any = None,
+    observer: Any = None,
+    **kwargs: Any,
 ) -> RunRecord:
     """Run one filtering method and score it against the ground truth.
 

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 from ..distance.rules import MatchRule
 from ..records import RecordStore
-from ..rngutil import make_rng
+from ..rngutil import SeedLike, make_rng
 
 #: Pairs timed when measuring the per-pair cost.
 SAMPLE_PAIRS = 200
@@ -38,7 +38,11 @@ class SpeedupModel:
 
     @classmethod
     def measure(
-        cls, store: RecordStore, rule: MatchRule, seed=None, samples: int = SAMPLE_PAIRS
+        cls,
+        store: RecordStore,
+        rule: MatchRule,
+        seed: SeedLike = None,
+        samples: int = SAMPLE_PAIRS,
     ) -> "SpeedupModel":
         """Time random pair comparisons on the real data.
 

@@ -31,6 +31,7 @@ flagged ``feasible=False``.
 from __future__ import annotations
 
 import math
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -44,10 +45,12 @@ from ..distance.rules import (
 )
 from ..errors import ConfigurationError, DesignError
 from ..records import RecordStore
-from ..rngutil import make_rng, spawn
+from ..rngutil import SeedLike, make_rng, spawn
+from ..types import ArrayLike, FloatArray
 from .families import SignaturePool
 from .mixture import WeightedMixtureFamily
 from .probability import (
+    PFunc,
     and_objective,
     and_or_collision_prob,
     mixed_scheme_objective,
@@ -67,7 +70,7 @@ class LeafComponent:
 
     label: str
     pool: SignaturePool
-    pfunc: object  # callable x -> p(x)
+    pfunc: PFunc
     d_thr: float
 
 
@@ -82,7 +85,9 @@ class DesignContext:
     branches: list[list[LeafComponent]]
 
 
-def _leaf_component(store, rule, seed, label) -> LeafComponent:
+def _leaf_component(
+    store: RecordStore, rule: MatchRule, seed: SeedLike, label: str
+) -> LeafComponent:
     if isinstance(rule, ThresholdRule):
         family = rule.distance.make_family(store, seed)
         pool = SignaturePool(family, name=label)
@@ -99,7 +104,7 @@ def _leaf_component(store, rule, seed, label) -> LeafComponent:
         )
         pool = SignaturePool(mixture, name=label)
 
-        def pfunc(x):
+        def pfunc(x: ArrayLike) -> FloatArray:
             return np.clip(1.0 - np.asarray(x, dtype=np.float64), 0.0, 1.0)
 
         return LeafComponent(label, pool, pfunc, rule.threshold)
@@ -109,12 +114,14 @@ def _leaf_component(store, rule, seed, label) -> LeafComponent:
     )
 
 
-def build_design_context(store: RecordStore, rule: MatchRule, seed=None) -> DesignContext:
+def build_design_context(
+    store: RecordStore, rule: MatchRule, seed: SeedLike = None
+) -> DesignContext:
     """Build pools and the branch structure for ``rule`` over ``store``."""
     rule.validate(store)
     rng = make_rng(seed)
 
-    def and_branch(node, prefix) -> list[LeafComponent]:
+    def and_branch(node: MatchRule, prefix: str) -> list[LeafComponent]:
         if isinstance(node, AndRule):
             return [
                 _leaf_component(store, child, s, f"{prefix}.and{i}")
@@ -190,7 +197,7 @@ class GroupDesign:
         return self.to_table_groups()[0]
 
 
-def _corner_q(components, ws) -> float:
+def _corner_q(components: Sequence[LeafComponent], ws: Sequence[int]) -> float:
     """prod_c p_c(d_c)^{w_c} — the per-table collision probability at
     the all-thresholds corner."""
     q = 1.0
@@ -199,7 +206,9 @@ def _corner_q(components, ws) -> float:
     return q
 
 
-def _group_objective(components, ws, z) -> float:
+def _group_objective(
+    components: Sequence[LeafComponent], ws: Sequence[int], z: int
+) -> float:
     # The tensor-product integration grid grows exponentially with the
     # number of components; coarsen it so design stays fast for wide
     # AND rules (the objective is only used to rank candidates).
@@ -222,7 +231,13 @@ def _candidate_zs(budget: int, min_z: int, min_total_w: int) -> list[int]:
     return sorted(z for z in zs if min_z <= z <= max_z)
 
 
-def _greedy_allocation(components, z, total_w, min_ws, epsilon):
+def _greedy_allocation(
+    components: Sequence[LeafComponent],
+    z: int,
+    total_w: int,
+    min_ws: Sequence[int],
+    epsilon: float,
+) -> tuple[tuple[int, ...], bool]:
     """Allocate up to ``total_w`` hashes per table across components,
     greedily, keeping the corner constraint satisfied.
 
@@ -259,10 +274,10 @@ def _greedy_allocation(components, z, total_w, min_ws, epsilon):
 
 
 def design_group(
-    components,
+    components: Sequence[LeafComponent],
     budget: int,
     epsilon: float = DEFAULT_EPSILON,
-    min_ws=None,
+    min_ws: Sequence[int] | None = None,
     min_z: int = 1,
 ) -> GroupDesign:
     """Solve Program (1)-(3) / (4)-(6) for one AND table group."""
@@ -332,13 +347,13 @@ class SchemeDesign:
         return sum(g.budget for g in self.groups)
 
     def to_scheme(self) -> HashingScheme:
-        groups = []
+        groups: list[TableGroup] = []
         for g in self.groups:
             groups.extend(g.to_table_groups())
         return HashingScheme(groups)
 
     def describe(self) -> str:
-        parts = []
+        parts: list[str] = []
         for g in self.groups:
             ws = "+".join(str(w) for w in g.ws)
             rem = f", w'={g.remainder_w}" if g.remainder_w else ""
@@ -348,7 +363,9 @@ class SchemeDesign:
         return " OR ".join(parts)
 
 
-def _budget_splits(budget: int, n_branches: int, min_budgets):
+def _budget_splits(
+    budget: int, n_branches: int, min_budgets: Sequence[int]
+) -> Iterator[tuple[int, ...]]:
     """Candidate per-branch budget splits (coarse grid for 2 branches,
     equal split otherwise)."""
     if n_branches == 1:
@@ -371,7 +388,7 @@ def design_scheme(
     ctx: DesignContext,
     budget: int,
     epsilon: float = DEFAULT_EPSILON,
-    prev: "SchemeDesign | None" = None,
+    prev: SchemeDesign | None = None,
 ) -> SchemeDesign:
     """Design one transitive-hashing function for a total hash budget.
 
@@ -382,9 +399,9 @@ def design_scheme(
     branches = ctx.branches
     if prev is not None and len(prev.groups) != len(branches):
         raise DesignError("previous design has a different branch structure")
-    min_ws_per_branch = []
-    min_z_per_branch = []
-    min_budget_per_branch = []
+    min_ws_per_branch: list[tuple[int, ...]] = []
+    min_z_per_branch: list[int] = []
+    min_budget_per_branch: list[int] = []
     for i, comps in enumerate(branches):
         if prev is None:
             min_ws_per_branch.append((1,) * len(comps))
@@ -427,9 +444,9 @@ def design_scheme(
 def design_sequence(
     store: RecordStore,
     rule: MatchRule,
-    budgets,
+    budgets: Sequence[int | float],
     epsilon: float = DEFAULT_EPSILON,
-    seed=None,
+    seed: SeedLike = None,
 ) -> tuple[DesignContext, list[SchemeDesign]]:
     """Design the whole function sequence H_1..H_L for given budgets.
 
@@ -444,7 +461,7 @@ def design_sequence(
         raise ConfigurationError(f"budgets must strictly increase: {budgets}")
     ctx = build_design_context(store, rule, seed=seed)
     designs: list[SchemeDesign] = []
-    prev = None
+    prev: SchemeDesign | None = None
     for budget in budgets:
         prev = design_scheme(ctx, budget, epsilon=epsilon, prev=prev)
         designs.append(prev)

@@ -11,11 +11,16 @@ model and the experiment harness read.
 from __future__ import annotations
 
 import abc
-import time
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from ..obs.clock import monotonic
 from ..records import RecordStore
+from ..types import AnyArray, ArrayLike, FloatArray, IntArray
+
+if TYPE_CHECKING:
+    from ..obs.observer import RunObserver
 
 
 class HashFamily(abc.ABC):
@@ -28,23 +33,23 @@ class HashFamily(abc.ABC):
     """
 
     #: NumPy dtype of produced hash values.
-    dtype: np.dtype
+    dtype: np.dtype[Any]
 
-    def __init__(self, store: RecordStore, field: str):
+    def __init__(self, store: RecordStore, field: str) -> None:
         self.store = store
         self.field = field
 
     @abc.abstractmethod
-    def compute(self, rids: np.ndarray, start: int, stop: int) -> np.ndarray:
+    def compute(self, rids: IntArray, start: int, stop: int) -> AnyArray:
         """Hash values of functions ``[start, stop)`` for ``rids``.
 
         Returns an array of shape ``(len(rids), stop - start)``.
         """
 
-    def collision_prob(self, x):
+    def collision_prob(self, x: ArrayLike) -> FloatArray:
         """``p(x)`` for this family; both paper families are ``1 - x``."""
-        x = np.asarray(x, dtype=np.float64)
-        return np.clip(1.0 - x, 0.0, 1.0)
+        arr = np.asarray(x, dtype=np.float64)
+        return np.clip(1.0 - arr, 0.0, 1.0)
 
     @property
     def label(self) -> str:
@@ -61,12 +66,12 @@ class SignaturePool:
     incremental-computation property the adaptive algorithm exploits.
     """
 
-    def __init__(self, family: HashFamily, name: str = "pool"):
+    def __init__(self, family: HashFamily, name: str = "pool") -> None:
         self.family = family
         self.name = name
         n = len(family.store)
-        self._filled = np.zeros(n, dtype=np.int64)
-        self._data = np.zeros((n, 0), dtype=family.dtype)
+        self._filled: IntArray = np.zeros(n, dtype=np.int64)
+        self._data: AnyArray = np.zeros((n, 0), dtype=family.dtype)
         #: Total hash values ever computed (work counter).
         self.hashes_computed = 0
         #: Wall-time spent in :meth:`HashFamily.compute` (only measured
@@ -75,14 +80,14 @@ class SignaturePool:
         #: Optional :class:`~repro.obs.observer.RunObserver`; when set
         #: and enabled, :meth:`ensure` times hash computation and feeds
         #: per-pool counters/histograms into its metrics registry.
-        self.observer = None
+        self.observer: RunObserver | None = None
 
     def __len__(self) -> int:
-        return self._filled.shape[0]
+        return int(self._filled.shape[0])
 
     @property
     def capacity(self) -> int:
-        return self._data.shape[1]
+        return int(self._data.shape[1])
 
     def filled(self, rid: int) -> int:
         """How many hash values are cached for ``rid``."""
@@ -97,7 +102,7 @@ class SignaturePool:
             grown[:, : self.capacity] = self._data
         self._data = grown
 
-    def ensure(self, rids, count: int) -> None:
+    def ensure(self, rids: ArrayLike, count: int) -> None:
         """Make sure every record in ``rids`` has ``count`` hash values."""
         rids = np.asarray(rids, dtype=np.int64)
         self._grow(count)
@@ -106,9 +111,11 @@ class SignaturePool:
             return
         obs = self.observer
         timed = obs is not None and obs.enabled
+        before = 0
+        started = 0.0
         if timed:
             before = self.hashes_computed
-            started = time.perf_counter()
+            started = monotonic()
         # Records arrive at a handful of distinct fill levels (one per
         # earlier budget), so batching by level keeps compute() calls few.
         levels = np.unique(self._filled[pending])
@@ -119,14 +126,15 @@ class SignaturePool:
             self._filled[batch] = count
             self.hashes_computed += int(batch.size) * (count - int(level))
         if timed:
-            elapsed = time.perf_counter() - started
+            assert obs is not None
+            elapsed = monotonic() - started
             self.hash_seconds += elapsed
             obs.counter(f"hash.computed.{self.name}").inc(
                 self.hashes_computed - before
             )
             obs.histogram(f"hash.seconds.{self.name}").observe(elapsed)
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         """Per-pool work summary for run reports."""
         return {
             "name": self.name,
@@ -135,7 +143,7 @@ class SignaturePool:
             "seconds": float(self.hash_seconds),
         }
 
-    def signatures(self, rids, count: int) -> np.ndarray:
+    def signatures(self, rids: ArrayLike, count: int) -> AnyArray:
         """The first ``count`` hash values of each record in ``rids``."""
         rids = np.asarray(rids, dtype=np.int64)
         self.ensure(rids, count)

@@ -12,7 +12,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..records import RecordStore
-from ..rngutil import make_rng
+from ..rngutil import SeedLike, make_rng
+from ..types import AnyArray, FloatArray, IntArray
 from .families import HashFamily
 
 
@@ -21,15 +22,15 @@ class RandomHyperplaneFamily(HashFamily):
 
     dtype = np.dtype(np.uint8)
 
-    def __init__(self, store: RecordStore, field: str, seed=None):
+    def __init__(self, store: RecordStore, field: str, seed: SeedLike = None) -> None:
         super().__init__(store, field)
         self._rng = make_rng(seed)
         dim = store.vectors(field).shape[1]
-        self._planes = np.zeros((dim, 0), dtype=np.float64)
+        self._planes: FloatArray = np.zeros((dim, 0), dtype=np.float64)
 
     @property
     def dim(self) -> int:
-        return self._planes.shape[0]
+        return int(self._planes.shape[0])
 
     def _ensure_planes(self, count: int) -> None:
         have = self._planes.shape[1]
@@ -41,7 +42,7 @@ class RandomHyperplaneFamily(HashFamily):
         extra = self._rng.standard_normal((count - have, self.dim)).T
         self._planes = np.hstack([self._planes, extra])
 
-    def compute(self, rids: np.ndarray, start: int, stop: int) -> np.ndarray:
+    def compute(self, rids: IntArray, start: int, stop: int) -> AnyArray:
         self._ensure_planes(stop)
         vectors = self.store.vectors(self.field)[np.asarray(rids, dtype=np.int64)]
         projections = vectors @ self._planes[:, start:stop]

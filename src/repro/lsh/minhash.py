@@ -21,8 +21,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import ConfigurationError
 from ..records import RecordStore
-from ..rngutil import make_rng
+from ..rngutil import SeedLike, make_rng
+from ..types import AnyArray, ArrayLike, FloatArray, IntArray
 from .families import HashFamily
 
 #: Pseudo-element hashed for empty sets, so two empty sets (Jaccard
@@ -30,7 +32,7 @@ from .families import HashFamily
 EMPTY_SENTINEL = np.uint64((1 << 63) - 59)
 
 
-def _splitmix64(x: np.ndarray) -> np.ndarray:
+def _splitmix64(x: AnyArray) -> AnyArray:
     """The splitmix64 finalizer: a fixed bijective scrambler of uint64."""
     with np.errstate(over="ignore"):
         z = x + np.uint64(0x9E3779B97F4A7C15)
@@ -58,19 +60,25 @@ class MinHashFamily(HashFamily):
 
     dtype = np.dtype(np.uint32)
 
-    def __init__(self, store: RecordStore, field: str, seed=None, bits: "int | None" = None):
+    def __init__(
+        self,
+        store: RecordStore,
+        field: str,
+        seed: SeedLike = None,
+        bits: int | None = None,
+    ) -> None:
         super().__init__(store, field)
         if bits is not None and not 1 <= int(bits) <= 32:
-            raise ValueError(f"bits must be in [1, 32], got {bits}")
+            raise ConfigurationError(f"bits must be in [1, 32], got {bits}")
         self.bits = int(bits) if bits is not None else None
         self._rng = make_rng(seed)
-        self._a = np.zeros(0, dtype=np.uint64)
+        self._a: AnyArray = np.zeros(0, dtype=np.uint64)
         # Ids are scrambled once through splitmix64: raw shingle ids are
         # often small arithmetic progressions, on which a bare multiply
         # hash is measurably non-minwise (the min favours lattice
         # structure).  After mixing, ids look uniform in uint64 space
         # and the multiply ranking is unbiased in practice.
-        self._sets = [
+        self._sets: list[AnyArray] = [
             _splitmix64(np.asarray(s, dtype=np.uint64))
             if s.size
             else _splitmix64(np.array([EMPTY_SENTINEL], dtype=np.uint64))
@@ -86,7 +94,7 @@ class MinHashFamily(HashFamily):
         a = self._rng.integers(0, 1 << 63, size=extra, dtype=np.uint64) * 2 + 1
         self._a = np.concatenate([self._a, a])
 
-    def _padded(self, rids) -> np.ndarray:
+    def _padded(self, rids: IntArray) -> AnyArray:
         """Sets of ``rids`` as one (m, L) array, each row padded with its
         own first element — padding with a member leaves mins unchanged."""
         sets = [self._sets[int(r)] for r in rids]
@@ -97,7 +105,7 @@ class MinHashFamily(HashFamily):
             padded[row, ids.size :] = ids[0]
         return padded
 
-    def compute(self, rids: np.ndarray, start: int, stop: int) -> np.ndarray:
+    def compute(self, rids: IntArray, start: int, stop: int) -> AnyArray:
         self._ensure_params(stop)
         rids = np.asarray(rids, dtype=np.int64)
         out = np.empty((rids.size, stop - start), dtype=np.uint32)
@@ -124,9 +132,9 @@ class MinHashFamily(HashFamily):
             return f"minhash[{self.field}]"
         return f"minhash{self.bits}bit[{self.field}]"
 
-    def collision_prob(self, x):
-        x = np.asarray(x, dtype=np.float64)
-        base = np.clip(1.0 - x, 0.0, 1.0)
+    def collision_prob(self, x: ArrayLike) -> FloatArray:
+        arr = np.asarray(x, dtype=np.float64)
+        base = np.clip(1.0 - arr, 0.0, 1.0)
         if self.bits is None:
             return base
         # b-bit minhash: a true minhash collision, or a random low-bit

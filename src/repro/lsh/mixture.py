@@ -11,11 +11,14 @@ plugs into scheme design as if it were a single field.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 import numpy as np
 
 from ..errors import ConfigurationError
 from ..records import RecordStore
-from ..rngutil import make_rng
+from ..rngutil import SeedLike, make_rng
+from ..types import AnyArray, ArrayLike, FloatArray, IntArray
 from .families import HashFamily
 
 
@@ -29,21 +32,29 @@ class WeightedMixtureFamily(HashFamily):
 
     dtype = np.dtype(np.uint32)
 
-    def __init__(self, store: RecordStore, families, weights, seed=None):
+    def __init__(
+        self,
+        store: RecordStore,
+        families: Iterable[HashFamily],
+        weights: ArrayLike,
+        seed: SeedLike = None,
+    ) -> None:
         self.families = list(families)
         if not self.families:
             raise ConfigurationError("mixture needs at least one family")
         fields = ",".join(f.field for f in self.families)
         super().__init__(store, fields)
-        self.weights = np.asarray(weights, dtype=np.float64)
+        self.weights: FloatArray = np.asarray(weights, dtype=np.float64)
         if self.weights.size != len(self.families):
             raise ConfigurationError("one weight per family required")
         self._rng = make_rng(seed)
         # assignment[j] = which family provides global hash column j;
         # child_col[j] = that family's own column index.
-        self._assignment = np.zeros(0, dtype=np.int64)
-        self._child_col = np.zeros(0, dtype=np.int64)
-        self._per_family_count = np.zeros(len(self.families), dtype=np.int64)
+        self._assignment: IntArray = np.zeros(0, dtype=np.int64)
+        self._child_col: IntArray = np.zeros(0, dtype=np.int64)
+        self._per_family_count: IntArray = np.zeros(
+            len(self.families), dtype=np.int64
+        )
 
     def _ensure_assignment(self, count: int) -> None:
         have = self._assignment.size
@@ -60,7 +71,7 @@ class WeightedMixtureFamily(HashFamily):
         self._assignment = np.concatenate([self._assignment, draws])
         self._child_col = np.concatenate([self._child_col, cols])
 
-    def compute(self, rids: np.ndarray, start: int, stop: int) -> np.ndarray:
+    def compute(self, rids: IntArray, start: int, stop: int) -> AnyArray:
         self._ensure_assignment(stop)
         rids = np.asarray(rids, dtype=np.int64)
         out = np.empty((rids.size, stop - start), dtype=np.uint32)

@@ -15,13 +15,23 @@ hash counts ``w_1..w_m`` collides with probability
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable, Sequence
+from typing import TypeAlias
+
 import numpy as np
+
+from ..errors import ConfigurationError
+from ..types import ArrayLike, FloatArray
+
+#: A single-function collision-probability curve ``p(x)`` evaluated on
+#: a grid of normalized distances (e.g. ``HashFamily.collision_prob``).
+PFunc: TypeAlias = Callable[[ArrayLike], FloatArray]
 
 #: Grid resolution used for objective integrals (Equation 1 / 4 / 7).
 DEFAULT_GRID = 513
 
 
-def and_or_collision_prob(p_pow, z: int) -> np.ndarray:
+def and_or_collision_prob(p_pow: ArrayLike, z: int) -> FloatArray:
     """``1 - (1 - q)^z`` where ``q = prod_i p_i(x_i)^{w_i}``.
 
     ``p_pow`` is the already-ANDed per-table collision probability
@@ -31,29 +41,31 @@ def and_or_collision_prob(p_pow, z: int) -> np.ndarray:
     # log1p formulation keeps precision when q is close to 0 or 1.
     with np.errstate(divide="ignore"):
         log_miss = z * np.log1p(-np.clip(q, 0.0, 1.0))
-    return -np.expm1(log_miss)
+    return np.asarray(-np.expm1(log_miss), dtype=np.float64)
 
 
-def collision_prob_curve(pfunc, w: int, z: int, x) -> np.ndarray:
+def collision_prob_curve(pfunc: PFunc, w: int, z: int, x: ArrayLike) -> FloatArray:
     """``P(x)`` for a (w, z)-scheme over a single family with curve
     ``p = pfunc(x)`` (Figure 5)."""
     x = np.asarray(x, dtype=np.float64)
     return and_or_collision_prob(pfunc(x) ** w, z)
 
 
-def integrate_curve(values: np.ndarray, grid: np.ndarray) -> float:
+def integrate_curve(values: ArrayLike, grid: ArrayLike) -> float:
     """Trapezoidal integral of sampled curve values over ``grid``."""
     return float(np.trapezoid(values, grid))
 
 
-def scheme_objective(pfunc, w: int, z: int, grid_points: int = DEFAULT_GRID) -> float:
+def scheme_objective(
+    pfunc: PFunc, w: int, z: int, grid_points: int = DEFAULT_GRID
+) -> float:
     """Equation (1): area under the (w, z)-scheme collision curve."""
     grid = np.linspace(0.0, 1.0, grid_points)
     return integrate_curve(collision_prob_curve(pfunc, w, z, grid), grid)
 
 
 def scheme_feasible(
-    pfunc, w: int, z: int, d_thr: float, epsilon: float
+    pfunc: PFunc, w: int, z: int, d_thr: float, epsilon: float
 ) -> bool:
     """Equation (3): the scheme collides with probability at least
     ``1 - epsilon`` at the threshold distance.
@@ -65,17 +77,20 @@ def scheme_feasible(
 
 
 def and_objective(
-    pfuncs, ws, z: int, grid_points: int = 129
+    pfuncs: Sequence[PFunc], ws: Sequence[int], z: int, grid_points: int = 129
 ) -> float:
     """Equation (4): volume under the AND-construction collision
     surface over the unit hypercube (product grid per field)."""
+    if not pfuncs:
+        raise ConfigurationError("AND construction needs at least one field")
     grid = np.linspace(0.0, 1.0, grid_points)
     # prod_i p_i(x_i)^{w_i} evaluated on the tensor-product grid via
     # iterative outer products, then the z-fold OR.
-    q = None
+    q: FloatArray | None = None
     for pfunc, w in zip(pfuncs, ws):
         part = pfunc(grid) ** w
         q = part if q is None else np.multiply.outer(q, part)
+    assert q is not None
     prob = and_or_collision_prob(q, z)
     # Iterated trapezoid over every axis.
     for _ in range(prob.ndim):
@@ -83,7 +98,13 @@ def and_objective(
     return float(prob)
 
 
-def and_feasible(pfuncs, ws, z: int, d_thrs, epsilon: float) -> bool:
+def and_feasible(
+    pfuncs: Sequence[PFunc],
+    ws: Sequence[int],
+    z: int,
+    d_thrs: Sequence[float],
+    epsilon: float,
+) -> bool:
     """Equation (6): constraint at the all-thresholds corner.
 
     The AND-construction probability is coordinate-wise non-increasing,
@@ -95,7 +116,9 @@ def and_feasible(pfuncs, ws, z: int, d_thrs, epsilon: float) -> bool:
     return float(and_or_collision_prob(q, z)) >= 1.0 - epsilon
 
 
-def mixed_scheme_prob(pfunc, w: int, z: int, w_rem: int, x) -> np.ndarray:
+def mixed_scheme_prob(
+    pfunc: PFunc, w: int, z: int, w_rem: int, x: ArrayLike
+) -> FloatArray:
     """§5.1 non-integer-budget extension: ``z`` tables of ``w`` hashes
     plus one remainder table of ``w_rem`` hashes —
     ``1 - (1 - p^w)^z * (1 - p^w_rem)``."""
@@ -103,21 +126,23 @@ def mixed_scheme_prob(pfunc, w: int, z: int, w_rem: int, x) -> np.ndarray:
     p = pfunc(x)
     miss_main = (1.0 - np.clip(p**w, 0.0, 1.0)) ** z
     miss_rem = 1.0 - np.clip(p**w_rem, 0.0, 1.0)
-    return 1.0 - miss_main * miss_rem
+    return np.asarray(1.0 - miss_main * miss_rem, dtype=np.float64)
 
 
 def mixed_scheme_objective(
-    pfunc, w: int, z: int, w_rem: int, grid_points: int = DEFAULT_GRID
+    pfunc: PFunc, w: int, z: int, w_rem: int, grid_points: int = DEFAULT_GRID
 ) -> float:
     """Equation (1) for the mixed scheme."""
     grid = np.linspace(0.0, 1.0, grid_points)
     return integrate_curve(mixed_scheme_prob(pfunc, w, z, w_rem, grid), grid)
 
 
-def or_combine(branch_probs) -> np.ndarray:
+def or_combine(branch_probs: Iterable[ArrayLike]) -> FloatArray:
     """Collision probability of OR'd table groups: ``1 - prod (1 - P_b)``."""
-    miss = None
+    miss: FloatArray | None = None
     for prob in branch_probs:
         part = 1.0 - np.asarray(prob, dtype=np.float64)
         miss = part if miss is None else miss * part
+    if miss is None:
+        raise ConfigurationError("or_combine needs at least one branch")
     return 1.0 - miss

@@ -11,8 +11,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import ConfigurationError
 from ..records import RecordStore
-from ..rngutil import make_rng
+from ..rngutil import SeedLike, make_rng, spawn
+from ..types import AnyArray, ArrayLike, FloatArray, IntArray
 from .families import HashFamily
 
 
@@ -21,23 +23,29 @@ class PStableFamily(HashFamily):
 
     dtype = np.dtype(np.uint32)
 
-    def __init__(self, store: RecordStore, field: str, bucket_width: float, seed=None):
+    def __init__(
+        self,
+        store: RecordStore,
+        field: str,
+        bucket_width: float,
+        seed: SeedLike = None,
+    ) -> None:
         super().__init__(store, field)
         if bucket_width <= 0.0:
-            raise ValueError(f"bucket_width must be positive, got {bucket_width}")
+            raise ConfigurationError(
+                f"bucket_width must be positive, got {bucket_width}"
+            )
         self.bucket_width = float(bucket_width)
         # Separate streams for directions and offsets keep column j's
         # parameters independent of how requests were chunked.
-        from ..rngutil import spawn
-
         self._dir_rng, self._off_rng = spawn(make_rng(seed), 2)
         dim = store.vectors(field).shape[1]
-        self._directions = np.zeros((dim, 0), dtype=np.float64)
-        self._offsets = np.zeros(0, dtype=np.float64)
+        self._directions: FloatArray = np.zeros((dim, 0), dtype=np.float64)
+        self._offsets: FloatArray = np.zeros(0, dtype=np.float64)
 
     @property
     def dim(self) -> int:
-        return self._directions.shape[0]
+        return int(self._directions.shape[0])
 
     def _ensure_params(self, count: int) -> None:
         have = self._directions.shape[1]
@@ -51,7 +59,7 @@ class PStableFamily(HashFamily):
         self._directions = np.hstack([self._directions, directions])
         self._offsets = np.concatenate([self._offsets, offsets])
 
-    def compute(self, rids: np.ndarray, start: int, stop: int) -> np.ndarray:
+    def compute(self, rids: IntArray, start: int, stop: int) -> AnyArray:
         self._ensure_params(stop)
         vectors = self.store.vectors(self.field)[np.asarray(rids, dtype=np.int64)]
         projections = vectors @ self._directions[:, start:stop]
@@ -60,7 +68,7 @@ class PStableFamily(HashFamily):
         ).astype(np.int64)
         return (buckets & 0xFFFFFFFF).astype(np.uint32)
 
-    def collision_prob(self, x):
+    def collision_prob(self, x: ArrayLike) -> FloatArray:
         from ..distance.euclidean import pstable_collision_prob
 
         # ``x`` arrives in the caller's normalized units; families are

@@ -17,13 +17,19 @@ later function in the sequence uses larger ``w`` and ``z`` over the
 
 from __future__ import annotations
 
-import time
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..obs.clock import monotonic
+from ..types import AnyArray, ArrayLike, IntArray
 from .families import SignaturePool
+
+if TYPE_CHECKING:
+    from ..obs.observer import RunObserver
 
 
 @dataclass(frozen=True)
@@ -40,7 +46,7 @@ class PoolUse:
     w: int
     offset: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.w < 1:
             raise ConfigurationError(f"w must be >= 1, got {self.w}")
         if self.offset < 0:
@@ -55,7 +61,7 @@ class TableGroup:
     z: int
     uses: tuple[PoolUse, ...]
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.z < 1:
             raise ConfigurationError(f"z must be >= 1, got {self.z}")
         if not self.uses:
@@ -74,8 +80,8 @@ class TableGroup:
 class HashingScheme:
     """A concrete hashing layout: one or more OR'd table groups."""
 
-    def __init__(self, groups):
-        self.groups = tuple(groups)
+    def __init__(self, groups: Iterable[TableGroup]) -> None:
+        self.groups: tuple[TableGroup, ...] = tuple(groups)
         if not self.groups:
             raise ConfigurationError("scheme needs at least one table group")
 
@@ -88,7 +94,7 @@ class HashingScheme:
     def table_count(self) -> int:
         return sum(g.z for g in self.groups)
 
-    def iter_table_keys(self, rids):
+    def iter_table_keys(self, rids: ArrayLike) -> Iterator[list[bytes]]:
         """Yield, for every table of every group, the per-record bucket
         keys (as ``bytes``) for the records in ``rids``.
 
@@ -99,7 +105,9 @@ class HashingScheme:
             row_bytes = block.view(np.uint8).reshape(block.shape[0], -1)
             yield [row.tobytes() for row in row_bytes]
 
-    def iter_table_collisions(self, rids, observer=None):
+    def iter_table_collisions(
+        self, rids: ArrayLike, observer: RunObserver | None = None
+    ) -> Iterator[list[IntArray]]:
         """Yield, for every table, the bucket collision groups: arrays of
         *row positions* (indices into ``rids``) that share a bucket.
 
@@ -113,9 +121,10 @@ class HashingScheme:
         grouping time and collision-group counts to the run metrics.
         """
         timed = observer is not None and observer.enabled
+        started = 0.0
         for block in self._iter_table_blocks(rids):
             if timed:
-                started = time.perf_counter()
+                started = monotonic()
             void = block.view(
                 np.dtype((np.void, block.dtype.itemsize * block.shape[1]))
             ).ravel()
@@ -130,14 +139,15 @@ class HashingScheme:
                 order[s:e] for s, e in zip(starts, ends) if e - s >= 2
             ]
             if timed:
+                assert observer is not None
                 observer.histogram("scheme.table_group_seconds").observe(
-                    time.perf_counter() - started
+                    monotonic() - started
                 )
                 observer.counter("scheme.tables_processed").inc()
                 observer.counter("scheme.collision_groups").inc(len(groups))
             yield groups
 
-    def _iter_table_blocks(self, rids):
+    def _iter_table_blocks(self, rids: ArrayLike) -> Iterator[AnyArray]:
         """Per-table contiguous key blocks of shape (m, hashes_per_table)."""
         rids = np.asarray(rids, dtype=np.int64)
         for group in self.groups:

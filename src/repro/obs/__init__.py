@@ -15,12 +15,14 @@ paths; :data:`DISABLED` is the shared no-op observer used when
 observability is off.
 """
 
+from .clock import monotonic
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, NULL_REGISTRY
 from .observer import DISABLED, RunObserver
 from .report import REPORT_VERSION, RoundEvent, RunReport, cost_residuals
 from .spans import NULL_SPAN, NULL_TRACER, Span, Tracer
 
 __all__ = [
+    "monotonic",
     "Counter",
     "Gauge",
     "Histogram",

@@ -15,20 +15,22 @@ A disabled registry returns shared no-op instruments — the cost of an
 
 from __future__ import annotations
 
+from typing import Any
+
 
 class Counter:
     """Monotonically increasing count."""
 
     __slots__ = ("name", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
-        self.value = 0
+        self.value: int | float = 0
 
-    def inc(self, n: "int | float" = 1) -> None:
+    def inc(self, n: int | float = 1) -> None:
         self.value += n
 
-    def to_value(self):
+    def to_value(self) -> int | float:
         return self.value
 
 
@@ -37,14 +39,14 @@ class Gauge:
 
     __slots__ = ("name", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
-        self.value = None
+        self.value: Any = None
 
-    def set(self, value) -> None:
+    def set(self, value: Any) -> None:
         self.value = value
 
-    def to_value(self):
+    def to_value(self) -> Any:
         return self.value
 
 
@@ -57,12 +59,12 @@ class Histogram:
 
     __slots__ = ("name", "count", "total", "min", "max")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
-        self.min = None
-        self.max = None
+        self.min: float | None = None
+        self.max: float | None = None
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -77,7 +79,7 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def to_value(self) -> dict:
+    def to_value(self) -> dict[str, Any]:
         return {
             "count": self.count,
             "total": self.total,
@@ -92,13 +94,13 @@ class _NullInstrument:
 
     __slots__ = ()
 
-    def inc(self, n=1) -> None:
+    def inc(self, n: int | float = 1) -> None:
         return None
 
-    def set(self, value) -> None:
+    def set(self, value: Any) -> None:
         return None
 
-    def observe(self, value) -> None:
+    def observe(self, value: float) -> None:
         return None
 
 
@@ -108,13 +110,13 @@ NULL_INSTRUMENT = _NullInstrument()
 class MetricsRegistry:
     """Name-indexed instrument store for one run."""
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
 
-    def counter(self, name: str):
+    def counter(self, name: str) -> Counter | _NullInstrument:
         if not self.enabled:
             return NULL_INSTRUMENT
         found = self._counters.get(name)
@@ -122,7 +124,7 @@ class MetricsRegistry:
             found = self._counters[name] = Counter(name)
         return found
 
-    def gauge(self, name: str):
+    def gauge(self, name: str) -> Gauge | _NullInstrument:
         if not self.enabled:
             return NULL_INSTRUMENT
         found = self._gauges.get(name)
@@ -130,7 +132,7 @@ class MetricsRegistry:
             found = self._gauges[name] = Gauge(name)
         return found
 
-    def histogram(self, name: str):
+    def histogram(self, name: str) -> Histogram | _NullInstrument:
         if not self.enabled:
             return NULL_INSTRUMENT
         found = self._histograms.get(name)
@@ -143,7 +145,7 @@ class MetricsRegistry:
         self._gauges.clear()
         self._histograms.clear()
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         """All instruments as one JSON-friendly dict, sorted by name."""
         return {
             "counters": {

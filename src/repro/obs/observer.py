@@ -11,9 +11,11 @@ checks to the hot paths.
 
 from __future__ import annotations
 
-from .metrics import MetricsRegistry
-from .report import RunReport, cost_residuals
-from .spans import Tracer
+from typing import Any
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, _NullInstrument
+from .report import RoundEvent, RunReport, cost_residuals
+from .spans import Span, Tracer, _NullSpan
 
 
 class RunObserver:
@@ -22,31 +24,31 @@ class RunObserver:
     def __init__(
         self,
         enabled: bool = True,
-        tracer: "Tracer | None" = None,
-        metrics: "MetricsRegistry | None" = None,
-    ):
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.enabled = enabled
         self.tracer = tracer if tracer is not None else Tracer(enabled=enabled)
         self.metrics = (
             metrics if metrics is not None else MetricsRegistry(enabled=enabled)
         )
-        self.rounds: list = []
+        self.rounds: list[RoundEvent] = []
 
     # ------------------------------------------------------------------
     # Delegates, so instrumented code needs only the observer reference.
-    def span(self, name: str, **attrs):
+    def span(self, name: str, **attrs: Any) -> Span | _NullSpan:
         return self.tracer.span(name, **attrs)
 
-    def counter(self, name: str):
+    def counter(self, name: str) -> Counter | _NullInstrument:
         return self.metrics.counter(name)
 
-    def gauge(self, name: str):
+    def gauge(self, name: str) -> Gauge | _NullInstrument:
         return self.metrics.gauge(name)
 
-    def histogram(self, name: str):
+    def histogram(self, name: str) -> Histogram | _NullInstrument:
         return self.metrics.histogram(name)
 
-    def record_round(self, event) -> None:
+    def record_round(self, event: RoundEvent) -> None:
         if self.enabled:
             self.rounds.append(event)
 
@@ -66,10 +68,10 @@ class RunObserver:
         method: str,
         k: int,
         wall_time: float,
-        counters: "dict | None" = None,
-        cost_model: "dict | None" = None,
-        hash_pools: "list | None" = None,
-        info: "dict | None" = None,
+        counters: dict[str, Any] | None = None,
+        cost_model: dict[str, Any] | None = None,
+        hash_pools: list[dict[str, Any]] | None = None,
+        info: dict[str, Any] | None = None,
     ) -> RunReport:
         """Snapshot everything observed so far into a :class:`RunReport`."""
         return RunReport(

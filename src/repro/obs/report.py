@@ -19,7 +19,10 @@ metrics``).
 from __future__ import annotations
 
 import json
+from collections.abc import Iterable
 from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
 
 #: Schema version stamped into every serialized report.
 REPORT_VERSION = 1
@@ -44,7 +47,7 @@ class RoundEvent:
     predicted_cost: float = 0.0
     jump: bool = False
 
-    def legacy_dict(self) -> dict:
+    def legacy_dict(self) -> dict[str, Any]:
         """The pre-observability ``AdaptiveLSH.trace`` entry schema."""
         return {
             "round": self.round,
@@ -56,7 +59,7 @@ class RoundEvent:
         }
 
 
-def cost_residuals(rounds) -> dict:
+def cost_residuals(rounds: Iterable[RoundEvent]) -> dict[str, Any]:
     """Aggregate prediction-vs-actual per action kind (hash / pairwise).
 
     ``residual`` is ``actual - predicted`` wall-time in seconds (only
@@ -64,7 +67,7 @@ def cost_residuals(rounds) -> dict:
     ``ratio`` is ``actual / predicted`` and is unit-free, so it is
     comparable across analytic and calibrated models.
     """
-    out: dict = {}
+    out: dict[str, dict[str, Any]] = {}
     for event in rounds:
         kind = "pairwise" if event.jump else "hash"
         agg = out.setdefault(
@@ -91,42 +94,42 @@ class RunReport:
     method: str
     k: int
     wall_time: float
-    rounds: list = field(default_factory=list)
-    counters: dict = field(default_factory=dict)
-    metrics: dict = field(default_factory=dict)
-    spans: list = field(default_factory=list)
-    cost_model: dict = field(default_factory=dict)
-    residuals: dict = field(default_factory=dict)
-    hash_pools: list = field(default_factory=list)
-    info: dict = field(default_factory=dict)
+    rounds: list[RoundEvent] = field(default_factory=list)
+    counters: dict[str, Any] = field(default_factory=dict)
+    metrics: dict[str, Any] = field(default_factory=dict)
+    spans: list[dict[str, Any]] = field(default_factory=list)
+    cost_model: dict[str, Any] = field(default_factory=dict)
+    residuals: dict[str, Any] = field(default_factory=dict)
+    hash_pools: list[dict[str, Any]] = field(default_factory=list)
+    info: dict[str, Any] = field(default_factory=dict)
     version: int = REPORT_VERSION
 
     # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         out = asdict(self)
         out["rounds"] = [asdict(e) for e in self.rounds]
         return out
 
-    def to_json(self, indent: "int | None" = 2) -> str:
+    def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
 
     @classmethod
-    def from_dict(cls, data: dict) -> "RunReport":
+    def from_dict(cls, data: dict[str, Any]) -> RunReport:
         data = dict(data)
         data["rounds"] = [RoundEvent(**e) for e in data.get("rounds", [])]
         return cls(**data)
 
     @classmethod
-    def from_json(cls, text: str) -> "RunReport":
+    def from_json(cls, text: str) -> RunReport:
         return cls.from_dict(json.loads(text))
 
-    def save(self, path) -> None:
+    def save(self, path: str | Path) -> None:
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(self.to_json())
             fh.write("\n")
 
     @classmethod
-    def load(cls, path) -> "RunReport":
+    def load(cls, path: str | Path) -> RunReport:
         with open(path, encoding="utf-8") as fh:
             return cls.from_json(fh.read())
 

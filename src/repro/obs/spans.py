@@ -18,7 +18,10 @@ unconditionally.
 
 from __future__ import annotations
 
-import time
+from types import TracebackType
+from typing import Any
+
+from .clock import monotonic
 
 
 class Span:
@@ -26,7 +29,7 @@ class Span:
 
     __slots__ = ("name", "attrs", "children", "start", "end", "_tracer")
 
-    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+    def __init__(self, tracer: Tracer, name: str, attrs: dict[str, Any]) -> None:
         self._tracer = tracer
         self.name = name
         self.attrs = attrs
@@ -39,23 +42,28 @@ class Span:
         """Elapsed seconds (0.0 while the span is still open)."""
         return max(self.end - self.start, 0.0)
 
-    def set(self, **attrs) -> "Span":
+    def set(self, **attrs: Any) -> Span:
         """Attach extra attributes to an open span."""
         self.attrs.update(attrs)
         return self
 
-    def __enter__(self) -> "Span":
+    def __enter__(self) -> Span:
         self._tracer._push(self)
-        self.start = time.perf_counter()
+        self.start = monotonic()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self.end = time.perf_counter()
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.end = monotonic()
         self._tracer._pop(self)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-friendly nested view of the span tree."""
-        out = {"name": self.name, "seconds": round(self.duration, 9)}
+        out: dict[str, Any] = {"name": self.name, "seconds": round(self.duration, 9)}
         if self.attrs:
             out["attrs"] = dict(self.attrs)
         if self.children:
@@ -71,13 +79,18 @@ class _NullSpan:
 
     __slots__ = ()
 
-    def __enter__(self) -> "_NullSpan":
+    def __enter__(self) -> _NullSpan:
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         return None
 
-    def set(self, **attrs) -> "_NullSpan":
+    def set(self, **attrs: Any) -> _NullSpan:
         return self
 
 
@@ -92,12 +105,12 @@ class Tracer:
     can serve several runs.
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self.roots: list[Span] = []
         self._stack: list[Span] = []
 
-    def span(self, name: str, **attrs):
+    def span(self, name: str, **attrs: Any) -> Span | _NullSpan:
         """Open a new span (use as a context manager)."""
         if not self.enabled:
             return NULL_SPAN
@@ -108,11 +121,11 @@ class Tracer:
         self._stack = []
 
     @property
-    def current(self) -> "Span | None":
+    def current(self) -> Span | None:
         """The innermost open span, if any."""
         return self._stack[-1] if self._stack else None
 
-    def to_list(self) -> list[dict]:
+    def to_list(self) -> list[dict[str, Any]]:
         """JSON-friendly view of all finished root spans."""
         return [root.to_dict() for root in self.roots]
 

@@ -17,12 +17,15 @@ Records are addressed everywhere by their integer row id ``rid`` in
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 import scipy.sparse as sp
 
 from .errors import SchemaError
+from .types import ArrayLike, FloatArray, IntArray
 
 
 class FieldKind(enum.Enum):
@@ -43,7 +46,7 @@ class FieldSpec:
     name: str
     kind: FieldKind
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.name:
             raise SchemaError("field name must be non-empty")
 
@@ -54,7 +57,7 @@ class Schema:
 
     fields: tuple[FieldSpec, ...]
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         names = [f.name for f in self.fields]
         if len(set(names)) != len(names):
             raise SchemaError(f"duplicate field names in schema: {names}")
@@ -62,19 +65,19 @@ class Schema:
             raise SchemaError("schema must declare at least one field")
 
     @classmethod
-    def single_vector(cls, name: str = "vec") -> "Schema":
+    def single_vector(cls, name: str = "vec") -> Schema:
         """Schema with one dense vector field (the common image case)."""
         return cls((FieldSpec(name, FieldKind.VECTOR),))
 
     @classmethod
-    def single_shingles(cls, name: str = "shingles") -> "Schema":
+    def single_shingles(cls, name: str = "shingles") -> Schema:
         """Schema with one shingle-set field (the common text case)."""
         return cls((FieldSpec(name, FieldKind.SHINGLES),))
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[FieldSpec]:
         return iter(self.fields)
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self.fields)
 
     @property
@@ -93,13 +96,13 @@ class Record:
     """A lightweight per-row view handed out by :class:`RecordStore`."""
 
     rid: int
-    values: dict
+    values: dict[str, Any]
 
-    def __getitem__(self, field_name: str):
+    def __getitem__(self, field_name: str) -> Any:
         return self.values[field_name]
 
 
-def _as_sorted_ids(values) -> np.ndarray:
+def _as_sorted_ids(values: Iterable[int]) -> IntArray:
     """Coerce a shingle collection into a sorted, unique int64 array."""
     arr = np.asarray(sorted(set(int(v) for v in values)), dtype=np.int64)
     if arr.size and arr.min() < 0:
@@ -120,7 +123,7 @@ class RecordStore:
         ``SHINGLES`` fields.  All columns must agree on ``n``.
     """
 
-    def __init__(self, schema: Schema, columns: dict):
+    def __init__(self, schema: Schema, columns: dict[str, Any]) -> None:
         self.schema = schema
         missing = set(schema.names) - set(columns)
         extra = set(columns) - set(schema.names)
@@ -129,10 +132,10 @@ class RecordStore:
                 f"columns do not match schema (missing={sorted(missing)}, "
                 f"unexpected={sorted(extra)})"
             )
-        self._vectors: dict[str, np.ndarray] = {}
-        self._shingles: dict[str, list[np.ndarray]] = {}
+        self._vectors: dict[str, FloatArray] = {}
+        self._shingles: dict[str, list[IntArray]] = {}
         self._csr_cache: dict[str, sp.csr_matrix] = {}
-        sizes = set()
+        sizes: set[int] = set()
         for spec in schema:
             col = columns[spec.name]
             if spec.kind is FieldKind.VECTOR:
@@ -142,7 +145,7 @@ class RecordStore:
                         f"vector field {spec.name!r} must be 2-D, got shape {mat.shape}"
                     )
                 self._vectors[spec.name] = mat
-                sizes.add(mat.shape[0])
+                sizes.add(int(mat.shape[0]))
             else:
                 sets = [_as_sorted_ids(v) for v in col]
                 self._shingles[spec.name] = sets
@@ -160,32 +163,32 @@ class RecordStore:
     def __getitem__(self, rid: int) -> Record:
         if not 0 <= rid < self._n:
             raise IndexError(f"rid {rid} out of range [0, {self._n})")
-        values = {}
+        values: dict[str, Any] = {}
         for name, mat in self._vectors.items():
             values[name] = mat[rid]
         for name, sets in self._shingles.items():
             values[name] = sets[rid]
         return Record(rid, values)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Record]:
         return (self[i] for i in range(self._n))
 
     @property
-    def rids(self) -> np.ndarray:
+    def rids(self) -> IntArray:
         """All record ids as an int64 array."""
         return np.arange(self._n, dtype=np.int64)
 
     # ------------------------------------------------------------------
     # batch accessors used by hash families and pairwise engines
     # ------------------------------------------------------------------
-    def vectors(self, field_name: str) -> np.ndarray:
+    def vectors(self, field_name: str) -> FloatArray:
         """The full ``(n, d)`` matrix of a vector field."""
         try:
             return self._vectors[field_name]
         except KeyError:
             raise SchemaError(f"{field_name!r} is not a vector field") from None
 
-    def shingle_sets(self, field_name: str) -> list[np.ndarray]:
+    def shingle_sets(self, field_name: str) -> list[IntArray]:
         """All shingle-id arrays of a shingle field (indexed by rid)."""
         try:
             return self._shingles[field_name]
@@ -217,7 +220,7 @@ class RecordStore:
             )
         return self._csr_cache[field_name]
 
-    def set_sizes(self, field_name: str) -> np.ndarray:
+    def set_sizes(self, field_name: str) -> IntArray:
         """Per-record shingle-set cardinalities."""
         return np.array(
             [s.size for s in self.shingle_sets(field_name)], dtype=np.int64
@@ -226,21 +229,21 @@ class RecordStore:
     # ------------------------------------------------------------------
     # dataset manipulation
     # ------------------------------------------------------------------
-    def take(self, rids) -> "RecordStore":
+    def take(self, rids: ArrayLike) -> RecordStore:
         """A new store holding only ``rids`` (in the given order)."""
         rids = np.asarray(rids, dtype=np.int64)
-        columns: dict = {}
+        columns: dict[str, Any] = {}
         for name, mat in self._vectors.items():
             columns[name] = mat[rids]
         for name, sets in self._shingles.items():
             columns[name] = [sets[int(i)] for i in rids]
         return RecordStore(self.schema, columns)
 
-    def concat(self, other: "RecordStore") -> "RecordStore":
+    def concat(self, other: RecordStore) -> RecordStore:
         """A new store with ``other``'s rows appended after this one's."""
         if other.schema != self.schema:
             raise SchemaError("cannot concat stores with different schemas")
-        columns: dict = {}
+        columns: dict[str, Any] = {}
         for name, mat in self._vectors.items():
             columns[name] = np.vstack([mat, other._vectors[name]])
         for name, sets in self._shingles.items():

@@ -4,17 +4,26 @@ All stochastic components of the library (hash families, dataset
 generators, budget noise experiments) accept either an integer seed, a
 :class:`numpy.random.Generator`, or ``None``.  This module centralizes
 the coercion so behaviour is uniform and reproducible everywhere.
+
+This module is the *only* place in the package allowed to touch
+``numpy.random`` / ``random`` directly (invariant rule R1 of
+:mod:`repro.analysis`): every other module must obtain generators
+through :func:`make_rng` and derive independent streams with
+:func:`spawn`, so that one top-level seed deterministically controls
+every stochastic decision of a run.
 """
 
 from __future__ import annotations
 
+from typing import TypeAlias
+
 import numpy as np
 
 #: Any value acceptable as a source of randomness.
-SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
+SeedLike: TypeAlias = int | np.random.Generator | np.random.SeedSequence | None
 
 
-def make_rng(seed=None) -> np.random.Generator:
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.
 
     ``seed`` may be an existing generator (returned as-is), an integer,

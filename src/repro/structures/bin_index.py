@@ -8,13 +8,18 @@ bins hold few clusters in practice, pop-largest is effectively O(1).
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+from typing import Generic, TypeVar
 
-class BinIndex:
+T = TypeVar("T")
+
+
+class BinIndex(Generic[T]):
     """Size-binned collection supporting O(1)-ish pop-largest."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         # 64 bins cover any cluster size that fits in a machine word.
-        self._bins: list[list] = [[] for _ in range(64)]
+        self._bins: list[list[tuple[int, T]]] = [[] for _ in range(64)]
         self._count = 0
 
     @staticmethod
@@ -23,7 +28,7 @@ class BinIndex:
             raise ValueError(f"cluster size must be >= 1, got {size}")
         return size.bit_length() - 1
 
-    def add(self, item, size: int) -> None:
+    def add(self, item: T, size: int) -> None:
         """File ``item`` under ``size``."""
         self._bins[self._bin_of(size)].append((size, item))
         self._count += 1
@@ -45,7 +50,7 @@ class BinIndex:
         b = self._last_nonempty()
         return max(size for size, _item in self._bins[b])
 
-    def pop_largest(self):
+    def pop_largest(self) -> tuple[int, T]:
         """Remove and return ``(size, item)`` for the largest item."""
         b = self._last_nonempty()
         bucket = self._bins[b]
@@ -56,7 +61,7 @@ class BinIndex:
         self._count -= 1
         return size, item
 
-    def drain(self):
+    def drain(self) -> Iterator[tuple[int, T]]:
         """Yield all remaining ``(size, item)`` pairs, largest first."""
         while self._count:
             yield self.pop_largest()

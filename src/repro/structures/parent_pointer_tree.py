@@ -16,17 +16,19 @@ tree yet?").
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+
 
 class Node:
     """Internal node (or single-tree root).  Roots have ``parent is None``."""
 
     __slots__ = ("parent", "n_leaves", "first_leaf", "last_leaf")
 
-    def __init__(self):
-        self.parent: "Node | None" = None
+    def __init__(self) -> None:
+        self.parent: Node | None = None
         self.n_leaves = 0
-        self.first_leaf: "Leaf | None" = None
-        self.last_leaf: "Leaf | None" = None
+        self.first_leaf: Leaf | None = None
+        self.last_leaf: Leaf | None = None
 
     @property
     def size(self) -> int:
@@ -38,10 +40,10 @@ class Leaf:
 
     __slots__ = ("parent", "rid", "next_leaf")
 
-    def __init__(self, rid: int):
+    def __init__(self, rid: int) -> None:
         self.parent: Node | None = None
         self.rid = rid
-        self.next_leaf: "Leaf | None" = None
+        self.next_leaf: Leaf | None = None
 
 
 class ParentPointerForest:
@@ -52,7 +54,7 @@ class ParentPointerForest:
     :meth:`union` (cases 3/4, Figure 19).
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._leaf_of: dict[int, Leaf] = {}
 
     # ------------------------------------------------------------------
@@ -82,7 +84,8 @@ class ParentPointerForest:
         observable tree property.
         """
         leaf = self._leaf_of[rid]
-        node: Node = leaf.parent  # leaves always have a parent Node
+        node = leaf.parent
+        assert node is not None  # leaves always have a parent Node
         while node.parent is not None:
             if node.parent.parent is not None:
                 node.parent = node.parent.parent
@@ -110,6 +113,7 @@ class ParentPointerForest:
         new_root.n_leaves = root1.n_leaves + root2.n_leaves
         new_root.first_leaf = root1.first_leaf
         new_root.last_leaf = root2.last_leaf
+        assert root1.last_leaf is not None  # roots of non-empty trees
         root1.last_leaf.next_leaf = root2.first_leaf
         # Old roots no longer need their leaf pointers; drop them so a
         # stale handle cannot silently iterate a partial cluster.
@@ -123,7 +127,7 @@ class ParentPointerForest:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def leaves(root: Node):
+    def leaves(root: Node) -> Iterator[int]:
         """Yield the record ids of a tree in chain order."""
         leaf = root.first_leaf
         if leaf is None and root.n_leaves:

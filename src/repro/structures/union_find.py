@@ -14,7 +14,7 @@ import numpy as np
 class UnionFind:
     """Union-find with path compression and union by size."""
 
-    def __init__(self, n: int):
+    def __init__(self, n: int) -> None:
         self.parent = np.arange(n, dtype=np.int64)
         self.size = np.ones(n, dtype=np.int64)
 

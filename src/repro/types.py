@@ -1,0 +1,38 @@
+"""Shared type aliases for array-heavy signatures.
+
+The package passes three shapes of NumPy data around constantly:
+record-id arrays (``int64``), distance/probability arrays
+(``float64``), and match masks (``bool``).  Centralizing the aliases
+keeps signatures short and makes the dtype contract part of the type —
+``rids: IntArray`` says both "array" and "int64".
+
+``ArrayLike`` covers the loose inputs public entry points accept
+(lists, tuples, arrays) before they are coerced with ``np.asarray``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, TypeAlias
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+__all__ = [
+    "ArrayLike",
+    "AnyArray",
+    "BoolArray",
+    "FloatArray",
+    "IntArray",
+    "JSONDict",
+]
+
+#: Record-id and other integer arrays (dtype ``int64``).
+IntArray: TypeAlias = NDArray[np.int64]
+#: Distance, probability and cost arrays (dtype ``float64``).
+FloatArray: TypeAlias = NDArray[np.float64]
+#: Match masks.
+BoolArray: TypeAlias = NDArray[np.bool_]
+#: Arrays whose dtype varies by hash family (uint8/uint32/...).
+AnyArray: TypeAlias = NDArray[Any]
+#: JSON-object payloads (reports, metric snapshots, info dicts).
+JSONDict: TypeAlias = dict[str, Any]

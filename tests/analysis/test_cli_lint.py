@@ -1,0 +1,68 @@
+"""The ``repro lint`` subcommand: exit codes, formats, baselines."""
+
+import json
+
+from repro.cli import main
+
+BAD_RNG = "import numpy as np\n\nrng = np.random.default_rng(0)\n"
+
+
+def write_tree(tmp_path):
+    (tmp_path / "core").mkdir()
+    (tmp_path / "core" / "x.py").write_text(BAD_RNG)
+    return tmp_path
+
+
+class TestLintCommand:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("X = 1\n")
+        assert main(["lint", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s) in 1 file(s)" in out
+
+    def test_findings_exit_one_text(self, tmp_path, capsys):
+        write_tree(tmp_path)
+        assert main(["lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "[R1]" in out
+        assert "x.py:3" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        write_tree(tmp_path)
+        assert main(["lint", str(tmp_path), "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["counts"]["total"] == 1
+        assert doc["findings"][0]["rule"] == "R1"
+        assert doc["findings"][0]["line"] == 3
+
+    def test_rules_filter(self, tmp_path, capsys):
+        write_tree(tmp_path)
+        assert main(["lint", str(tmp_path), "--rules", "R5"]) == 0
+        capsys.readouterr()
+
+    def test_write_then_use_baseline(self, tmp_path, capsys):
+        write_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            ["lint", str(tmp_path), "--write-baseline", str(baseline)]
+        ) == 0
+        assert "1 grandfathered finding(s)" in capsys.readouterr().out
+        assert main(["lint", str(tmp_path), "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_bad_baseline_exits_two(self, tmp_path, capsys):
+        write_tree(tmp_path)
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{")
+        assert main(["lint", str(tmp_path), "--baseline", str(bad)]) == 2
+        assert "repro lint:" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope")]) == 2
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R1", "R2", "R3", "R4", "R5"):
+            assert rule_id in out

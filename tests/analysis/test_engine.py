@@ -1,0 +1,181 @@
+"""Engine behaviour: suppression, baselines, discovery, error paths."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    Finding,
+    apply_baseline,
+    lint_paths,
+    make_baseline,
+    render_json,
+    render_text,
+    resolve_rules,
+)
+from repro.errors import AnalysisError
+
+from .test_rules import run_lint
+
+BAD_RNG = "import numpy as np\n\nrng = np.random.default_rng(0)\n"
+
+
+class TestNoqa:
+    def test_blanket_suppression(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"core/x.py": "rng = np.random.default_rng(0)  # repro: noqa\n"},
+        )
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_rule_specific_suppression(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"core/x.py": "rng = np.random.default_rng(0)  # repro: noqa[R1]\n"},
+        )
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_rule_list_suppression(self, tmp_path):
+        src = (
+            "def f(x=[]):  # repro: noqa[R4, R5]\n"
+            "    return x\n"
+        )
+        result = run_lint(tmp_path, {"lsh/x.py": src})
+        # R4 (two findings) and R5 all sit on the def line.
+        assert result.findings == []
+        assert result.suppressed == 3
+
+    def test_wrong_rule_does_not_suppress(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"core/x.py": "rng = np.random.default_rng(0)  # repro: noqa[R2]\n"},
+        )
+        assert [f.rule for f in result.findings] == ["R1"]
+        assert result.suppressed == 0
+
+    def test_other_lines_unaffected(self, tmp_path):
+        src = (
+            "a = np.random.default_rng(0)  # repro: noqa\n"
+            "b = np.random.default_rng(1)\n"
+        )
+        result = run_lint(tmp_path, {"core/x.py": src})
+        assert [f.line for f in result.findings] == [2]
+
+
+class TestBaseline:
+    def test_roundtrip(self, tmp_path):
+        (tmp_path / "core").mkdir()
+        (tmp_path / "core" / "x.py").write_text(BAD_RNG)
+        baseline = make_baseline([tmp_path])
+        out = tmp_path / "baseline.json"
+        baseline.save(out)
+        loaded = Baseline.load(out)
+        assert loaded.counts == baseline.counts
+        result = lint_paths([tmp_path], baseline=loaded)
+        assert result.findings == []
+        assert result.baselined == 1
+
+    def test_new_findings_surface_beyond_allowance(self, tmp_path):
+        findings = [
+            Finding("core/x.py", line, "R1", "m", "s") for line in (3, 7, 11)
+        ]
+        baseline = Baseline({"R1": {"core/x.py": 2}})
+        kept, dropped = apply_baseline(findings, baseline)
+        assert dropped == 2
+        # Lowest lines are grandfathered; the newest violation surfaces.
+        assert [f.line for f in kept] == [11]
+
+    def test_allowance_is_per_rule_and_path(self, tmp_path):
+        findings = [
+            Finding("core/x.py", 1, "R1", "m", "s"),
+            Finding("core/y.py", 1, "R1", "m", "s"),
+            Finding("core/x.py", 2, "R3", "m", "s"),
+        ]
+        baseline = Baseline({"R1": {"core/x.py": 1}})
+        kept, dropped = apply_baseline(findings, baseline)
+        assert dropped == 1
+        assert {(f.path, f.rule) for f in kept} == {
+            ("core/y.py", "R1"),
+            ("core/x.py", "R3"),
+        }
+
+    def test_corrupt_baseline_raises(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{not json")
+        with pytest.raises(AnalysisError):
+            Baseline.load(bad)
+        bad.write_text('{"no_counts": 1}')
+        with pytest.raises(AnalysisError):
+            Baseline.load(bad)
+
+
+class TestEngine:
+    def test_rule_subset(self, tmp_path):
+        src = "def f(x=[]):\n    raise ValueError('x')\n"
+        result = run_lint(tmp_path, {"core/x.py": src}, rule_ids=["R5"])
+        assert [f.rule for f in result.findings] == ["R5"]
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(AnalysisError):
+            resolve_rules(["R9"])
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            lint_paths([tmp_path / "nope"])
+
+    def test_syntax_error_raises(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        with pytest.raises(AnalysisError):
+            lint_paths([tmp_path])
+
+    def test_pycache_skipped(self, tmp_path):
+        cache = tmp_path / "core" / "__pycache__"
+        cache.mkdir(parents=True)
+        (cache / "x.py").write_text(BAD_RNG)
+        result = lint_paths([tmp_path])
+        assert result.checked_files == 0
+
+    def test_single_file_target(self, tmp_path):
+        target = tmp_path / "core" / "x.py"
+        target.parent.mkdir()
+        target.write_text(BAD_RNG)
+        result = lint_paths([target])
+        # Outside a repro/ tree a single file scopes by its parent, so
+        # package-scoped rules see it as a top-level module; R1 still
+        # applies everywhere.
+        assert result.checked_files == 1
+        assert [f.rule for f in result.findings] == ["R1"]
+
+    def test_scope_anchors_at_repro(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "core" / "x.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("def f() -> None:\n    raise ValueError('x')\n")
+        result = lint_paths([tmp_path])
+        # R3 only fires because the path is anchored under repro/core.
+        assert [f.rule for f in result.findings] == ["R3"]
+
+
+class TestRenderers:
+    def test_text_format(self):
+        finding = Finding("core/x.py", 3, "R1", "uses np.random", "use rngutil")
+        assert render_text([finding]) == (
+            "core/x.py:3: [R1] uses np.random (fix: use rngutil)"
+        )
+
+    def test_json_format(self):
+        findings = [
+            Finding("b.py", 2, "R5", "m2", "s2"),
+            Finding("a.py", 1, "R1", "m1", "s1"),
+        ]
+        doc = json.loads(render_json(findings, 4, 1, 2))
+        assert [f["path"] for f in doc["findings"]] == ["a.py", "b.py"]
+        assert doc["counts"] == {
+            "total": 2,
+            "per_rule": {"R1": 1, "R5": 1},
+            "checked_files": 4,
+            "suppressed": 1,
+            "baselined": 2,
+        }

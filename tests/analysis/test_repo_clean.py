@@ -1,0 +1,13 @@
+"""Meta-test: the shipped source tree satisfies its own invariants."""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths, render_text
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_src_tree_is_lint_clean():
+    result = lint_paths([SRC])
+    assert result.findings == [], "\n" + render_text(result.findings)
+    assert result.checked_files > 50

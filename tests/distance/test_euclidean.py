@@ -106,7 +106,7 @@ class TestFamily:
 
     def test_invalid_width(self):
         store = self._pair_at(1.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             PStableFamily(store, "vec", bucket_width=0.0)
 
 

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.distance import JaccardDistance
+from repro.errors import ConfigurationError
 from repro.lsh.minhash import MinHashFamily
 from repro.records import RecordStore, Schema
 
@@ -34,9 +35,9 @@ class TestFamily:
 
     def test_invalid_bits(self):
         store = store_with_jaccard(0.5)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             MinHashFamily(store, "shingles", bits=0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             MinHashFamily(store, "shingles", bits=40)
 
     def test_collision_prob_curve(self):

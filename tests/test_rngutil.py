@@ -29,3 +29,29 @@ class TestSpawn:
     def test_children_independent(self):
         children = spawn(make_rng(3), 2)
         assert children[0].integers(1 << 30) != children[1].integers(1 << 30)
+
+    def test_child_streams_identical_across_runs(self):
+        """Same top-level seed -> byte-identical child streams."""
+        runs = [
+            [g.random(100) for g in spawn(make_rng(42), 4)] for _ in range(2)
+        ]
+        for stream_a, stream_b in zip(*runs):
+            np.testing.assert_array_equal(stream_a, stream_b)
+
+    def test_child_streams_distinct_per_child(self):
+        streams = [g.random(100) for g in spawn(make_rng(42), 4)]
+        for i, a in enumerate(streams):
+            for b in streams[i + 1 :]:
+                assert not np.array_equal(a, b)
+
+    def test_spawn_consumes_parent_stream(self):
+        """Consecutive spawns from one parent give fresh children."""
+        rng = make_rng(7)
+        first = [g.integers(1 << 30) for g in spawn(rng, 2)]
+        second = [g.integers(1 << 30) for g in spawn(rng, 2)]
+        assert first != second
+
+    def test_seed_sequence_is_seedlike(self):
+        a = make_rng(np.random.SeedSequence(5)).integers(1 << 30)
+        b = make_rng(np.random.SeedSequence(5)).integers(1 << 30)
+        assert a == b
