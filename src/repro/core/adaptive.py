@@ -29,8 +29,10 @@ from ..distance.rules import MatchRule
 from ..errors import ConfigurationError
 from ..lsh.design import DEFAULT_EPSILON, DesignContext, SchemeDesign, design_sequence
 from ..lsh.families import SignaturePool
+from ..lsh.keycache import LevelKeyCache
 from ..obs import DISABLED, RoundEvent, RunObserver, RunReport
 from ..obs.clock import monotonic
+from ..parallel.pool import ExecutionPool, resolve_n_jobs
 from ..records import RecordStore
 from ..rngutil import SeedLike, make_rng
 from ..structures.bin_index import BinIndex
@@ -74,6 +76,18 @@ class AdaptiveLSH:
         round events into; implies ``trace``-style round recording when
         enabled.  After :meth:`run`, :attr:`last_report` holds the
         serializable :class:`~repro.obs.RunReport` of the run.
+    n_jobs:
+        Worker-process count for signature batches and blocked pairwise
+        evaluation.  ``None`` defers to the ``REPRO_N_JOBS`` environment
+        variable (default serial); negative values count back from the
+        CPU count, joblib-style.  Results are bit-identical to serial
+        for every value.  Call :meth:`close` (or use the instance as a
+        context manager) to shut the worker pool down.
+    signature_cache:
+        Cache each record's packed per-level bucket keys so repeated
+        applications of the same sequence function (re-runs,
+        :meth:`refine`, incremental mode) skip the key packing.
+        Enabled by default; disable to bound memory on huge stores.
     """
 
     _ctx: DesignContext
@@ -101,6 +115,8 @@ class AdaptiveLSH:
         jump_policy: str = "line5",
         lookahead_samples: int = 32,
         lookahead_density: float = 0.6,
+        n_jobs: int | None = None,
+        signature_cache: bool = True,
     ) -> None:
         if selection not in _SELECTIONS:
             raise ConfigurationError(
@@ -119,7 +135,17 @@ class AdaptiveLSH:
         self._noise_factor = noise_factor
         self._analytic_pair_cost = analytic_pair_cost
         self._cost_model_spec = cost_model
-        self._pairwise = PairwiseComputation(store, rule, strategy=pairwise_strategy)
+        #: Resolved worker count; 1 means everything runs in-process.
+        self.n_jobs = resolve_n_jobs(n_jobs)
+        self._exec_pool: ExecutionPool | None = (
+            ExecutionPool(store, self.n_jobs) if self.n_jobs > 1 else None
+        )
+        self._pairwise = PairwiseComputation(
+            store, rule, strategy=pairwise_strategy, pool=self._exec_pool
+        )
+        self._key_cache: LevelKeyCache | None = (
+            LevelKeyCache(len(store)) if signature_cache else None
+        )
         self._prepared = False
         self.jump_policy = jump_policy
         self._lookahead_samples = int(lookahead_samples)
@@ -160,6 +186,10 @@ class AdaptiveLSH:
         """
         if self._prepared:
             return
+        if len(self.store) == 0:
+            raise ConfigurationError(
+                "cannot filter an empty record store: no clusters exist"
+            )
         with self.obs.span("adaLSH.prepare"):
             self._prepare()
 
@@ -200,7 +230,29 @@ class AdaptiveLSH:
         self._pairwise.observer = self.obs
         for pool in self._pools:
             pool.observer = self.obs
+        if self._exec_pool is not None:
+            self._exec_pool.observer = self.obs
+            for pool in self._pools:
+                pool.executor = self._exec_pool
+                # Registered before the first fork so workers inherit
+                # the family objects (parameters included) for free.
+                self._exec_pool.register_family(pool.family)
+        if self._key_cache is not None:
+            self._key_cache.observer = self.obs
+            for fn in self._functions:
+                fn.key_cache = self._key_cache.entry(fn.level)
         self._prepared = True
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op when running serial)."""
+        if self._exec_pool is not None:
+            self._exec_pool.close()
+
+    def __enter__(self) -> AdaptiveLSH:
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     @property
     def last_level(self) -> int:
@@ -234,6 +286,7 @@ class AdaptiveLSH:
             "selection": self.selection,
             "records_per_level": counters.records_per_level,
         }
+        self._add_execution_info(info)
         if obs.enabled:
             self.last_report = self._build_report("adaLSH", k, wall, counters, info)
         return FilterResult.from_clusters(finals, counters, wall, info=info)
@@ -271,6 +324,13 @@ class AdaptiveLSH:
             info=info,
         )
 
+    def _add_execution_info(self, info: dict[str, Any]) -> None:
+        """Attach pool/cache execution stats to a result info dict."""
+        if self._exec_pool is not None:
+            info["parallel"] = self._exec_pool.stats()
+        if self._key_cache is not None:
+            info["signature_cache"] = self._key_cache.stats()
+
     def iter_clusters(self, k: int) -> Iterator[Cluster]:
         """Incremental mode (§4.2): yield final clusters one by one,
         largest first, as soon as each is known."""
@@ -305,6 +365,7 @@ class AdaptiveLSH:
         counters.merge_pool_counts(self._pools)
         counters.hashes_computed -= self._pool_baseline
         info: dict[str, Any] = {"method": "adaLSH.refine"}
+        self._add_execution_info(info)
         if obs.enabled:
             self.last_report = self._build_report(
                 "adaLSH.refine", k, wall, counters, info
@@ -320,6 +381,10 @@ class AdaptiveLSH:
     ) -> Iterator[Cluster]:
         if k < 1:
             raise ConfigurationError(f"k must be >= 1, got {k}")
+        if len(self.store) == 0:
+            raise ConfigurationError(
+                "cannot filter an empty record store: no clusters exist"
+            )
         self.prepare()
         self._pool_baseline = sum(p.hashes_computed for p in self._pools)
         self.obs.reset_rounds()
@@ -462,6 +527,11 @@ class AdaptiveLSH:
             counters.rounds += 1
             for sub in self._process(cluster, counters):
                 bins.add(sub, sub.size)
+        if emitted < k:
+            raise ConfigurationError(
+                f"k={k} exceeds the {emitted} resolvable clusters; "
+                f"rerun with k <= {emitted}"
+            )
 
     def _loop_generic(
         self, clusters: list[Cluster], k: int, counters: WorkCounters
@@ -476,6 +546,11 @@ class AdaptiveLSH:
             pool.sort(key=lambda c: c.size, reverse=True)
             top = pool[:k]
             if all(c.is_final(self.last_level) for c in top):
+                if len(top) < k:
+                    raise ConfigurationError(
+                        f"k={k} exceeds the {len(top)} resolvable clusters; "
+                        f"rerun with k <= {len(top)}"
+                    )
                 yield from top
                 return
             candidates = [

@@ -9,8 +9,12 @@ share the same semantics:
   paper's optimization (2) in §6.1.1).  Best for the small-to-medium
   clusters Adaptive LSH hands to ``P``.
 * ``blocked`` — vectorized block-matrix evaluation without skipping.
-  Best for very large sets (the Pairs baseline on whole datasets),
-  where NumPy batch evaluation beats Python-level skipping.
+  Best for large sets (the Pairs baseline on whole datasets), where
+  NumPy batch evaluation beats Python-level skipping.  When an
+  :class:`~repro.parallel.pool.ExecutionPool` is attached (and the
+  input clears its size threshold), the row-blocks are fanned across
+  worker processes and their edge lists replayed in serial order, so
+  the parallel result is bit-identical to the serial one.
 
 The cost model always charges the conservative ``C(|S|, 2)`` pairs
 (``pairs_charged``); ``pairs_compared`` records the evaluations the
@@ -26,6 +30,7 @@ import numpy as np
 from ..distance.rules import MatchRule
 from ..errors import ConfigurationError
 from ..obs.clock import monotonic
+from ..parallel.pool import ExecutionPool, resolve_n_jobs
 from ..records import RecordStore
 from ..structures.parent_pointer_tree import ParentPointerForest
 from ..types import ArrayLike, IntArray
@@ -34,10 +39,16 @@ from .result import WorkCounters
 if TYPE_CHECKING:
     from ..obs.observer import RunObserver
 
-#: "auto" uses the rowwise strategy only below this set size; vectorized
-#: block evaluation beats Python-level pair skipping for anything
-#: larger (scipy/numpy per-call overhead dwarfs the skipped work).
-ROWWISE_LIMIT = 3
+#: "auto" uses the rowwise strategy up to this set size and blocked
+#: above it.  Measured crossover (``benchmarks/
+#: bench_pairwise_crossover.py``, spotsigs-style shingle inputs, both
+#: near-duplicate clusters and sparse random samples): rowwise wins by
+#: about 2x at 8 records and below, ties at ~12, and falls behind
+#: steadily beyond — its per-row Python overhead grows quadratically
+#: while the vectorized block evaluation stays near-flat, so the limit
+#: is biased low (misclassifying a small set costs a bounded ~0.3 ms;
+#: misclassifying a large one costs quadratically).
+ROWWISE_LIMIT = 12
 #: Row-block height for the blocked strategy.
 BLOCK = 512
 
@@ -46,7 +57,12 @@ class PairwiseComputation:
     """Callable implementing function ``P`` over a record store."""
 
     def __init__(
-        self, store: RecordStore, rule: MatchRule, strategy: str = "auto"
+        self,
+        store: RecordStore,
+        rule: MatchRule,
+        strategy: str = "auto",
+        n_jobs: int | None = None,
+        pool: ExecutionPool | None = None,
     ) -> None:
         if strategy not in ("auto", "rowwise", "blocked"):
             raise ConfigurationError(
@@ -59,6 +75,28 @@ class PairwiseComputation:
         #: and enabled, :meth:`apply` feeds pair counters and per-call
         #: timing histograms into its metrics registry.
         self.observer: RunObserver | None = None
+        #: Optional :class:`~repro.parallel.pool.ExecutionPool` used by
+        #: the blocked strategy.  Either passed in (shared, e.g. by
+        #: ``AdaptiveLSH``) or created here when ``n_jobs`` resolves to
+        #: more than one worker; a pool created here is owned and shut
+        #: down by :meth:`close`.
+        self.pool: ExecutionPool | None = pool
+        self._owns_pool = False
+        if pool is None and resolve_n_jobs(n_jobs) > 1:
+            self.pool = ExecutionPool(store, n_jobs)
+            self._owns_pool = True
+
+    def close(self) -> None:
+        """Shut down the execution pool if this instance created it."""
+        if self._owns_pool and self.pool is not None:
+            self.pool.close()
+            self.pool = None
+
+    def choose_strategy(self, m: int) -> str:
+        """The concrete strategy ``apply`` uses for an input of size ``m``."""
+        if self.strategy != "auto":
+            return self.strategy
+        return "rowwise" if m <= ROWWISE_LIMIT else "blocked"
 
     # ------------------------------------------------------------------
     def apply(
@@ -71,9 +109,7 @@ class PairwiseComputation:
             counters.pairs_charged += m * (m - 1) // 2
         if m <= 1:
             return [rids.copy()] if m else []
-        strategy = self.strategy
-        if strategy == "auto":
-            strategy = "rowwise" if m <= ROWWISE_LIMIT else "blocked"
+        strategy = self.choose_strategy(m)
         obs = self.observer
         timed = obs is not None and obs.enabled
         compared_before = 0
@@ -145,6 +181,10 @@ class PairwiseComputation:
     def _apply_blocked(
         self, rids: IntArray, counters: WorkCounters | None
     ) -> ParentPointerForest:
+        if self.pool is not None:
+            bundles = self.pool.pairwise_block_edges(self.rule, rids, BLOCK)
+            if bundles is not None:
+                return self._replay_blocked(rids, bundles, counters)
         forest = ParentPointerForest()
         int_rids = [int(r) for r in rids]
         for rid in int_rids:
@@ -166,6 +206,39 @@ class PairwiseComputation:
                 compared += (stop - start) * start
                 for a, b in zip(*np.nonzero(cross)):
                     forest.union_records(int_rids[start + a], int_rids[int(b)])
+        if counters is not None:
+            counters.pairs_compared += compared
+        return forest
+
+    def _replay_blocked(
+        self,
+        rids: IntArray,
+        bundles: list[tuple[int, IntArray, IntArray, IntArray, IntArray]],
+        counters: WorkCounters | None,
+    ) -> ParentPointerForest:
+        """Union worker-computed block edges in serial order.
+
+        ``bundles`` arrives in ascending block order with each edge
+        list in ``np.nonzero`` enumeration order — the exact union
+        sequence of :meth:`_apply_blocked` — so the resulting forest
+        (and hence cluster content and leaf order) is bit-identical to
+        the serial blocked strategy.
+        """
+        forest = ParentPointerForest()
+        int_rids = [int(r) for r in rids]
+        for rid in int_rids:
+            forest.make_singleton(rid)
+        m = len(int_rids)
+        compared = 0
+        for start, intra_i, intra_j, cross_i, cross_j in bundles:
+            stop = min(start + BLOCK, m)
+            compared += (stop - start) * (stop - start - 1) // 2
+            for a, b in zip(intra_i.tolist(), intra_j.tolist()):
+                forest.union_records(int_rids[start + a], int_rids[start + b])
+            if start:
+                compared += (stop - start) * start
+                for a, b in zip(cross_i.tolist(), cross_j.tolist()):
+                    forest.union_records(int_rids[start + a], int_rids[b])
         if counters is not None:
             counters.pairs_compared += compared
         return forest

@@ -24,6 +24,7 @@ from ..types import ArrayLike, IntArray
 from .result import WorkCounters
 
 if TYPE_CHECKING:
+    from ..lsh.keycache import LevelEntry
     from ..obs.observer import RunObserver
 
 
@@ -34,6 +35,10 @@ class TransitiveHashingFunction:
         self.level = level
         self.design = design
         self.scheme: HashingScheme = design.to_scheme()
+        #: Optional :class:`~repro.lsh.keycache.LevelEntry` holding this
+        #: level's packed bucket keys per record; set by ``AdaptiveLSH``
+        #: so re-applying ``H_level`` to subclusters reuses key rows.
+        self.key_cache: LevelEntry | None = None
 
     @property
     def budget(self) -> int:
@@ -63,7 +68,7 @@ class TransitiveHashingFunction:
         # scheme yields, for each table, the groups of rows that landed
         # in the same bucket, and group members get unioned.
         for collision_groups in self.scheme.iter_table_collisions(
-            rids, observer=observer
+            rids, observer=observer, key_cache=self.key_cache
         ):
             for rows in collision_groups:
                 anchor = int_rids[int(rows[0])]

@@ -63,11 +63,28 @@ class JaccardDistance(FieldDistance):
         return dist
 
     def one_to_many(self, store: RecordStore, rid: int, rids: ArrayLike) -> FloatArray:
+        # Merge-based intersection counts instead of CSR row slicing:
+        # slicing a scipy CSR materializes new matrices per call, which
+        # dominates the rowwise pairwise strategy (one call per record).
+        # Intersection counts are exact integers either way, so match
+        # decisions are unchanged.
         rids = np.asarray(rids, dtype=np.int64)
-        csr = store.shingle_csr(self.field)
-        inter = np.asarray((csr[rids] @ csr[[rid]].T).todense()).ravel()
+        sets = store.shingle_sets(self.field)
+        target = sets[rid]
         sizes = store.set_sizes(self.field)
-        union = sizes[rids] + sizes[rid] - inter
+        lengths = sizes[rids]
+        if rids.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        if target.size and int(lengths.sum()):
+            flat = np.concatenate([sets[int(r)] for r in rids])
+            slots = np.searchsorted(target, flat)
+            hits = target[np.minimum(slots, target.size - 1)] == flat
+            csum = np.concatenate([[0], np.cumsum(hits)])
+            offsets = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+            inter = (csum[offsets + lengths] - csum[offsets]).astype(np.float64)
+        else:
+            inter = np.zeros(rids.size, dtype=np.float64)
+        union = lengths + sizes[rid] - inter
         with np.errstate(divide="ignore", invalid="ignore"):
             sim = np.where(union > 0.0, inter / union, 1.0)
         return np.asarray(1.0 - sim, dtype=np.float64)

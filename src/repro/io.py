@@ -157,10 +157,17 @@ def load_dataset(path) -> Dataset:
             if kind is FieldKind.VECTOR:
                 columns[field["name"]] = data[f"vec::{field['name']}"]
             else:
-                flat = data[f"shingles::{field['name']}::flat"]
+                flat = np.asarray(
+                    data[f"shingles::{field['name']}::flat"], dtype=np.int64
+                )
                 lengths = data[f"shingles::{field['name']}::lengths"]
-                bounds = np.cumsum(lengths)[:-1]
-                columns[field["name"]] = np.split(flat, bounds)
+                if lengths.size:
+                    bounds = np.cumsum(lengths)[:-1]
+                    columns[field["name"]] = np.split(flat, bounds)
+                else:
+                    # np.split(flat, []) would yield ONE empty set — a
+                    # phantom record — so the empty dataset is special.
+                    columns[field["name"]] = []
         store = RecordStore(Schema(tuple(specs)), columns)
         return Dataset(
             name=header["name"],

@@ -9,6 +9,8 @@ collision probability is exactly ``p(x) = 1 - x``.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from ..records import RecordStore
@@ -47,3 +49,17 @@ class RandomHyperplaneFamily(HashFamily):
         vectors = self.store.vectors(self.field)[np.asarray(rids, dtype=np.int64)]
         projections = vectors @ self._planes[:, start:stop]
         return (projections >= 0.0).astype(np.uint8)
+
+    def parallel_payload(self, count: int) -> dict[str, Any] | None:
+        self._ensure_planes(count)
+        return {
+            "kind": "hyperplane",
+            "field": self.field,
+            "options": {},
+            "params": {"planes": np.ascontiguousarray(self._planes[:, :count])},
+        }
+
+    def adopt_params(self, params: dict[str, Any]) -> None:
+        planes = params["planes"]
+        if planes.shape[1] > self._planes.shape[1]:
+            self._planes = planes

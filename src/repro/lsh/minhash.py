@@ -19,6 +19,8 @@ equality of full hashes is equality of ids (bijection), and the
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from ..errors import ConfigurationError
@@ -125,6 +127,20 @@ class MinHashFamily(HashFamily):
                     values &= np.uint32((1 << self.bits) - 1)
                 out[batch, lo - start : hi - start] = values
         return out
+
+    def parallel_payload(self, count: int) -> dict[str, Any] | None:
+        self._ensure_params(count)
+        return {
+            "kind": "minhash",
+            "field": self.field,
+            "options": {"bits": self.bits},
+            "params": {"a": self._a[:count].copy()},
+        }
+
+    def adopt_params(self, params: dict[str, Any]) -> None:
+        a = params["a"]
+        if a.size > self._a.size:
+            self._a = a
 
     @property
     def label(self) -> str:

@@ -30,6 +30,7 @@ from .families import SignaturePool
 
 if TYPE_CHECKING:
     from ..obs.observer import RunObserver
+    from .keycache import LevelEntry
 
 
 @dataclass(frozen=True)
@@ -106,7 +107,10 @@ class HashingScheme:
             yield [row.tobytes() for row in row_bytes]
 
     def iter_table_collisions(
-        self, rids: ArrayLike, observer: RunObserver | None = None
+        self,
+        rids: ArrayLike,
+        observer: RunObserver | None = None,
+        key_cache: LevelEntry | None = None,
     ) -> Iterator[list[IntArray]]:
         """Yield, for every table, the bucket collision groups: arrays of
         *row positions* (indices into ``rids``) that share a bucket.
@@ -119,10 +123,26 @@ class HashingScheme:
         ``observer`` (an enabled
         :class:`~repro.obs.observer.RunObserver`) adds per-table
         grouping time and collision-group counts to the run metrics.
+
+        ``key_cache`` (a :class:`~repro.lsh.keycache.LevelEntry`) serves
+        each record's packed key row from cache when available.  Cached
+        rows are the same raw bytes the uncached path groups on, so
+        collision groups — content *and* yield order — are identical.
         """
         timed = observer is not None and observer.enabled
         started = 0.0
-        for block in self._iter_table_blocks(rids):
+        blocks: Iterable[AnyArray]
+        if key_cache is not None:
+            rows, layout = key_cache.rows(
+                self, np.asarray(rids, dtype=np.int64)
+            )
+            blocks = (
+                np.ascontiguousarray(rows[:, off : off + nbytes])
+                for off, nbytes in layout
+            )
+        else:
+            blocks = self._iter_table_blocks(rids)
+        for block in blocks:
             if timed:
                 started = monotonic()
             void = block.view(
@@ -146,6 +166,30 @@ class HashingScheme:
                 observer.counter("scheme.tables_processed").inc()
                 observer.counter("scheme.collision_groups").inc(len(groups))
             yield groups
+
+    def table_key_rows(
+        self, rids: ArrayLike
+    ) -> tuple[AnyArray, list[tuple[int, int]]]:
+        """All tables' keys for ``rids`` packed into one uint8 matrix.
+
+        Returns ``(rows, layout)``: ``rows[i]`` is record ``i``'s keys
+        for every table concatenated as raw bytes, and ``layout`` holds
+        each table's ``(offset, nbytes)`` span.  Byte-slicing a span
+        recovers exactly the raw bytes of that table's typed key block,
+        so grouping on the slices equals grouping on the blocks.
+        """
+        parts: list[AnyArray] = []
+        layout: list[tuple[int, int]] = []
+        offset = 0
+        for block in self._iter_table_blocks(rids):
+            # A C-contiguous uint8 view widens the last axis to
+            # (m, w * itemsize) — the per-record raw bytes.
+            part = block.view(np.uint8)
+            layout.append((offset, int(part.shape[1])))
+            offset += int(part.shape[1])
+            parts.append(part)
+        rows = parts[0] if len(parts) == 1 else np.hstack(parts)
+        return np.ascontiguousarray(rows), layout
 
     def _iter_table_blocks(self, rids: ArrayLike) -> Iterator[AnyArray]:
         """Per-table contiguous key blocks of shape (m, hashes_per_table)."""

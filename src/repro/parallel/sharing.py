@@ -1,0 +1,83 @@
+"""Sharing a :class:`~repro.records.RecordStore` with worker processes.
+
+On platforms whose multiprocessing start method is ``fork`` (Linux —
+the production target), workers inherit the parent's address space, so
+the store's arrays are shared copy-on-write: registering the store in a
+module-global table before the pool forks gives every worker a
+zero-copy view.  :mod:`repro.parallel.worker` holds that table.
+
+On spawn/forkserver platforms nothing is inherited, so the pool ships a
+:class:`StorePayload` — the store flattened to plain picklable arrays —
+through the worker initializer instead, and the worker rebuilds the
+store once via the trusted no-copy constructor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..records import RecordStore, Schema
+from ..types import FloatArray, IntArray
+
+
+@dataclass
+class StorePayload:
+    """A :class:`RecordStore` flattened to picklable parts.
+
+    Shingle columns travel as ``(flat, lengths)`` pairs rather than a
+    list of per-record arrays so the payload pickles as a handful of
+    large buffers instead of thousands of small objects.
+    """
+
+    schema: Schema
+    vectors: dict[str, FloatArray]
+    shingle_flat: dict[str, IntArray]
+    shingle_lengths: dict[str, IntArray]
+    n: int
+
+
+def payload_from_store(store: RecordStore) -> StorePayload:
+    """Flatten ``store`` into a :class:`StorePayload`."""
+    vectors: dict[str, FloatArray] = {}
+    shingle_flat: dict[str, IntArray] = {}
+    shingle_lengths: dict[str, IntArray] = {}
+    for name in store.schema.names:
+        kind = store.schema.kind_of(name)
+        if kind.value == "vector":
+            vectors[name] = store.vectors(name)
+        else:
+            sets = store.shingle_sets(name)
+            lengths = np.array([s.size for s in sets], dtype=np.int64)
+            if lengths.sum():
+                flat = np.concatenate(sets)
+            else:
+                flat = np.zeros(0, dtype=np.int64)
+            shingle_flat[name] = flat
+            shingle_lengths[name] = lengths
+    return StorePayload(
+        schema=store.schema,
+        vectors=vectors,
+        shingle_flat=shingle_flat,
+        shingle_lengths=shingle_lengths,
+        n=len(store),
+    )
+
+
+def store_from_payload(payload: StorePayload) -> RecordStore:
+    """Rebuild the :class:`RecordStore` a payload was made from.
+
+    The arrays in the payload are exactly the validated columns of the
+    source store, so this goes through the trusted constructor and the
+    result is indistinguishable from the original for every batch
+    accessor.
+    """
+    shingles: dict[str, list[IntArray]] = {}
+    for name, flat in payload.shingle_flat.items():
+        lengths = payload.shingle_lengths[name]
+        bounds = np.cumsum(lengths)[:-1]
+        shingles[name] = [np.ascontiguousarray(s) for s in np.split(flat, bounds)]
+    return RecordStore._from_parts(
+        payload.schema, dict(payload.vectors), shingles, payload.n
+    )

@@ -135,6 +135,7 @@ class RecordStore:
         self._vectors: dict[str, FloatArray] = {}
         self._shingles: dict[str, list[IntArray]] = {}
         self._csr_cache: dict[str, sp.csr_matrix] = {}
+        self._sizes_cache: dict[str, IntArray] = {}
         sizes: set[int] = set()
         for spec in schema:
             col = columns[spec.name]
@@ -153,6 +154,29 @@ class RecordStore:
         if len(sizes) != 1:
             raise SchemaError(f"columns have inconsistent row counts: {sorted(sizes)}")
         self._n = sizes.pop()
+
+    @classmethod
+    def _from_parts(
+        cls,
+        schema: Schema,
+        vectors: dict[str, FloatArray],
+        shingles: dict[str, list[IntArray]],
+        n: int,
+    ) -> RecordStore:
+        """Trusted constructor: adopt already-validated columns without
+        copying.  Used by the parallel layer to rebuild a store inside a
+        worker from transferred arrays (the arrays are exactly the ones
+        ``__init__`` would have produced, so re-validation would only
+        duplicate every shingle set).
+        """
+        store = cls.__new__(cls)
+        store.schema = schema
+        store._vectors = vectors
+        store._shingles = shingles
+        store._csr_cache = {}
+        store._sizes_cache = {}
+        store._n = n
+        return store
 
     # ------------------------------------------------------------------
     # basic container protocol
@@ -221,10 +245,17 @@ class RecordStore:
         return self._csr_cache[field_name]
 
     def set_sizes(self, field_name: str) -> IntArray:
-        """Per-record shingle-set cardinalities."""
-        return np.array(
-            [s.size for s in self.shingle_sets(field_name)], dtype=np.int64
-        )
+        """Per-record shingle-set cardinalities.
+
+        Cached: pairwise engines ask for this on every one-to-many /
+        block call, and rebuilding it is a Python loop over all ``n``
+        records — it must not sit on the per-row hot path.
+        """
+        if field_name not in self._sizes_cache:
+            self._sizes_cache[field_name] = np.array(
+                [s.size for s in self.shingle_sets(field_name)], dtype=np.int64
+            )
+        return self._sizes_cache[field_name]
 
     # ------------------------------------------------------------------
     # dataset manipulation

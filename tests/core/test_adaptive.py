@@ -47,13 +47,18 @@ class TestCorrectness:
         sizes = [c.size for c in result.clusters]
         assert sizes == sorted(sizes, reverse=True)
 
-    def test_k_larger_than_cluster_count(self, setup):
-        """With k exceeding the number of components, all are returned."""
+    def test_k_larger_than_cluster_count_raises(self, setup):
+        """k exceeding the resolvable components is a configuration
+        error (loud, not a silently short output), and the message names
+        the largest k that would succeed."""
         store, rule, _ = setup
         small_store = store.take(np.arange(6))
         ada = AdaptiveLSH(small_store, rule, seed=5, cost_model="analytic")
-        result = ada.run(100)
-        assert result.k <= 6
+        with pytest.raises(ConfigurationError, match="resolvable clusters") as exc:
+            ada.run(100)
+        # The advertised bound works.
+        bound = int(str(exc.value).rsplit("k <= ", 1)[1])
+        result = ada.run(bound)
         assert result.output_size == 6
 
     def test_k_one(self, setup):

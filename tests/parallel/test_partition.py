@@ -1,0 +1,39 @@
+"""Tests for the deterministic work partitioner."""
+
+import pytest
+
+from repro.parallel import chunk_spans
+
+
+class TestChunkSpans:
+    def test_covers_range_without_gaps(self):
+        spans = chunk_spans(100, 3)
+        assert spans[0][0] == 0
+        assert spans[-1][1] == 100
+        for (_, prev_hi), (lo, _) in zip(spans, spans[1:]):
+            assert prev_hi == lo
+
+    @pytest.mark.parametrize("n_items", [1, 2, 7, 64, 1000])
+    @pytest.mark.parametrize("n_chunks", [1, 2, 3, 8])
+    def test_all_items_assigned_exactly_once(self, n_items, n_chunks):
+        spans = chunk_spans(n_items, n_chunks)
+        covered = [i for lo, hi in spans for i in range(lo, hi)]
+        assert covered == list(range(n_items))
+
+    def test_deterministic(self):
+        assert chunk_spans(977, 5, 16) == chunk_spans(977, 5, 16)
+
+    def test_min_chunk_limits_chunk_count(self):
+        spans = chunk_spans(100, 8, min_chunk=40)
+        assert len(spans) == 2
+        assert all(hi - lo >= 40 for lo, hi in spans)
+
+    def test_small_input_collapses_to_one_chunk(self):
+        assert chunk_spans(10, 4, min_chunk=16) == [(0, 10)]
+
+    def test_empty_input(self):
+        assert chunk_spans(0, 4) == []
+
+    def test_balanced_sizes(self):
+        sizes = [hi - lo for lo, hi in chunk_spans(103, 4)]
+        assert max(sizes) - min(sizes) <= 1

@@ -103,6 +103,73 @@ class TestDatasetRoundtrip:
         assert loaded.info["raw"][0] == tiny_cora.info["raw"][0]
         assert len(loaded) == len(tiny_cora)
 
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_dataset_roundtrip_is_exact(self, seed, tmp_path):
+        """Property: save -> load reproduces every column bit-for-bit,
+        dtypes included, on random mixed-schema datasets (empty shingle
+        sets and near-2^62 ids exercised deliberately)."""
+        from repro import Dataset
+        from repro.records import FieldKind, FieldSpec, RecordStore, Schema
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 40))
+        schema = Schema(
+            (
+                FieldSpec("vec", FieldKind.VECTOR),
+                FieldSpec("s", FieldKind.SHINGLES),
+            )
+        )
+        sets = [
+            rng.integers(0, 2**62, size=int(rng.integers(0, 12)))
+            for _ in range(n)
+        ]
+        store = RecordStore(
+            schema, {"vec": rng.normal(size=(n, 5)), "s": sets}
+        )
+        dataset = Dataset(
+            name=f"rand{seed}",
+            store=store,
+            labels=rng.integers(-1, 6, size=n),
+            rule=RULES["or"],
+            info={"seed": seed},
+        )
+        path = tmp_path / "rand.npz"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        assert len(loaded) == n
+        assert loaded.labels.dtype == dataset.labels.dtype
+        assert np.array_equal(loaded.labels, dataset.labels)
+        vec = loaded.store.vectors("vec")
+        assert vec.dtype == np.float64
+        assert np.array_equal(vec, store.vectors("vec"))
+        for a, b in zip(
+            store.shingle_sets("s"), loaded.store.shingle_sets("s")
+        ):
+            assert b.dtype == np.int64
+            assert np.array_equal(a, b)
+        assert rule_to_spec(loaded.rule) == rule_to_spec(dataset.rule)
+
+    def test_empty_dataset_roundtrip(self, tmp_path):
+        """A zero-record dataset must come back with zero records, not a
+        phantom empty set (np.split on empty bounds yields one chunk)."""
+        from repro import Dataset
+        from repro.records import RecordStore, Schema
+
+        store = RecordStore(Schema.single_shingles("s"), {"s": []})
+        dataset = Dataset(
+            name="empty",
+            store=store,
+            labels=np.zeros(0, dtype=np.int64),
+            rule=RULES["threshold_jaccard"],
+            info={},
+        )
+        path = tmp_path / "empty.npz"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        assert len(loaded) == 0
+        assert loaded.store.shingle_sets("s") == []
+        assert loaded.labels.size == 0
+
     def test_filtering_after_reload(self, tiny_spotsigs, tmp_path):
         from repro import AdaptiveLSH
 
