@@ -6,7 +6,7 @@ install:
 lint:
 	ruff check .
 
-# Repo-specific invariant linter (rules R1-R5; see docs/ANALYSIS.md).
+# Repo-specific invariant linter (rules R1-R6; see docs/ANALYSIS.md).
 # The baseline file is the ratchet: it only ever shrinks.
 lint-invariants:
 	PYTHONPATH=src python -m repro lint src --baseline analysis_baseline.json
@@ -17,7 +17,8 @@ lint-invariants:
 typecheck:
 	@if command -v mypy >/dev/null 2>&1; then \
 		mypy --strict src/repro/core src/repro/lsh src/repro/structures \
-			src/repro/distance src/repro/obs src/repro/parallel; \
+			src/repro/distance src/repro/obs src/repro/parallel \
+			src/repro/online src/repro/serve; \
 	else \
 		echo "mypy not installed (pip install -e '.[dev]'); skipping"; \
 	fi
@@ -32,11 +33,14 @@ bench:
 # Fast subset used by the CI smoke job (no REPRO_FULL).  Also emits
 # BENCH_parallel.json: serial-vs-parallel timings of a pairwise-heavy
 # scenario plus the host cpu_count (speedup is only meaningful on
-# multi-core machines) and an identical-output check.
+# multi-core machines) and an identical-output check; and
+# BENCH_serve.json: cold-vs-warm-start timings proving a snapshot
+# restore skips prepare() and stays bit-identical.
 bench-smoke:
 	pytest benchmarks/bench_fig05_probability.py benchmarks/bench_fig08_cora.py \
 		--benchmark-only -q --benchmark-json=bench-smoke.json
 	python benchmarks/parallel_smoke.py --out BENCH_parallel.json
+	python benchmarks/serve_smoke.py --out BENCH_serve.json
 
 bench-full:
 	REPRO_FULL=1 pytest benchmarks/ --benchmark-only

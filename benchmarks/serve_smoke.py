@@ -1,0 +1,107 @@
+"""Cold-vs-warm-start smoke benchmark (``make bench-smoke``).
+
+Runs one adaLSH query cold (design + calibration + hashing from
+scratch), captures an :class:`~repro.serve.IndexSnapshot`, restores it
+into a fresh :class:`~repro.serve.ResolverSession`, and answers the
+same query warm.  Verifies the warm output is bit-identical to the
+cold one and that the restored method never enters ``prepare()``
+(no ``adaLSH.prepare`` span in its run report), then writes the
+timings to ``BENCH_serve.json``.
+
+The exit code is the proof: any output mismatch or a warm-side
+prepare span fails the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+
+from repro import AdaptiveConfig, AdaptiveLSH, RunObserver
+from repro.datasets import generate_spotsigs
+from repro.serve import IndexSnapshot, ResolverSession
+
+
+def _cluster_key(result):
+    return [tuple(int(r) for r in c.rids) for c in result.clusters]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_serve.json")
+    parser.add_argument("--records", type=int, default=1600)
+    parser.add_argument("--k", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    dataset = generate_spotsigs(n_records=args.records, seed=args.seed)
+    config = AdaptiveConfig(seed=args.seed, cost_model="analytic")
+
+    # Cold: design + hash from scratch, then capture + save.
+    with AdaptiveLSH(
+        dataset.store, dataset.rule, config=config, observer=RunObserver()
+    ) as cold:
+        started = time.perf_counter()
+        cold.prepare()
+        cold_prepare_s = time.perf_counter() - started
+        started = time.perf_counter()
+        cold_result = cold.run(args.k)
+        cold_run_s = time.perf_counter() - started
+        snapshot = IndexSnapshot.capture(cold)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "index.npz")
+            started = time.perf_counter()
+            snapshot.save(path)
+            save_s = time.perf_counter() - started
+            snapshot_bytes = os.path.getsize(path)
+            started = time.perf_counter()
+            loaded = IndexSnapshot.load(path)
+            load_s = time.perf_counter() - started
+
+    # Warm: restore and answer the same query through a session.
+    started = time.perf_counter()
+    session = ResolverSession.from_snapshot(
+        loaded, dataset.store, observer=RunObserver()
+    )
+    restore_s = time.perf_counter() - started
+    with session:
+        started = time.perf_counter()
+        warm_result = session.top_k(args.k)
+        warm_run_s = time.perf_counter() - started
+        warm_spans = [s["name"] for s in session.last_report.spans]
+
+    identical = _cluster_key(cold_result) == _cluster_key(warm_result)
+    prepare_skipped = "adaLSH.prepare" not in warm_spans
+
+    payload = {
+        "scenario": f"adaLSH top-{args.k} on spotsigs({args.records})",
+        "cold_prepare_seconds": round(cold_prepare_s, 4),
+        "cold_run_seconds": round(cold_run_s, 4),
+        "snapshot_save_seconds": round(save_s, 4),
+        "snapshot_load_seconds": round(load_s, 4),
+        "snapshot_bytes": snapshot_bytes,
+        "warm_restore_seconds": round(restore_s, 4),
+        "warm_run_seconds": round(warm_run_s, 4),
+        "warm_hashes_computed": int(warm_result.counters.hashes_computed),
+        "identical_clusters": identical,
+        "prepare_skipped": prepare_skipped,
+        "warm_spans": warm_spans,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(payload, indent=2))
+    if not identical:
+        print("FATAL: warm-start clusters differ from the cold run")
+        return 1
+    if not prepare_skipped:
+        print("FATAL: restored method re-entered prepare()")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

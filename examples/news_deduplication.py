@@ -12,7 +12,13 @@ accuracy and the benchmark-ER speedup.
 Run:  python examples/news_deduplication.py
 """
 
-from repro import AdaptiveLSH, SpeedupModel, TopKPipeline, generate_spotsigs
+from repro import (
+    AdaptiveConfig,
+    AdaptiveLSH,
+    SpeedupModel,
+    TopKPipeline,
+    generate_spotsigs,
+)
 from repro.eval.metrics import map_mar, precision_recall_f1
 
 K = 5
@@ -26,7 +32,7 @@ def main() -> None:
         f"top-{K} stories cover {dataset.top_k_fraction(K):.1%} of articles"
     )
 
-    method = AdaptiveLSH(dataset.store, dataset.rule, seed=7)
+    method = AdaptiveLSH(dataset.store, dataset.rule, config=AdaptiveConfig(seed=7))
     # Ask the filter for a few extra clusters (k_hat > k) to push
     # recall up (§6.1.2), then recover stragglers after ER.
     pipeline = TopKPipeline(dataset, method, recover=True, k_hat=10)

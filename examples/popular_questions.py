@@ -10,7 +10,13 @@ makes that visible.  The output still matches the exact baseline.
 Run:  python examples/popular_questions.py
 """
 
-from repro import AdaptiveLSH, PairsBaseline, generate_querylog
+from repro import (
+    AdaptiveConfig,
+    AdaptiveLSH,
+    PairsBaseline,
+    RunObserver,
+    generate_querylog,
+)
 from repro.eval.metrics import precision_recall_f1
 
 K = 5
@@ -23,7 +29,12 @@ def main() -> None:
         f"was asked {dataset.entity_sizes()[0]} times"
     )
 
-    method = AdaptiveLSH(dataset.store, dataset.rule, seed=9, trace=True)
+    method = AdaptiveLSH(
+        dataset.store,
+        dataset.rule,
+        config=AdaptiveConfig(seed=9),
+        observer=RunObserver(),
+    )
     result = method.run(K)
     exact = PairsBaseline(dataset.store, dataset.rule).run(K)
 
@@ -45,11 +56,11 @@ def main() -> None:
     )
 
     print(f"\nlast rounds of the adaptive loop (size -> action):")
-    for entry in method.trace[-6:]:
+    for event in method.last_report.rounds[-6:]:
         print(
-            f"  round {entry['round']:>3}: cluster of {entry['size']:>5} "
-            f"-> {entry['action']} -> {entry['subclusters']} subclusters "
-            f"(largest {entry['largest_out']})"
+            f"  round {event.round:>3}: cluster of {event.size:>5} "
+            f"-> {event.action} -> {event.subclusters} subclusters "
+            f"(largest {event.largest_out})"
         )
 
 

@@ -9,7 +9,7 @@ family AND-ed with a plain minhash family.
 Run:  python examples/publications.py
 """
 
-from repro import AdaptiveLSH, generate_cora
+from repro import AdaptiveConfig, AdaptiveLSH, generate_cora
 
 K = 3
 
@@ -19,7 +19,7 @@ def main() -> None:
     print(f"dataset: {len(dataset)} publication records")
     print(f"match rule: {dataset.rule!r}\n")
 
-    method = AdaptiveLSH(dataset.store, dataset.rule, seed=5)
+    method = AdaptiveLSH(dataset.store, dataset.rule, config=AdaptiveConfig(seed=5))
     result = method.run(K)
 
     print(

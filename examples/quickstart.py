@@ -10,6 +10,7 @@ Run:  python examples/quickstart.py
 import numpy as np
 
 from repro import (
+    AdaptiveConfig,
     AdaptiveLSH,
     CosineDistance,
     PairsBaseline,
@@ -37,7 +38,7 @@ def main() -> None:
     # Two records match when their vectors are within 10 degrees.
     rule = ThresholdRule(CosineDistance("vec"), 10.0 / 180.0)
 
-    ada = AdaptiveLSH(store, rule, seed=0)
+    ada = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=0))
     result = ada.run(k=3)
 
     print(f"dataset: {len(store)} records")

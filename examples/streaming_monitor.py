@@ -12,8 +12,7 @@ import time
 
 import numpy as np
 
-from repro import generate_spotsigs
-from repro.online import StreamingTopK
+from repro import AdaptiveConfig, StreamingTopK, generate_spotsigs
 
 K = 3
 BATCHES = 5
@@ -21,7 +20,9 @@ BATCHES = 5
 
 def main() -> None:
     dataset = generate_spotsigs(n_records=2000, seed=11)
-    stream = StreamingTopK(dataset.store, dataset.rule, seed=11)
+    stream = StreamingTopK(
+        dataset.store, dataset.rule, config=AdaptiveConfig(seed=11)
+    )
 
     arrival_order = np.random.default_rng(0).permutation(len(dataset))
     batches = np.array_split(arrival_order, BATCHES)

@@ -15,7 +15,12 @@ Run:  python examples/viral_images.py
 
 import time
 
-from repro import AdaptiveLSH, generate_popular_images, precision_recall_f1
+from repro import (
+    AdaptiveConfig,
+    AdaptiveLSH,
+    generate_popular_images,
+    precision_recall_f1,
+)
 from repro.datasets.popularimages import images_rule
 
 K = 5
@@ -32,7 +37,7 @@ def main() -> None:
 
     for degrees in (2.0, 3.0, 5.0):
         rule = images_rule(degrees)
-        method = AdaptiveLSH(dataset.store, rule, seed=3)
+        method = AdaptiveLSH(dataset.store, rule, config=AdaptiveConfig(seed=3))
         result = method.run(K)
         p, r, f1 = precision_recall_f1(
             result.output_rids, dataset.top_k_rids(K)
@@ -43,7 +48,9 @@ def main() -> None:
         )
 
     # Incremental mode: report the most viral image as soon as known.
-    method = AdaptiveLSH(dataset.store, images_rule(5.0), seed=3)
+    method = AdaptiveLSH(
+        dataset.store, images_rule(5.0), config=AdaptiveConfig(seed=3)
+    )
     method.prepare()
     started = time.perf_counter()
     clusters = method.iter_clusters(K)

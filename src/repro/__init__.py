@@ -5,12 +5,22 @@ Resolution with Adaptive Locality-Sensitive Hashing"*.
 
 Quickstart::
 
-    from repro import AdaptiveLSH, generate_spotsigs
+    from repro import AdaptiveConfig, AdaptiveLSH, generate_spotsigs
 
     dataset = generate_spotsigs(n_records=2200, seed=0)
-    result = AdaptiveLSH(dataset.store, dataset.rule, seed=0).run(k=10)
+    method = AdaptiveLSH(dataset.store, dataset.rule,
+                         config=AdaptiveConfig(seed=0))
+    result = method.run(k=10)
     for cluster in result.clusters:
         print(cluster.size, cluster.rids[:5])
+
+Serving (persistent indexes; see ``docs/SERVING.md``)::
+
+    from repro import IndexSnapshot, ResolverSession
+
+    IndexSnapshot.capture(method).save("index.npz")
+    with ResolverSession.from_snapshot("index.npz", dataset.store) as s:
+        result = s.top_k(10)           # warm: skips design + hashing
 
 Public surface:
 
@@ -18,7 +28,11 @@ Public surface:
 * match rules — :class:`ThresholdRule`, :class:`AndRule`,
   :class:`OrRule`, :class:`WeightedAverageRule` over
   :class:`CosineDistance` / :class:`JaccardDistance`;
-* the adaptive filter — :class:`AdaptiveLSH` / :func:`adaptive_filter`;
+* the adaptive filter — :class:`AdaptiveLSH` / :func:`adaptive_filter`,
+  configured through the frozen :class:`AdaptiveConfig`;
+* serving — :class:`IndexSnapshot` (persistent prepared state),
+  :class:`ResolverSession` (long-lived warm sessions),
+  :class:`StreamingTopK` (online refine, :mod:`repro.online`);
 * baselines — :class:`LSHBlocking` (LSH-X / LSH-X-nP),
   :class:`PairsBaseline`;
 * the Figure-1 pipeline — :class:`TopKPipeline`;
@@ -34,6 +48,7 @@ Public surface:
 
 from .baselines import LSHBlocking, PairsBaseline
 from .core import (
+    AdaptiveConfig,
     AdaptiveLSH,
     CostModel,
     FilterResult,
@@ -64,13 +79,19 @@ from .errors import ReproError
 from .io import load_dataset, rule_from_spec, rule_to_spec, save_dataset
 from .eval import SpeedupModel, map_mar, precision_recall_f1
 from .obs import MetricsRegistry, RunObserver, RunReport, Tracer
+from .online import StreamingTopK
 from .records import FieldKind, FieldSpec, Record, RecordStore, Schema
+from .serve import IndexSnapshot, ResolverSession
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdaptiveConfig",
     "AdaptiveLSH",
     "adaptive_filter",
+    "IndexSnapshot",
+    "ResolverSession",
+    "StreamingTopK",
     "CostModel",
     "FilterResult",
     "exponential_budgets",

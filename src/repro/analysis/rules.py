@@ -11,7 +11,9 @@ plain flake8/ruff cannot express:
   ``ValueError`` / ``RuntimeError``;
 * **R4** — public functions in the typed packages carry complete
   annotations (the mypy ratchet's AST-level twin);
-* **R5** — no mutable default arguments anywhere.
+* **R5** — no mutable default arguments anywhere;
+* **R6** — result-producing packages only write documented
+  ``FilterResult.info`` keys (the key schema lives in ``docs/API.md``).
 
 Rules register themselves in :data:`RULES` via the :func:`register`
 decorator, so adding a rule is: subclass :class:`Rule`, decorate, done.
@@ -33,6 +35,28 @@ CLOCK_FREE_PACKAGES = frozenset({"core", "lsh", "structures", "distance"})
 TAXONOMY_PACKAGES = frozenset({"core", "lsh"})
 #: Packages whose public functions must be fully annotated (R4).
 ANNOTATED_PACKAGES = frozenset({"core", "lsh", "obs", "eval"})
+#: Packages that build FilterResults and must stick to the documented
+#: ``info`` key schema (R6).
+INFO_SCHEMA_PACKAGES = frozenset({"core", "baselines", "online", "serve"})
+#: The ``FilterResult.info`` key schema documented in ``docs/API.md``.
+#: Writing any other key from an :data:`INFO_SCHEMA_PACKAGES` package is
+#: an R6 finding — document the key (and add it here) first.
+DOCUMENTED_INFO_KEYS = frozenset(
+    {
+        "method",
+        "budgets",
+        "designs",
+        "selection",
+        "records_per_level",
+        "parallel",
+        "signature_cache",
+        "components",
+        "n_hashes",
+        "design",
+        "verified",
+        "serving",
+    }
+)
 
 #: Wall-clock callables flagged by R2 (dotted form as written in code).
 _CLOCK_CALLS = frozenset(
@@ -305,6 +329,79 @@ class AnnotationRule(Rule):
                 ctx,
                 fn,
                 f"public function {fn.name!r} has no return annotation",
+                self._SUGGESTION,
+            )
+
+
+@register
+class InfoKeySchemaRule(Rule):
+    """R6: only documented ``FilterResult.info`` keys are written."""
+
+    id = "R6"
+    title = "undocumented FilterResult.info key written in a result package"
+
+    _SUGGESTION = (
+        "document the key in docs/API.md and add it to "
+        "DOCUMENTED_INFO_KEYS (or drop the write)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.package not in INFO_SCHEMA_PACKAGES:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                yield from self._check_assign(ctx, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+
+    def _check_assign(
+        self, ctx: FileContext, node: ast.Assign | ast.AnnAssign
+    ) -> Iterator[Finding]:
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            # result.info["key"] = ... / info["key"] = ...
+            if isinstance(target, ast.Subscript) and self._is_info(
+                target.value
+            ):
+                key = target.slice
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    yield from self._check_key(ctx, key, key.value)
+            # info = {...} / info: dict = {...}
+            elif (
+                self._is_info(target)
+                and node.value is not None
+                and isinstance(node.value, ast.Dict)
+            ):
+                yield from self._check_dict(ctx, node.value)
+
+    def _check_call(self, ctx: FileContext, node: ast.Call) -> Iterator[Finding]:
+        dotted = _dotted(node.func)
+        if dotted is None or not dotted.startswith("FilterResult"):
+            return
+        for keyword in node.keywords:
+            if keyword.arg == "info" and isinstance(keyword.value, ast.Dict):
+                yield from self._check_dict(ctx, keyword.value)
+
+    @staticmethod
+    def _is_info(node: ast.AST) -> bool:
+        """Matches the name ``info`` and any ``<expr>.info`` attribute."""
+        if isinstance(node, ast.Name):
+            return node.id == "info"
+        return isinstance(node, ast.Attribute) and node.attr == "info"
+
+    def _check_dict(self, ctx: FileContext, node: ast.Dict) -> Iterator[Finding]:
+        for key in node.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                yield from self._check_key(ctx, key, key.value)
+
+    def _check_key(
+        self, ctx: FileContext, node: ast.AST, key: str
+    ) -> Iterator[Finding]:
+        if key not in DOCUMENTED_INFO_KEYS:
+            yield self.finding(
+                ctx,
+                node,
+                f"writes undocumented FilterResult.info key {key!r}",
                 self._SUGGESTION,
             )
 

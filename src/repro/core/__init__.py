@@ -4,6 +4,7 @@ computation function, the cost model, and budget schedules."""
 
 from .adaptive import AdaptiveLSH, adaptive_filter
 from .budget import exponential_budgets, linear_budgets
+from .config import AdaptiveConfig
 from .cost import CostModel
 from .pairwise_fn import PairwiseComputation
 from .planning import WorkEstimate, predict_filter_work
@@ -12,6 +13,7 @@ from .transitive import TransitiveHashingFunction
 
 __all__ = [
     "AdaptiveLSH",
+    "AdaptiveConfig",
     "adaptive_filter",
     "TransitiveHashingFunction",
     "PairwiseComputation",

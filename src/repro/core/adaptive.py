@@ -20,14 +20,15 @@ largest — by Theorem 2 the time-to-k'-th-cluster is optimal for every
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Iterable, Iterator, Sequence
 from typing import Any
 
 import numpy as np
 
 from ..distance.rules import MatchRule
-from ..errors import ConfigurationError
-from ..lsh.design import DEFAULT_EPSILON, DesignContext, SchemeDesign, design_sequence
+from ..errors import ConfigurationError, SnapshotError
+from ..lsh.design import DesignContext, SchemeDesign, design_sequence
 from ..lsh.families import SignaturePool
 from ..lsh.keycache import LevelKeyCache
 from ..obs import DISABLED, RoundEvent, RunObserver, RunReport
@@ -38,12 +39,13 @@ from ..rngutil import SeedLike, make_rng
 from ..structures.bin_index import BinIndex
 from ..types import IntArray
 from .budget import exponential_budgets
+from .config import SELECTIONS, AdaptiveConfig, resolve_config
 from .cost import CostModel
 from .pairwise_fn import PairwiseComputation
 from .result import SOURCE_PAIRWISE, Cluster, FilterResult, WorkCounters
 from .transitive import TransitiveHashingFunction
 
-_SELECTIONS = ("largest", "largest-unoptimized", "smallest", "random")
+_SELECTIONS = SELECTIONS
 
 
 class AdaptiveLSH:
@@ -53,41 +55,36 @@ class AdaptiveLSH:
     ----------
     store, rule:
         The dataset and the match rule (distance metric(s) + threshold(s)).
-    budgets:
-        Hash budgets of the function sequence ``H_1..H_L``; defaults to
-        the paper's Exponential schedule starting at 20 and doubling.
-    epsilon:
-        Constraint slack of the scheme-design programs (§5.1).
-    cost_model:
-        ``"calibrate"`` (default) times hash and pair samples on this
-        machine; ``"analytic"`` charges one unit per hash and
-        ``analytic_pair_cost`` units per pair; or pass a ready
-        :class:`~repro.core.cost.CostModel`.
-    noise_factor:
-        Appendix E.2 noise multiplier on the pairwise cost estimate.
-    selection:
-        Cluster-selection strategy; ``"largest"`` is the paper's
-        (optimal) rule, others exist for ablations.
-    trace:
-        Record structured per-round events (see :attr:`trace` for the
-        legacy dict view and ``self.obs.rounds`` for the full events).
+    config:
+        An :class:`~repro.core.config.AdaptiveConfig` holding every
+        tuning knob (budgets, epsilon, seed, cost model, selection,
+        jump policy, parallelism, caching); defaults apply when
+        omitted.  The pre-config keyword arguments (``budgets=``,
+        ``seed=``, ...) still work through a ``DeprecationWarning``
+        shim, as does a bare budget sequence in this position.
     observer:
         A :class:`~repro.obs.RunObserver` to collect spans, metrics and
-        round events into; implies ``trace``-style round recording when
-        enabled.  After :meth:`run`, :attr:`last_report` holds the
-        serializable :class:`~repro.obs.RunReport` of the run.
-    n_jobs:
-        Worker-process count for signature batches and blocked pairwise
-        evaluation.  ``None`` defers to the ``REPRO_N_JOBS`` environment
-        variable (default serial); negative values count back from the
-        CPU count, joblib-style.  Results are bit-identical to serial
-        for every value.  Call :meth:`close` (or use the instance as a
-        context manager) to shut the worker pool down.
-    signature_cache:
-        Cache each record's packed per-level bucket keys so repeated
-        applications of the same sequence function (re-runs,
-        :meth:`refine`, incremental mode) skip the key packing.
-        Enabled by default; disable to bound memory on huge stores.
+        round events into.  After :meth:`run`, :attr:`last_report`
+        holds the serializable :class:`~repro.obs.RunReport` of the
+        run.  (``trace=True`` is a deprecated alias for attaching a
+        private enabled observer.)
+
+    Notes
+    -----
+    ``config.n_jobs`` is the worker-process count for signature batches
+    and blocked pairwise evaluation; ``None`` defers to the
+    ``REPRO_N_JOBS`` environment variable (default serial).  Results
+    are bit-identical to serial for every value.  Call :meth:`close`
+    (or use the instance as a context manager) to shut the worker pool
+    down.  ``config.signature_cache`` caches each record's packed
+    per-level bucket keys so repeated applications of the same sequence
+    function (re-runs, :meth:`refine`, incremental mode) skip the key
+    packing.
+
+    A prepared instance can be frozen to disk with
+    :class:`~repro.serve.IndexSnapshot` and warm-started later through
+    :meth:`adopt_prepared_state`, skipping design, calibration, and
+    initial hashing entirely.
     """
 
     _ctx: DesignContext
@@ -102,54 +99,54 @@ class AdaptiveLSH:
         self,
         store: RecordStore,
         rule: MatchRule,
-        budgets: Sequence[int] | None = None,
-        epsilon: float = DEFAULT_EPSILON,
-        seed: SeedLike = None,
-        cost_model: CostModel | str = "calibrate",
-        noise_factor: float = 1.0,
-        analytic_pair_cost: float = 20.0,
-        pairwise_strategy: str = "auto",
-        selection: str = "largest",
-        trace: bool = False,
+        config: AdaptiveConfig | Sequence[int] | None = None,
         observer: RunObserver | None = None,
-        jump_policy: str = "line5",
-        lookahead_samples: int = 32,
-        lookahead_density: float = 0.6,
-        n_jobs: int | None = None,
-        signature_cache: bool = True,
+        **legacy: Any,
     ) -> None:
-        if selection not in _SELECTIONS:
-            raise ConfigurationError(
-                f"selection must be one of {_SELECTIONS}, got {selection!r}"
+        trace = bool(legacy.pop("trace", False))
+        if trace:
+            warnings.warn(
+                "trace=True is deprecated; pass "
+                "observer=RunObserver(enabled=True) instead",
+                DeprecationWarning,
+                stacklevel=2,
             )
-        if jump_policy not in ("line5", "lookahead"):
-            raise ConfigurationError(
-                f"jump_policy must be 'line5' or 'lookahead', got {jump_policy!r}"
-            )
+        if config is not None and not isinstance(config, AdaptiveConfig):
+            # Third-positional budgets from the pre-config signature.
+            legacy.setdefault("budgets", config)
+            config = None
+        cfg = resolve_config(config, legacy)
+        #: The resolved :class:`AdaptiveConfig` this instance runs with.
+        self.config = cfg
         self.store = store
         self.rule = rule
-        self.budgets = list(budgets) if budgets is not None else exponential_budgets()
-        self.epsilon = epsilon
-        self.selection = selection
-        self._rng = make_rng(seed)
-        self._noise_factor = noise_factor
-        self._analytic_pair_cost = analytic_pair_cost
-        self._cost_model_spec = cost_model
+        self.budgets = (
+            list(cfg.budgets) if cfg.budgets is not None else exponential_budgets()
+        )
+        self.epsilon = cfg.epsilon
+        self.selection = cfg.selection
+        self._rng = make_rng(cfg.seed)
+        self._noise_factor = cfg.noise_factor
+        self._analytic_pair_cost = cfg.analytic_pair_cost
+        self._cost_model_spec = cfg.cost_model
         #: Resolved worker count; 1 means everything runs in-process.
-        self.n_jobs = resolve_n_jobs(n_jobs)
+        self.n_jobs = resolve_n_jobs(cfg.n_jobs)
         self._exec_pool: ExecutionPool | None = (
             ExecutionPool(store, self.n_jobs) if self.n_jobs > 1 else None
         )
         self._pairwise = PairwiseComputation(
-            store, rule, strategy=pairwise_strategy, pool=self._exec_pool
+            store, rule, strategy=cfg.pairwise_strategy, pool=self._exec_pool
         )
         self._key_cache: LevelKeyCache | None = (
-            LevelKeyCache(len(store)) if signature_cache else None
+            LevelKeyCache(len(store)) if cfg.signature_cache else None
         )
         self._prepared = False
-        self.jump_policy = jump_policy
-        self._lookahead_samples = int(lookahead_samples)
-        self._lookahead_density = float(lookahead_density)
+        #: True when prepared state was adopted from a snapshot instead
+        #: of being designed/calibrated by this instance.
+        self.warm_started = False
+        self.jump_policy = cfg.jump_policy
+        self._lookahead_samples = cfg.lookahead_samples
+        self._lookahead_density = cfg.lookahead_density
         # Observability: a caller-supplied RunObserver wins; trace=True
         # alone creates a private enabled observer; otherwise the shared
         # no-op observer keeps the hot paths branch-only.
@@ -197,31 +194,41 @@ class AdaptiveLSH:
         self._ctx, self._designs = design_sequence(
             self.store, self.rule, self.budgets, epsilon=self.epsilon, seed=self._rng
         )
-        self._functions = [
-            TransitiveHashingFunction(level + 1, design)
-            for level, design in enumerate(self._designs)
-        ]
-        if isinstance(self._cost_model_spec, CostModel):
-            self.cost_model = self._cost_model_spec
-        elif self._cost_model_spec == "analytic":
-            self.cost_model = CostModel.from_budgets(
+        self.cost_model = self._resolve_cost_model()
+        self._install_prepared_state()
+
+    def _resolve_cost_model(self) -> CostModel:
+        spec = self._cost_model_spec
+        if isinstance(spec, CostModel):
+            return spec
+        if spec == "analytic":
+            return CostModel.from_budgets(
                 [d.spent_budget for d in self._designs],
                 cost_p=self._analytic_pair_cost,
                 noise_factor=self._noise_factor,
             )
-        elif self._cost_model_spec == "calibrate":
-            self.cost_model = CostModel.calibrate(
+        if spec == "calibrate":
+            return CostModel.calibrate(
                 self.store,
                 self.rule,
                 self._designs,
                 noise_factor=self._noise_factor,
                 seed=self._rng,
             )
-        else:
-            raise ConfigurationError(
-                f"cost_model must be 'calibrate', 'analytic', or a CostModel, "
-                f"got {self._cost_model_spec!r}"
-            )
+        raise ConfigurationError(  # pragma: no cover - guarded by AdaptiveConfig
+            f"cost_model must be 'calibrate', 'analytic', or a CostModel, "
+            f"got {spec!r}"
+        )
+
+    def _install_prepared_state(self) -> None:
+        """Wire functions, pools, observer, executor, and key cache from
+        ``self._ctx`` / ``self._designs`` / ``self.cost_model`` — the
+        shared tail of cold :meth:`_prepare` and warm
+        :meth:`adopt_prepared_state`."""
+        self._functions = [
+            TransitiveHashingFunction(level + 1, design)
+            for level, design in enumerate(self._designs)
+        ]
         self._pools = [
             comp.pool for branch in self._ctx.branches for comp in branch
         ]
@@ -242,6 +249,36 @@ class AdaptiveLSH:
             for fn in self._functions:
                 fn.key_cache = self._key_cache.entry(fn.level)
         self._prepared = True
+
+    def adopt_prepared_state(
+        self,
+        ctx: DesignContext,
+        designs: Sequence[SchemeDesign],
+        cost_model: CostModel,
+        rng: SeedLike = None,
+    ) -> None:
+        """Warm-start: adopt externally rebuilt prepared state.
+
+        Used by :meth:`repro.serve.IndexSnapshot.restore` — ``ctx``
+        carries pools whose family parameters and signature columns
+        were loaded from a snapshot, ``designs`` the captured
+        ``(w, z)`` solutions, and ``rng`` the captured stream position.
+        After this, :meth:`prepare` is a no-op (no design, no
+        calibration, no ``adaLSH.prepare`` span), and :meth:`run` is
+        bit-identical to the run the snapshot was captured from.
+        """
+        if self._prepared:
+            raise SnapshotError(
+                "cannot adopt prepared state: this instance is already prepared"
+            )
+        self._ctx = ctx
+        self._designs = list(designs)
+        self.cost_model = cost_model
+        if rng is not None:
+            self._rng = make_rng(rng)
+        with self.obs.span("adaLSH.restore"):
+            self._install_prepared_state()
+        self.warm_started = True
 
     def close(self) -> None:
         """Shut down the worker pool (no-op when running serial)."""
@@ -575,7 +612,14 @@ def adaptive_filter(
     store: RecordStore,
     rule: MatchRule,
     k: int,
-    **kwargs: Any,
+    config: AdaptiveConfig | None = None,
+    observer: RunObserver | None = None,
+    **legacy: Any,
 ) -> FilterResult:
-    """One-shot convenience wrapper around :class:`AdaptiveLSH`."""
-    return AdaptiveLSH(store, rule, **kwargs).run(k)
+    """One-shot convenience wrapper around :class:`AdaptiveLSH`.
+
+    Prefer ``config=AdaptiveConfig(...)``; legacy keyword arguments
+    pass through the same deprecation shim as the constructor.
+    """
+    with AdaptiveLSH(store, rule, config=config, observer=observer, **legacy) as method:
+        return method.run(k)

@@ -1,0 +1,155 @@
+"""Frozen configuration object for :class:`~repro.core.adaptive.AdaptiveLSH`.
+
+The adaptive method grew a sprawling constructor (budgets, epsilon,
+seed, cost model, noise, selection, jump policy, parallelism, caching);
+:class:`AdaptiveConfig` consolidates all of it into one immutable,
+comparable value that every entry point — ``AdaptiveLSH``,
+``adaptive_filter``, ``TopKPipeline``, ``StreamingTopK``, the CLI, and
+index snapshots — constructs through.  The old keyword arguments keep
+working through :func:`resolve_config`, which emits a
+``DeprecationWarning`` and builds the equivalent config.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
+from typing import Any
+
+from ..errors import ConfigurationError
+from ..lsh.design import DEFAULT_EPSILON
+from ..rngutil import SeedLike
+from .cost import CostModel
+
+#: Cluster-selection strategies accepted by the adaptive loop.
+SELECTIONS = ("largest", "largest-unoptimized", "smallest", "random")
+
+#: Jump policies for the Line-5 hashing-vs-pairwise decision.
+JUMP_POLICIES = ("line5", "lookahead")
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Every tuning knob of the adaptive method, in one frozen value.
+
+    Parameters mirror the historical ``AdaptiveLSH`` keyword arguments;
+    see that class's docstring for semantics.  Instances are immutable —
+    derive variants with :func:`dataclasses.replace`.
+    """
+
+    budgets: tuple[int, ...] | None = None
+    epsilon: float = DEFAULT_EPSILON
+    seed: SeedLike = None
+    cost_model: CostModel | str = "calibrate"
+    noise_factor: float = 1.0
+    analytic_pair_cost: float = 20.0
+    pairwise_strategy: str = "auto"
+    selection: str = "largest"
+    jump_policy: str = "line5"
+    lookahead_samples: int = 32
+    lookahead_density: float = 0.6
+    n_jobs: int | None = None
+    signature_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.budgets is not None:
+            object.__setattr__(
+                self, "budgets", tuple(int(b) for b in self.budgets)
+            )
+        if self.selection not in SELECTIONS:
+            raise ConfigurationError(
+                f"selection must be one of {SELECTIONS}, got {self.selection!r}"
+            )
+        if self.jump_policy not in JUMP_POLICIES:
+            raise ConfigurationError(
+                f"jump_policy must be 'line5' or 'lookahead', "
+                f"got {self.jump_policy!r}"
+            )
+        if not isinstance(self.cost_model, CostModel) and self.cost_model not in (
+            "calibrate",
+            "analytic",
+        ):
+            raise ConfigurationError(
+                f"cost_model must be 'calibrate', 'analytic', or a CostModel, "
+                f"got {self.cost_model!r}"
+            )
+        object.__setattr__(self, "lookahead_samples", int(self.lookahead_samples))
+        object.__setattr__(self, "lookahead_density", float(self.lookahead_density))
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly view of the *portable* settings.
+
+        ``seed`` and a concrete :class:`CostModel` are excluded — index
+        snapshots carry RNG state and the cost model separately, in
+        exact form; this dict covers everything rebuildable from plain
+        scalars.
+        """
+        return {
+            "budgets": list(self.budgets) if self.budgets is not None else None,
+            "epsilon": self.epsilon,
+            "noise_factor": self.noise_factor,
+            "analytic_pair_cost": self.analytic_pair_cost,
+            "pairwise_strategy": self.pairwise_strategy,
+            "selection": self.selection,
+            "jump_policy": self.jump_policy,
+            "lookahead_samples": self.lookahead_samples,
+            "lookahead_density": self.lookahead_density,
+            "signature_cache": self.signature_cache,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any], **overrides: Any) -> AdaptiveConfig:
+        """Rebuild from :meth:`to_dict` output; ``overrides`` win."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown AdaptiveConfig keys: {sorted(unknown)}"
+            )
+        merged = dict(data)
+        merged.update(overrides)
+        budgets = merged.get("budgets")
+        if budgets is not None:
+            merged["budgets"] = tuple(int(b) for b in budgets)
+        return cls(**merged)
+
+
+_LEGACY_KEYS = frozenset(f.name for f in fields(AdaptiveConfig))
+
+
+def resolve_config(
+    config: AdaptiveConfig | None,
+    legacy: dict[str, Any],
+    owner: str = "AdaptiveLSH",
+) -> AdaptiveConfig:
+    """Resolve a config from the new-style argument plus legacy kwargs.
+
+    ``legacy`` is the ``**kwargs`` dict of an entry point still being
+    called with pre-config keyword arguments.  Passing any emits a
+    ``DeprecationWarning``; mixing them with an explicit ``config`` is
+    an error (there is no sane precedence); unknown keys fail fast.
+    """
+    if not legacy:
+        return config if config is not None else AdaptiveConfig()
+    unknown = set(legacy) - _LEGACY_KEYS
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {owner} argument(s): {sorted(unknown)}"
+        )
+    if config is not None:
+        raise ConfigurationError(
+            f"pass either config= or legacy keyword arguments to {owner}, "
+            f"not both (got config plus {sorted(legacy)})"
+        )
+    warnings.warn(
+        f"passing {sorted(legacy)} directly to {owner} is deprecated; "
+        f"use {owner}(..., config=AdaptiveConfig(...))",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return AdaptiveConfig(**legacy)
+
+
+def config_with(config: AdaptiveConfig, **overrides: Any) -> AdaptiveConfig:
+    """``dataclasses.replace`` with the frozen-field coercions re-run."""
+    return replace(config, **overrides)

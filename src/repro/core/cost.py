@@ -114,6 +114,16 @@ class CostModel:
             "info": dict(self.info),
         }
 
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> CostModel:
+        """Rebuild a model from :meth:`to_dict` output (snapshot restore)."""
+        return cls(
+            [float(c) for c in data["level_costs"]],
+            float(data["cost_p"]),
+            float(data.get("noise_factor", 1.0)),
+            dict(data.get("info", {})),
+        )
+
     def with_noise(self, noise_factor: float) -> CostModel:
         """A copy of this model with a different E.2 noise factor.
 

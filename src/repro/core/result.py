@@ -82,6 +82,31 @@ class FilterResult:
     def output_size(self) -> int:
         return int(self.output_rids.size)
 
+    # -- typed views over the documented ``info`` keys (docs/API.md) ----
+    @property
+    def parallel_stats(self) -> dict[str, Any] | None:
+        """Execution-pool statistics (``info["parallel"]``), or ``None``
+        when the producing run was serial."""
+        return self.info.get("parallel")
+
+    @property
+    def signature_cache_stats(self) -> dict[str, Any] | None:
+        """Key-cache statistics (``info["signature_cache"]``), or
+        ``None`` when the cache was disabled."""
+        return self.info.get("signature_cache")
+
+    @property
+    def designed_sequence(self) -> list[str] | None:
+        """Human-readable per-level designs (``info["designs"]``), or
+        ``None`` for methods that do not design a sequence."""
+        return self.info.get("designs")
+
+    @property
+    def serving_stats(self) -> dict[str, Any] | None:
+        """Serving-session counters (``info["serving"]``), or ``None``
+        outside a :class:`~repro.serve.ResolverSession`."""
+        return self.info.get("serving")
+
     @staticmethod
     def from_clusters(
         clusters: Sequence[Cluster],

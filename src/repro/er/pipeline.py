@@ -52,6 +52,24 @@ class TopKPipeline:
         self.recover = recover
         self.k_hat = k_hat
 
+    @classmethod
+    def adaptive(
+        cls,
+        dataset: Dataset,
+        config=None,
+        observer=None,
+        recover: bool = False,
+        k_hat: "int | None" = None,
+    ) -> "TopKPipeline":
+        """A pipeline whose filter stage is an :class:`AdaptiveLSH`
+        built from an :class:`~repro.core.AdaptiveConfig`."""
+        from ..core import AdaptiveLSH
+
+        method = AdaptiveLSH(
+            dataset.store, dataset.rule, config=config, observer=observer
+        )
+        return cls(dataset, method, recover=recover, k_hat=k_hat)
+
     def run(self, k: int) -> PipelineResult:
         """Produce the top-``k`` resolved entities.
 

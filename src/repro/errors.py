@@ -35,3 +35,8 @@ class DatasetError(ReproError):
 class AnalysisError(ReproError):
     """The invariant linter could not analyze its input (bad path,
     unparseable source, or a corrupt baseline file)."""
+
+
+class SnapshotError(ReproError):
+    """An index snapshot could not be captured, loaded, or restored
+    (wrong magic/version, store mismatch, or corrupt state arrays)."""

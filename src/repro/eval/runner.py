@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..baselines import LSHBlocking, PairsBaseline
-from ..core import AdaptiveLSH
+from ..core import AdaptiveConfig, AdaptiveLSH
 from ..datasets.base import Dataset
 from ..errors import ConfigurationError
 from ..obs.spans import NULL_SPAN
@@ -31,7 +31,17 @@ def make_method(
     (e.g. ``budgets=...`` or ``noise_factor=...`` for adaLSH).
     """
     if spec == "adaLSH":
-        return AdaptiveLSH(dataset.store, dataset.rule, seed=seed, **kwargs)
+        observer = kwargs.pop("observer", None)
+        config = kwargs.pop("config", None)
+        if config is None:
+            config = AdaptiveConfig(seed=seed, **kwargs)
+        elif kwargs:
+            raise ConfigurationError(
+                "pass either config= or individual adaLSH options, not both"
+            )
+        return AdaptiveLSH(
+            dataset.store, dataset.rule, config=config, observer=observer
+        )
     if spec == "Pairs":
         return PairsBaseline(dataset.store, dataset.rule, **kwargs)
     match = _LSH_SPEC.match(spec)

@@ -27,6 +27,27 @@ from .errors import ConfigurationError
 from .records import FieldKind, FieldSpec, RecordStore, Schema
 
 # ----------------------------------------------------------------------
+# JSON-in-npz headers
+# ----------------------------------------------------------------------
+def pack_json_header(header: dict) -> np.ndarray:
+    """Encode a JSON-serializable dict as a uint8 array for ``.npz``.
+
+    Shared by dataset persistence and index snapshots: ``np.savez``
+    only stores arrays, so structured metadata rides along as the raw
+    UTF-8 bytes of its JSON encoding.
+    """
+    return np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8)
+
+
+def unpack_json_header(data: np.ndarray) -> dict:
+    """Decode :func:`pack_json_header` output back into a dict."""
+    decoded = json.loads(bytes(data).decode("utf-8"))
+    if not isinstance(decoded, dict):
+        raise ConfigurationError("header array does not decode to a JSON object")
+    return decoded
+
+
+# ----------------------------------------------------------------------
 # rule specs
 # ----------------------------------------------------------------------
 def distance_to_spec(distance) -> dict:
@@ -139,16 +160,14 @@ def save_dataset(dataset: Dataset, path) -> None:
         "rule": rule_to_spec(dataset.rule),
         "info": info,
     }
-    arrays["header"] = np.frombuffer(
-        json.dumps(header).encode("utf-8"), dtype=np.uint8
-    )
+    arrays["header"] = pack_json_header(header)
     np.savez_compressed(path, **arrays)
 
 
 def load_dataset(path) -> Dataset:
     """Load a dataset written by :func:`save_dataset`."""
     with np.load(path) as data:
-        header = json.loads(bytes(data["header"]).decode("utf-8"))
+        header = unpack_json_header(data["header"])
         columns: dict = {}
         specs = []
         for field in header["schema"]:

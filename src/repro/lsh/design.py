@@ -33,6 +33,7 @@ from __future__ import annotations
 import math
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -43,7 +44,7 @@ from ..distance.rules import (
     ThresholdRule,
     WeightedAverageRule,
 )
-from ..errors import ConfigurationError, DesignError
+from ..errors import ConfigurationError, DesignError, SnapshotError
 from ..records import RecordStore
 from ..rngutil import SeedLike, make_rng, spawn
 from ..types import ArrayLike, FloatArray
@@ -361,6 +362,62 @@ class SchemeDesign:
                 f"(w={ws}, z={g.z}{rem}{'' if g.feasible else ', fallback'})"
             )
         return " OR ".join(parts)
+
+
+def scheme_design_to_spec(design: SchemeDesign) -> dict[str, Any]:
+    """JSON-friendly description of a :class:`SchemeDesign`.
+
+    The spec carries only the *solved* optimization outputs (per-group
+    ``(w..., z)`` values, feasibility, objective) — pools are not
+    serialized here; :func:`scheme_design_from_spec` re-binds the spec
+    to a freshly built :class:`DesignContext` with the same branch
+    structure.
+    """
+    return {
+        "budget": design.budget,
+        "groups": [
+            {
+                "ws": list(g.ws),
+                "z": g.z,
+                "feasible": g.feasible,
+                "objective": g.objective,
+                "remainder_w": g.remainder_w,
+            }
+            for g in design.groups
+        ],
+    }
+
+
+def scheme_design_from_spec(
+    spec: dict[str, Any], ctx: DesignContext
+) -> SchemeDesign:
+    """Rebuild a :class:`SchemeDesign` from :func:`scheme_design_to_spec`
+    output, binding each group to ``ctx``'s branches in order."""
+    groups_spec = spec["groups"]
+    if len(groups_spec) != len(ctx.branches):
+        raise SnapshotError(
+            f"design spec has {len(groups_spec)} groups but the rule has "
+            f"{len(ctx.branches)} branches"
+        )
+    groups: list[GroupDesign] = []
+    for comps, gs in zip(ctx.branches, groups_spec):
+        ws = tuple(int(w) for w in gs["ws"])
+        if len(ws) != len(comps):
+            raise SnapshotError(
+                f"design spec group has {len(ws)} hash counts but the "
+                f"branch has {len(comps)} components"
+            )
+        groups.append(
+            GroupDesign(
+                list(comps),
+                ws,
+                int(gs["z"]),
+                bool(gs["feasible"]),
+                float(gs["objective"]),
+                remainder_w=int(gs.get("remainder_w", 0)),
+            )
+        )
+    return SchemeDesign(groups, int(spec["budget"]))
 
 
 def _budget_splits(

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from ..errors import SnapshotError
 from ..obs.clock import monotonic
 from ..records import RecordStore
 from ..types import AnyArray, ArrayLike, FloatArray, IntArray
@@ -71,6 +72,26 @@ class HashFamily(abc.ABC):
         """
         raise NotImplementedError(
             f"{type(self).__name__} is serial-only (no parallel payload)"
+        )
+
+    def export_state(self) -> dict[str, Any]:
+        """Serializable family state: drawn parameters plus RNG lineage.
+
+        The state must contain everything needed so that, on a family
+        rebuilt over the *same store/field*, :meth:`import_state`
+        reproduces both the already-drawn hash columns and every future
+        draw (the RNG stream position).  Store-derived data (e.g.
+        scrambled shingle sets) is *not* part of the state — it is
+        rebuilt deterministically from the store.
+        """
+        raise SnapshotError(
+            f"{type(self).__name__} does not support index snapshots"
+        )
+
+    def import_state(self, state: dict[str, Any]) -> None:
+        """Adopt :meth:`export_state` output on a freshly built family."""
+        raise SnapshotError(
+            f"{type(self).__name__} does not support index snapshots"
         )
 
     @property
@@ -175,6 +196,47 @@ class SignaturePool:
             "hashes_computed": int(self.hashes_computed),
             "seconds": float(self.hash_seconds),
         }
+
+    # ------------------------------------------------------------------
+    # snapshot support
+    # ------------------------------------------------------------------
+    def export_columns(self) -> tuple[AnyArray, IntArray]:
+        """Copies of the cached value matrix and the per-record fill
+        counts, for index snapshots (dtype-exact)."""
+        return self._data.copy(), self._filled.copy()
+
+    def import_columns(self, data: AnyArray, filled: ArrayLike) -> None:
+        """Adopt snapshot columns on a freshly built (empty) pool.
+
+        ``data``/``filled`` may cover only a *prefix* of this pool's
+        records — the snapshot-then-extend-store case — in which case
+        the remaining rows start empty.  ``hashes_computed`` stays at
+        its current value: restored values were paid for by the run
+        that captured them, not by this one.
+        """
+        data = np.asarray(data)
+        filled = np.asarray(filled, dtype=np.int64)
+        n = len(self)
+        rows = int(data.shape[0])
+        if rows != filled.size or rows > n:
+            raise SnapshotError(
+                f"pool {self.name!r}: snapshot covers {rows} records "
+                f"(fill counts: {filled.size}) but the store has {n}"
+            )
+        if data.dtype != self.family.dtype:
+            raise SnapshotError(
+                f"pool {self.name!r}: snapshot dtype {data.dtype} does not "
+                f"match family dtype {self.family.dtype}"
+            )
+        capacity = int(data.shape[1])
+        if filled.size and (filled.min() < 0 or filled.max() > capacity):
+            raise SnapshotError(
+                f"pool {self.name!r}: fill counts outside [0, {capacity}]"
+            )
+        self._data = np.zeros((n, capacity), dtype=self.family.dtype)
+        self._data[:rows] = data
+        self._filled = np.zeros(n, dtype=np.int64)
+        self._filled[:rows] = filled
 
     def signatures(self, rids: ArrayLike, count: int) -> AnyArray:
         """The first ``count`` hash values of each record in ``rids``."""

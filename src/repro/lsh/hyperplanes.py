@@ -13,8 +13,9 @@ from typing import Any
 
 import numpy as np
 
+from ..errors import SnapshotError
 from ..records import RecordStore
-from ..rngutil import SeedLike, make_rng
+from ..rngutil import SeedLike, make_rng, rng_from_state, rng_state
 from ..types import AnyArray, FloatArray, IntArray
 from .families import HashFamily
 
@@ -63,3 +64,26 @@ class RandomHyperplaneFamily(HashFamily):
         planes = params["planes"]
         if planes.shape[1] > self._planes.shape[1]:
             self._planes = planes
+
+    def export_state(self) -> dict[str, Any]:
+        return {
+            "kind": "hyperplane",
+            "field": self.field,
+            "rng": rng_state(self._rng),
+            "planes": self._planes.copy(),
+        }
+
+    def import_state(self, state: dict[str, Any]) -> None:
+        if state.get("kind") != "hyperplane" or state.get("field") != self.field:
+            raise SnapshotError(
+                f"snapshot state {state.get('kind')!r}[{state.get('field')!r}] "
+                f"does not match family hyperplane[{self.field!r}]"
+            )
+        planes = np.asarray(state["planes"], dtype=np.float64)
+        if planes.shape[0] != self.dim:
+            raise SnapshotError(
+                f"snapshot hyperplanes have dim {planes.shape[0]} but the "
+                f"store field {self.field!r} has dim {self.dim}"
+            )
+        self._planes = planes
+        self._rng = rng_from_state(state["rng"])

@@ -23,9 +23,9 @@ from typing import Any
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SnapshotError
 from ..records import RecordStore
-from ..rngutil import SeedLike, make_rng
+from ..rngutil import SeedLike, make_rng, rng_from_state, rng_state
 from ..types import AnyArray, ArrayLike, FloatArray, IntArray
 from .families import HashFamily
 
@@ -141,6 +141,29 @@ class MinHashFamily(HashFamily):
         a = params["a"]
         if a.size > self._a.size:
             self._a = a
+
+    def export_state(self) -> dict[str, Any]:
+        return {
+            "kind": "minhash",
+            "field": self.field,
+            "bits": self.bits,
+            "rng": rng_state(self._rng),
+            "a": self._a.copy(),
+        }
+
+    def import_state(self, state: dict[str, Any]) -> None:
+        if state.get("kind") != "minhash" or state.get("field") != self.field:
+            raise SnapshotError(
+                f"snapshot state {state.get('kind')!r}[{state.get('field')!r}] "
+                f"does not match family minhash[{self.field!r}]"
+            )
+        if state.get("bits") != self.bits:
+            raise SnapshotError(
+                f"snapshot b-bit width {state.get('bits')!r} does not match "
+                f"family bits {self.bits!r}"
+            )
+        self._a = np.asarray(state["a"], dtype=np.uint64)
+        self._rng = rng_from_state(state["rng"])
 
     @property
     def label(self) -> str:

@@ -12,12 +12,13 @@ plugs into scheme design as if it were a single field.
 from __future__ import annotations
 
 from collections.abc import Iterable
+from typing import Any
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SnapshotError
 from ..records import RecordStore
-from ..rngutil import SeedLike, make_rng
+from ..rngutil import SeedLike, make_rng, rng_from_state, rng_state
 from ..types import AnyArray, ArrayLike, FloatArray, IntArray
 from .families import HashFamily
 
@@ -88,3 +89,35 @@ class WeightedMixtureFamily(HashFamily):
             picked = values[:, child_cols - lo].astype(np.uint32)
             out[:, positions - start] = picked
         return out
+
+    def export_state(self) -> dict[str, Any]:
+        return {
+            "kind": "mixture",
+            "field": self.field,
+            "rng": rng_state(self._rng),
+            "assignment": self._assignment.copy(),
+            "child_col": self._child_col.copy(),
+            "per_family_count": self._per_family_count.copy(),
+            "children": [child.export_state() for child in self.families],
+        }
+
+    def import_state(self, state: dict[str, Any]) -> None:
+        if state.get("kind") != "mixture" or state.get("field") != self.field:
+            raise SnapshotError(
+                f"snapshot state {state.get('kind')!r}[{state.get('field')!r}] "
+                f"does not match family mixture[{self.field!r}]"
+            )
+        children = state["children"]
+        if len(children) != len(self.families):
+            raise SnapshotError(
+                f"snapshot mixture has {len(children)} constituent families "
+                f"but this mixture has {len(self.families)}"
+            )
+        for child, child_state in zip(self.families, children):
+            child.import_state(child_state)
+        self._assignment = np.asarray(state["assignment"], dtype=np.int64)
+        self._child_col = np.asarray(state["child_col"], dtype=np.int64)
+        self._per_family_count = np.asarray(
+            state["per_family_count"], dtype=np.int64
+        )
+        self._rng = rng_from_state(state["rng"])

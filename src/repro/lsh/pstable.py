@@ -13,9 +13,9 @@ from typing import Any
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SnapshotError
 from ..records import RecordStore
-from ..rngutil import SeedLike, make_rng, spawn
+from ..rngutil import SeedLike, make_rng, rng_from_state, rng_state, spawn
 from ..types import AnyArray, ArrayLike, FloatArray, IntArray
 from .families import HashFamily
 
@@ -89,6 +89,40 @@ class PStableFamily(HashFamily):
         if directions.shape[1] > self._directions.shape[1]:
             self._directions = directions
             self._offsets = params["offsets"]
+
+    def export_state(self) -> dict[str, Any]:
+        return {
+            "kind": "pstable",
+            "field": self.field,
+            "bucket_width": self.bucket_width,
+            "dir_rng": rng_state(self._dir_rng),
+            "off_rng": rng_state(self._off_rng),
+            "directions": self._directions.copy(),
+            "offsets": self._offsets.copy(),
+        }
+
+    def import_state(self, state: dict[str, Any]) -> None:
+        if state.get("kind") != "pstable" or state.get("field") != self.field:
+            raise SnapshotError(
+                f"snapshot state {state.get('kind')!r}[{state.get('field')!r}] "
+                f"does not match family pstable[{self.field!r}]"
+            )
+        width = float(state.get("bucket_width", 0.0))
+        if not np.isclose(width, self.bucket_width):
+            raise SnapshotError(
+                f"snapshot bucket_width {width} does not match family "
+                f"bucket_width {self.bucket_width}"
+            )
+        directions = np.asarray(state["directions"], dtype=np.float64)
+        if directions.shape[0] != self.dim:
+            raise SnapshotError(
+                f"snapshot directions have dim {directions.shape[0]} but the "
+                f"store field {self.field!r} has dim {self.dim}"
+            )
+        self._directions = directions
+        self._offsets = np.asarray(state["offsets"], dtype=np.float64)
+        self._dir_rng = rng_from_state(state["dir_rng"])
+        self._off_rng = rng_from_state(state["off_rng"])
 
     def collision_prob(self, x: ArrayLike) -> FloatArray:
         from ..distance.euclidean import pstable_collision_prob

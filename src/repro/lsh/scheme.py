@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -94,6 +94,24 @@ class HashingScheme:
     @property
     def table_count(self) -> int:
         return sum(g.z for g in self.groups)
+
+    def layout_spec(self) -> list[dict[str, Any]]:
+        """JSON-friendly structural description of this scheme.
+
+        Used by index snapshots to verify that a scheme rebuilt on
+        restore has exactly the captured table layout (pool names,
+        per-table hash counts, offsets, table counts).
+        """
+        return [
+            {
+                "z": group.z,
+                "uses": [
+                    {"pool": use.pool.name, "w": use.w, "offset": use.offset}
+                    for use in group.uses
+                ],
+            }
+            for group in self.groups
+        ]
 
     def iter_table_keys(self, rids: ArrayLike) -> Iterator[list[bytes]]:
         """Yield, for every table of every group, the per-record bucket

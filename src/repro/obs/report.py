@@ -25,7 +25,10 @@ from pathlib import Path
 from typing import Any
 
 #: Schema version stamped into every serialized report.
-REPORT_VERSION = 1
+#: Version 2 added the ``serving`` section (warm/cold start, session
+#: cache hits); version-1 documents load fine — the section defaults
+#: to empty.
+REPORT_VERSION = 2
 
 
 @dataclass
@@ -102,6 +105,9 @@ class RunReport:
     residuals: dict[str, Any] = field(default_factory=dict)
     hash_pools: list[dict[str, Any]] = field(default_factory=list)
     info: dict[str, Any] = field(default_factory=dict)
+    #: Serving-session counters (warm vs cold start, session queries,
+    #: cache hits); empty outside a ResolverSession.
+    serving: dict[str, Any] = field(default_factory=dict)
     version: int = REPORT_VERSION
 
     # ------------------------------------------------------------------
@@ -147,6 +153,11 @@ class RunReport:
                 if not isinstance(value, dict)
             )
             lines += ["", "counters:", f"  {parts}"]
+        if self.serving:
+            parts = ", ".join(
+                f"{key}={value}" for key, value in self.serving.items()
+            )
+            lines += ["", "serving:", f"  {parts}"]
         if self.residuals:
             lines += ["", "cost-model residuals (predicted vs actual):"]
             lines.append(

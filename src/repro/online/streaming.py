@@ -19,96 +19,125 @@ from storage layout without changing any algorithmic property.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from ..core.adaptive import AdaptiveLSH
+from ..core.config import AdaptiveConfig
 from ..core.result import FilterResult
+from ..core.transitive import TransitiveHashingFunction
 from ..distance.rules import MatchRule
 from ..errors import ConfigurationError
+from ..obs.observer import RunObserver
 from ..records import RecordStore
 from ..structures.union_find import UnionFind
+from ..types import ArrayLike, IntArray
 
 
 class StreamingTopK:
-    """Incremental top-k filtering over a stream of records."""
+    """Incremental top-k filtering over a stream of records.
+
+    Construct either with ``(store, rule, config=...)`` — a fresh
+    adaptive method is built — or with ``method=`` to wrap an existing
+    (possibly snapshot-restored) :class:`AdaptiveLSH` instance, which
+    is how :class:`~repro.serve.ResolverSession` reuses warm pools
+    after a store extension.  Pre-config keyword arguments still pass
+    through the :class:`AdaptiveLSH` deprecation shim.
+    """
+
+    _h1: TransitiveHashingFunction
 
     def __init__(
         self,
         store: RecordStore,
-        rule: MatchRule,
-        budgets=None,
-        seed=None,
-        cost_model="calibrate",
-        **adaptive_kwargs,
-    ):
-        self._adaptive = AdaptiveLSH(
-            store,
-            rule,
-            budgets=budgets,
-            seed=seed,
-            cost_model=cost_model,
-            **adaptive_kwargs,
-        )
+        rule: MatchRule | None = None,
+        config: AdaptiveConfig | None = None,
+        observer: RunObserver | None = None,
+        method: AdaptiveLSH | None = None,
+        **legacy: Any,
+    ) -> None:
+        if method is not None:
+            if config is not None or legacy:
+                raise ConfigurationError(
+                    "pass either method= or config/keyword arguments to "
+                    "StreamingTopK, not both"
+                )
+            if method.store is not store:
+                raise ConfigurationError(
+                    "method= must wrap the same store passed to StreamingTopK"
+                )
+            self._adaptive = method
+        else:
+            if rule is None:
+                raise ConfigurationError(
+                    "StreamingTopK needs a rule (or a prepared method=)"
+                )
+            self._adaptive = AdaptiveLSH(
+                store, rule, config=config, observer=observer, **legacy
+            )
         self.store = store
         self._uf = UnionFind(len(store))
         self._inserted = np.zeros(len(store), dtype=bool)
-        self._tables: "list[dict] | None" = None
+        self._tables: list[dict[bytes, int]] | None = None
 
     @property
     def n_seen(self) -> int:
         return int(self._inserted.sum())
 
-    def _ensure_ready(self) -> None:
+    @property
+    def method(self) -> AdaptiveLSH:
+        """The underlying adaptive method (shared pools and designs)."""
+        return self._adaptive
+
+    def _ensure_ready(self) -> list[dict[bytes, int]]:
         if self._tables is None:
             self._adaptive.prepare()
             self._h1 = self._adaptive._functions[0]
             self._tables = [dict() for _ in range(self._h1.scheme.table_count)]
+        return self._tables
 
     # ------------------------------------------------------------------
     def insert(self, rid: int) -> None:
         """Ingest one record: ``H_1`` hashes plus table maintenance."""
-        self._ensure_ready()
+        tables = self._ensure_ready()
         rid = int(rid)
         if self._inserted[rid]:
             raise ConfigurationError(f"record {rid} was already inserted")
         self._inserted[rid] = True
         rids = np.array([rid], dtype=np.int64)
-        for table, keys in zip(
-            self._tables, self._h1.scheme.iter_table_keys(rids)
-        ):
+        for table, keys in zip(tables, self._h1.scheme.iter_table_keys(rids)):
             key = keys[0]
             prev = table.get(key)
             if prev is not None:
                 self._uf.union(rid, prev)
             table[key] = rid
 
-    def insert_many(self, rids) -> None:
+    def insert_many(self, rids: ArrayLike) -> None:
         """Ingest a batch (hash computation is batched across records)."""
-        self._ensure_ready()
+        tables = self._ensure_ready()
         rids = np.asarray(rids, dtype=np.int64)
         fresh = rids[~self._inserted[rids]]
         if fresh.size != rids.size:
             raise ConfigurationError("batch contains already-inserted records")
         self._inserted[fresh] = True
-        for table, keys in zip(
-            self._tables, self._h1.scheme.iter_table_keys(fresh)
-        ):
-            for rid, key in zip(fresh, keys):
-                rid = int(rid)
+        for table, keys in zip(tables, self._h1.scheme.iter_table_keys(fresh)):
+            for rid_raw, key in zip(fresh, keys):
+                rid = int(rid_raw)
                 prev = table.get(key)
                 if prev is not None:
                     self._uf.union(rid, prev)
                 table[key] = rid
 
     # ------------------------------------------------------------------
-    def current_clusters(self) -> list:
+    def current_clusters(self) -> list[IntArray]:
         """Coarse (H_1-level) clusters of the records seen so far."""
         seen = np.nonzero(self._inserted)[0]
         groups: dict[int, list[int]] = {}
         for rid in seen:
             groups.setdefault(self._uf.find(int(rid)), []).append(int(rid))
         clusters = [np.asarray(g, dtype=np.int64) for g in groups.values()]
-        clusters.sort(key=lambda c: c.size, reverse=True)
+        clusters.sort(key=lambda c: int(c.size), reverse=True)
         return clusters
 
     def top_k(self, k: int) -> FilterResult:

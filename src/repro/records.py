@@ -17,6 +17,7 @@ Records are addressed everywhere by their integer row id ``rid`` in
 from __future__ import annotations
 
 import enum
+import hashlib
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 from typing import Any
@@ -280,3 +281,29 @@ class RecordStore:
         for name, sets in self._shingles.items():
             columns[name] = sets + other._shingles[name]
         return RecordStore(self.schema, columns)
+
+    def content_fingerprint(self, limit: int | None = None) -> str:
+        """SHA-256 over the schema and the first ``limit`` rows' bytes.
+
+        Index snapshots use this to verify that a snapshot is restored
+        onto the store it was captured from.  Because the digest covers
+        row prefixes field by field, a store extended with
+        :meth:`concat` satisfies
+        ``extended.content_fingerprint(limit=len(original)) ==
+        original.content_fingerprint()`` — the relaxed check behind
+        snapshot-then-extend restores.
+        """
+        n = self._n if limit is None else min(int(limit), self._n)
+        digest = hashlib.sha256()
+        digest.update(f"n={n}".encode())
+        for spec in self.schema:
+            digest.update(f"|{spec.name}:{spec.kind.value}".encode())
+            if spec.kind is FieldKind.VECTOR:
+                mat = self._vectors[spec.name][:n]
+                digest.update(f":{mat.shape[1] if mat.ndim == 2 else 0}".encode())
+                digest.update(np.ascontiguousarray(mat).tobytes())
+            else:
+                for s in self._shingles[spec.name][:n]:
+                    digest.update(np.int64(s.size).tobytes())
+                    digest.update(s.tobytes())
+        return digest.hexdigest()

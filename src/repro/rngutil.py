@@ -15,7 +15,8 @@ every stochastic decision of a run.
 
 from __future__ import annotations
 
-from typing import TypeAlias
+import copy
+from typing import Any, TypeAlias
 
 import numpy as np
 
@@ -43,3 +44,23 @@ def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
     """
     seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def rng_state(rng: np.random.Generator) -> dict[str, Any]:
+    """Serializable snapshot of a generator's exact stream position.
+
+    The returned dict is JSON-friendly (bit-generator name plus integer
+    state words) and round-trips through :func:`rng_from_state`: the
+    restored generator continues the stream from precisely the same
+    point — the seed-lineage half of the snapshot warm-start guarantee.
+    """
+    return copy.deepcopy(rng.bit_generator.state)
+
+
+def rng_from_state(state: dict[str, Any]) -> np.random.Generator:
+    """Rebuild a generator from :func:`rng_state` output."""
+    name = state["bit_generator"]
+    bit_generator_cls = getattr(np.random, name)
+    bit_generator = bit_generator_cls()
+    bit_generator.state = copy.deepcopy(state)
+    return np.random.Generator(bit_generator)

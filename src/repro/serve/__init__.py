@@ -1,0 +1,18 @@
+"""Serving layer: persistent index snapshots and long-lived sessions.
+
+``IndexSnapshot`` freezes a prepared :class:`~repro.core.AdaptiveLSH`
+(designs, cost model, family parameters, signature columns, RNG
+lineage) into a versioned ``.npz``; ``ResolverSession`` owns a store
+plus a warm method and answers repeated ``top_k`` queries with an LRU
+and pool reuse.  See ``docs/SERVING.md``.
+"""
+
+from .session import ResolverSession
+from .snapshot import SNAPSHOT_MAGIC, SNAPSHOT_VERSION, IndexSnapshot
+
+__all__ = [
+    "IndexSnapshot",
+    "ResolverSession",
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+]

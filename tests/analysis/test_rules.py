@@ -239,3 +239,87 @@ class TestR5MutableDefaults:
             tmp_path, {"datasets/bad.py": "def f(x=set()):\n    return x\n"}
         )
         assert rules_found(result) == ["R5"]
+
+
+class TestR6InfoKeySchema:
+    def test_violating_subscript_write(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {
+                "serve/bad.py": """
+                def stamp(result):
+                    result.info["secret_stuff"] = 1
+                """
+            },
+        )
+        assert rules_found(result) == ["R6"]
+        assert "secret_stuff" in result.findings[0].message
+
+    def test_violating_dict_literal_assignment(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {
+                "core/bad.py": """
+                def build() -> dict:
+                    info = {"method": "x", "mystery": 2}
+                    return info
+                """
+            },
+        )
+        assert rules_found(result) == ["R6"]
+        assert "mystery" in result.findings[0].message
+
+    def test_violating_filterresult_call_keyword(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {
+                "baselines/bad.py": """
+                def run(FilterResult, clusters):
+                    return FilterResult.from_clusters(
+                        clusters, info={"undocumented_counter": 3}
+                    )
+                """
+            },
+        )
+        assert rules_found(result) == ["R6"]
+
+    def test_clean_documented_keys(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {
+                "serve/good.py": """
+                def stamp(result, stats):
+                    result.info["serving"] = stats
+                    info = {"method": "adaLSH", "parallel": stats}
+                    return info
+                """
+            },
+        )
+        assert "R6" not in rules_found(result)
+
+    def test_out_of_scope_package_is_clean(self, tmp_path):
+        # er/, datasets/, eval/ build their own info dicts with their
+        # own schemas — R6 only polices the FilterResult packages.
+        result = run_lint(
+            tmp_path,
+            {
+                "er/loose.py": """
+                def build():
+                    info = {"er_pairs": 10}
+                    return info
+                """
+            },
+        )
+        assert "R6" not in rules_found(result)
+
+    def test_dynamic_keys_are_not_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {
+                "core/dyn.py": """
+                def stamp(result, key):
+                    result.info[key] = 1
+                """
+            },
+        )
+        assert "R6" not in rules_found(result)

@@ -1,0 +1,146 @@
+"""AdaptiveConfig: validation, serialization, and the legacy-kwargs shim."""
+
+import dataclasses
+
+import pytest
+
+from repro import AdaptiveConfig, AdaptiveLSH, StreamingTopK, adaptive_filter
+from repro.core.config import config_with, resolve_config
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_frozen(self):
+        config = AdaptiveConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.seed = 3
+
+    def test_budgets_coerced_to_int_tuple(self):
+        config = AdaptiveConfig(budgets=[10.0, 20, 40])
+        assert config.budgets == (10, 20, 40)
+
+    def test_bad_selection(self):
+        with pytest.raises(ConfigurationError, match="selection"):
+            AdaptiveConfig(selection="nope")
+
+    def test_bad_jump_policy(self):
+        with pytest.raises(ConfigurationError, match="jump_policy"):
+            AdaptiveConfig(jump_policy="psychic")
+
+    def test_bad_cost_model(self):
+        with pytest.raises(ConfigurationError, match="cost_model"):
+            AdaptiveConfig(cost_model="tea-leaves")
+
+    def test_config_with(self):
+        base = AdaptiveConfig(seed=1)
+        tweaked = config_with(base, seed=2, selection="random")
+        assert (tweaked.seed, tweaked.selection) == (2, "random")
+        assert base.seed == 1  # original untouched
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        config = AdaptiveConfig(
+            budgets=(16, 64), epsilon=0.05, selection="random",
+            jump_policy="lookahead", noise_factor=1.5,
+        )
+        again = AdaptiveConfig.from_dict(config.to_dict())
+        assert again == dataclasses.replace(
+            config, seed=None, cost_model="calibrate", n_jobs=None
+        )
+
+    def test_to_dict_excludes_non_portable_fields(self):
+        data = AdaptiveConfig(seed=7, n_jobs=4).to_dict()
+        assert "seed" not in data and "n_jobs" not in data
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            AdaptiveConfig.from_dict({"warp_speed": 9})
+
+    def test_from_dict_overrides_win(self):
+        config = AdaptiveConfig.from_dict({"epsilon": 0.2}, epsilon=0.3)
+        assert config.epsilon == 0.3
+
+
+class TestLegacyShim:
+    def test_legacy_kwargs_warn_and_work(self, tiny_spotsigs):
+        with pytest.warns(DeprecationWarning, match="AdaptiveConfig"):
+            method = AdaptiveLSH(
+                tiny_spotsigs.store, tiny_spotsigs.rule, seed=0,
+                cost_model="analytic",
+            )
+        assert method.config.seed == 0
+        assert method.config.cost_model == "analytic"
+
+    def test_positional_budgets_still_work(self, tiny_spotsigs):
+        with pytest.warns(DeprecationWarning):
+            method = AdaptiveLSH(
+                tiny_spotsigs.store, tiny_spotsigs.rule, [16, 64, 256]
+            )
+        assert method.budgets == [16, 64, 256]
+
+    def test_config_plus_legacy_kwargs_rejected(self, tiny_spotsigs):
+        with pytest.raises(ConfigurationError, match="not both"):
+            AdaptiveLSH(
+                tiny_spotsigs.store, tiny_spotsigs.rule,
+                config=AdaptiveConfig(), seed=0,
+            )
+
+    def test_unknown_kwarg_rejected(self, tiny_spotsigs):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            AdaptiveLSH(tiny_spotsigs.store, tiny_spotsigs.rule, wibble=1)
+
+    def test_trace_deprecated(self, tiny_spotsigs):
+        with pytest.warns(DeprecationWarning, match="trace"):
+            method = AdaptiveLSH(
+                tiny_spotsigs.store, tiny_spotsigs.rule,
+                config=AdaptiveConfig(seed=0), trace=True,
+            )
+        assert method.obs.enabled
+
+    def test_config_path_is_warning_free(self, tiny_spotsigs, recwarn):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            AdaptiveLSH(
+                tiny_spotsigs.store, tiny_spotsigs.rule,
+                config=AdaptiveConfig(seed=0),
+            )
+            StreamingTopK(
+                tiny_spotsigs.store, tiny_spotsigs.rule,
+                config=AdaptiveConfig(seed=0),
+            )
+
+    def test_resolve_config_default(self):
+        assert resolve_config(None, {}) == AdaptiveConfig()
+
+    def test_streaming_legacy_kwargs_warn(self, tiny_spotsigs):
+        with pytest.warns(DeprecationWarning, match="AdaptiveConfig"):
+            stream = StreamingTopK(
+                tiny_spotsigs.store, tiny_spotsigs.rule, seed=3
+            )
+        assert stream.method.config.seed == 3
+
+
+class TestConfigEquivalence:
+    def test_config_equals_legacy_output(self, tiny_spotsigs):
+        with pytest.warns(DeprecationWarning):
+            legacy = AdaptiveLSH(
+                tiny_spotsigs.store, tiny_spotsigs.rule, seed=4,
+                cost_model="analytic",
+            ).run(3)
+        modern = AdaptiveLSH(
+            tiny_spotsigs.store, tiny_spotsigs.rule,
+            config=AdaptiveConfig(seed=4, cost_model="analytic"),
+        ).run(3)
+        assert [c.rids.tolist() for c in modern.clusters] == [
+            c.rids.tolist() for c in legacy.clusters
+        ]
+
+    def test_adaptive_filter_takes_config(self, tiny_spotsigs):
+        result = adaptive_filter(
+            tiny_spotsigs.store, tiny_spotsigs.rule, 3,
+            config=AdaptiveConfig(seed=4, cost_model="analytic"),
+        )
+        assert len(result.clusters) == 3

@@ -3,6 +3,7 @@
 import json
 
 from repro.obs import RoundEvent, RunObserver, RunReport, cost_residuals
+from repro.obs.report import REPORT_VERSION
 
 
 def make_events():
@@ -77,7 +78,7 @@ class TestJsonRoundTrip:
     def test_json_is_plain_data(self):
         data = json.loads(make_report().to_json())
         assert data["method"] == "adaLSH"
-        assert data["version"] == 1
+        assert data["version"] == REPORT_VERSION
         assert data["rounds"][0]["action"] == "H2"
         assert data["metrics"]["counters"]["pairs"] == 10
         assert data["residuals"]["hash"]["rounds"] == 2

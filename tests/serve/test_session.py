@@ -1,0 +1,166 @@
+"""ResolverSession: LRU serving, warm starts, and store extension."""
+
+import numpy as np
+import pytest
+
+from repro import AdaptiveConfig, AdaptiveLSH, RunObserver, StreamingTopK
+from repro.datasets import generate_querylog, generate_spotsigs
+from repro.errors import ConfigurationError
+from repro.serve import IndexSnapshot, ResolverSession
+
+
+def _clusters(result):
+    return [c.rids.tolist() for c in result.clusters]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_querylog(n_records=400, seed=6)
+
+
+CONFIG = AdaptiveConfig(seed=6, cost_model="analytic")
+
+
+class TestColdSession:
+    def test_matches_direct_run(self, dataset):
+        with AdaptiveLSH(dataset.store, dataset.rule, config=CONFIG) as m:
+            direct = m.run(4)
+        with ResolverSession(dataset.store, dataset.rule, config=CONFIG) as s:
+            served = s.top_k(4)
+            assert _clusters(served) == _clusters(direct)
+            assert not s.warm_started
+
+    def test_lru_hit(self, dataset):
+        with ResolverSession(dataset.store, dataset.rule, config=CONFIG) as s:
+            first = s.top_k(3)
+            assert first.info["serving"]["cache_hit"] is False
+            again = s.top_k(3)
+            assert again is first
+            assert again.info["serving"]["cache_hit"] is True
+            stats = s.serving_stats()
+            assert stats["queries"] == 2
+            assert stats["cache_hits"] == 1
+            assert stats["cached_results"] == 1
+
+    def test_lru_eviction(self, dataset):
+        with ResolverSession(
+            dataset.store, dataset.rule, config=CONFIG, cache_size=2
+        ) as s:
+            s.top_k(2)
+            s.top_k(3)
+            s.top_k(4)  # evicts k=2
+            assert s.serving_stats()["cached_results"] == 2
+            s.top_k(3)  # still cached
+            assert s.serving_stats()["cache_hits"] == 1
+
+    def test_batch_order_preserved(self, dataset):
+        with ResolverSession(dataset.store, dataset.rule, config=CONFIG) as s:
+            results = s.batch_top_k([2, 5, 3])
+            assert [len(r.clusters) for r in results] == [2, 5, 3]
+
+    def test_serving_stats_stamped_on_result(self, dataset):
+        with ResolverSession(dataset.store, dataset.rule, config=CONFIG) as s:
+            result = s.top_k(3)
+            assert result.serving_stats is not None
+            assert result.serving_stats["warm_start"] is False
+
+    def test_requires_rule_or_method(self, dataset):
+        with pytest.raises(ConfigurationError, match="rule"):
+            ResolverSession(dataset.store)
+
+    def test_rejects_method_and_config(self, dataset):
+        with AdaptiveLSH(dataset.store, dataset.rule, config=CONFIG) as m:
+            with pytest.raises(ConfigurationError, match="not both"):
+                ResolverSession(dataset.store, method=m, config=CONFIG)
+
+    def test_rejects_foreign_method(self, dataset):
+        other = generate_querylog(n_records=300, seed=61)
+        with AdaptiveLSH(other.store, other.rule, config=CONFIG) as m:
+            with pytest.raises(ConfigurationError, match="same store"):
+                ResolverSession(dataset.store, method=m)
+
+    def test_rejects_bad_cache_size(self, dataset):
+        with pytest.raises(ConfigurationError, match="cache_size"):
+            ResolverSession(
+                dataset.store, dataset.rule, config=CONFIG, cache_size=0
+            )
+
+
+class TestWarmSession:
+    def test_from_snapshot_matches_cold(self, dataset, tmp_path):
+        with AdaptiveLSH(dataset.store, dataset.rule, config=CONFIG) as m:
+            cold = m.run(4)
+            path = tmp_path / "index.npz"
+            IndexSnapshot.capture(m).save(path)
+        with ResolverSession.from_snapshot(
+            path, dataset.store, observer=RunObserver()
+        ) as s:
+            assert s.warm_started
+            warm = s.top_k(4)
+            assert _clusters(warm) == _clusters(cold)
+            assert warm.serving_stats["warm_start"] is True
+            # The restored method never enters prepare(): its first run
+            # report has no adaLSH.prepare span and carries the serving
+            # counters.
+            report = s.last_report
+            span_names = [span["name"] for span in report.spans]
+            assert "adaLSH.prepare" not in span_names
+            assert report.serving["warm_start"] is True
+
+    def test_session_snapshot_round_trip(self, dataset, tmp_path):
+        with ResolverSession(dataset.store, dataset.rule, config=CONFIG) as s:
+            first = s.top_k(3)
+            path = tmp_path / "session.npz"
+            s.snapshot(path)
+        with ResolverSession.from_snapshot(path, dataset.store) as warm:
+            assert _clusters(warm.top_k(3)) == _clusters(first)
+
+
+class TestExtendStore:
+    @staticmethod
+    def _split(n_head):
+        full = generate_spotsigs(n_records=400, seed=21)
+        head = full.store.take(np.arange(n_head))
+        tail = full.store.take(np.arange(n_head, len(full.store)))
+        return full, head, tail
+
+    def test_insert_then_query_matches_scratch_stream(self):
+        full, head, tail = self._split(350)
+        config = AdaptiveConfig(seed=21, cost_model="analytic")
+        with ResolverSession(head, full.rule, config=config) as s:
+            s.top_k(3)
+            s.extend_store(tail)
+            assert s.store_version == 1
+            assert len(s.store) == 400
+            served = s.top_k(3)
+        scratch = StreamingTopK(
+            head.concat(tail), full.rule, config=config
+        )
+        scratch.insert_many(scratch.store.rids)
+        expected = scratch.top_k(3)
+        assert _clusters(served) == _clusters(expected)
+
+    def test_extend_invalidates_cache(self):
+        full, head, tail = self._split(350)
+        config = AdaptiveConfig(seed=21, cost_model="analytic")
+        with ResolverSession(head, full.rule, config=config) as s:
+            before = s.top_k(3)
+            s.extend_store(tail)
+            after = s.top_k(3)
+            assert after is not before
+            assert s.serving_stats()["cache_hits"] == 0
+
+    def test_empty_extension_is_noop(self, dataset):
+        with ResolverSession(dataset.store, dataset.rule, config=CONFIG) as s:
+            s.extend_store(dataset.store.take(np.arange(0)))
+            assert s.store_version == 0
+
+    def test_insert_records_accepts_columns(self):
+        full, head, tail = self._split(380)
+        config = AdaptiveConfig(seed=21, cost_model="analytic")
+        columns = {
+            spec.name: tail.shingle_sets(spec.name) for spec in tail.schema
+        }
+        with ResolverSession(head, full.rule, config=config) as s:
+            s.insert_records(columns)
+            assert len(s.store) == 400

@@ -66,3 +66,52 @@ def test_metrics_missing_file(tmp_path, capsys):
 def test_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_snapshot_then_query(tmp_path, capsys):
+    snap = tmp_path / "index.npz"
+    code = main(
+        [
+            "snapshot", "--out", str(snap),
+            "--generate", "querylog", "--records", "300", "--warm-k", "3",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "wrote snapshot of 300 records" in out
+    assert snap.exists()
+
+    code = main(
+        [
+            "query", "--snapshot", str(snap),
+            "--generate", "querylog", "--records", "300", "-k", "3", "5",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "k=3:" in out and "k=5:" in out
+    assert "warm_start=True" in out
+
+
+def test_query_metrics_out(tmp_path, capsys):
+    from repro.obs import RunReport
+
+    snap = tmp_path / "index.npz"
+    assert main(
+        ["snapshot", "--out", str(snap), "--generate", "querylog",
+         "--records", "300"]
+    ) == 0
+    metrics = tmp_path / "metrics.json"
+    assert main(
+        ["--metrics-out", str(metrics), "query", "--snapshot", str(snap),
+         "--generate", "querylog", "--records", "300", "-k", "4"]
+    ) == 0
+    capsys.readouterr()
+    report = RunReport.load(metrics)
+    assert report.serving["warm_start"] is True
+    assert "adaLSH.prepare" not in [s["name"] for s in report.spans]
+
+
+def test_snapshot_requires_dataset_source(tmp_path):
+    with pytest.raises(SystemExit, match="--data PATH or --generate"):
+        main(["snapshot", "--out", str(tmp_path / "x.npz")])
