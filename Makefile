@@ -1,4 +1,4 @@
-.PHONY: install lint lint-invariants typecheck test bench bench-smoke bench-full report report-full examples clean
+.PHONY: install lint lint-invariants typecheck test bench bench-smoke bench-full perf-gate report report-full examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -33,17 +33,31 @@ bench:
 # Fast subset used by the CI smoke job (no REPRO_FULL).  Also emits
 # BENCH_parallel.json: serial-vs-parallel timings of a pairwise-heavy
 # scenario plus the host cpu_count (speedup is only meaningful on
-# multi-core machines) and an identical-output check; and
+# multi-core machines) and an identical-output check;
 # BENCH_serve.json: cold-vs-warm-start timings proving a snapshot
-# restore skips prepare() and stays bit-identical.
+# restore skips prepare() and stays bit-identical;
+# BENCH_memo.json: pairs_compared with the pair-verdict memo off vs on
+# over a streaming insert+query scenario (identical outputs, >=30%
+# fewer comparisons); and BENCH_topk.json: end-to-end top-k wall time
+# plus deterministic work counters on fixed-seed synthetics.
 bench-smoke:
 	pytest benchmarks/bench_fig05_probability.py benchmarks/bench_fig08_cora.py \
 		--benchmark-only -q --benchmark-json=bench-smoke.json
 	python benchmarks/parallel_smoke.py --out BENCH_parallel.json
 	python benchmarks/serve_smoke.py --out BENCH_serve.json
+	python benchmarks/bench_memo.py --out BENCH_memo.json
+	python benchmarks/bench_topk_macro.py --out BENCH_topk.json
 
 bench-full:
 	REPRO_FULL=1 pytest benchmarks/ --benchmark-only
+
+# Deterministic perf gate: the macro benchmark's pairs_compared /
+# hashes_computed counters must not exceed perf_baseline.json (the
+# ratchet — improvements re-run with --write-baseline and commit the
+# smaller numbers).  Timing is reported but never gated.
+perf-gate:
+	PYTHONPATH=src python benchmarks/bench_topk_macro.py \
+		--out BENCH_topk.json --check-baseline perf_baseline.json
 
 report:
 	python -m repro report --out EXPERIMENTS_GENERATED.md

@@ -1,0 +1,119 @@
+"""End-to-end top-k macro benchmark (``make bench-smoke`` / perf gate).
+
+Runs the adaptive method cold on fixed-seed Cora-like and
+SpotSigs-like synthetics and records, per scenario, the wall time plus
+the two deterministic work counters — ``pairs_compared`` and
+``hashes_computed``.  With ``cost_model="analytic"`` and pinned seeds
+both counters are exact functions of the code, so they gate perf
+regressions the way ``analysis_baseline.json`` gates lint findings:
+
+* ``--write-baseline perf_baseline.json`` records the current counters;
+* ``--check-baseline perf_baseline.json`` fails (exit 1) if any
+  scenario's counter exceeds the committed value — timing is reported
+  but never gated, because CI machines are noisy.
+
+Improvements ratchet the baseline down: re-run ``--write-baseline``
+and commit the smaller numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro.core.adaptive import AdaptiveLSH
+from repro.core.config import AdaptiveConfig
+from repro.datasets import generate_cora, generate_spotsigs
+
+#: Gated counters (deterministic); ``wall_seconds`` rides along
+#: uncompared.
+GATED_COUNTERS = ("pairs_compared", "hashes_computed")
+
+
+def _scenarios(records: int, seed: int):
+    return [
+        ("cora", generate_cora(n_records=records, seed=seed)),
+        ("spotsigs", generate_spotsigs(n_records=records, seed=seed)),
+    ]
+
+
+def run_scenarios(records: int, seed: int, method_seed: int, k: int):
+    out = {}
+    for name, dataset in _scenarios(records, seed):
+        config = AdaptiveConfig(seed=method_seed, cost_model="analytic")
+        started = time.perf_counter()
+        with AdaptiveLSH(dataset.store, dataset.rule, config=config) as method:
+            result = method.run(k)
+        elapsed = time.perf_counter() - started
+        out[name] = {
+            "records": records,
+            "k": k,
+            "wall_seconds": round(elapsed, 4),
+            "pairs_compared": int(result.counters.pairs_compared),
+            "hashes_computed": int(result.counters.hashes_computed),
+            "pairs_charged": int(result.counters.pairs_charged),
+            "rounds": int(result.counters.rounds),
+        }
+    return out
+
+
+def check_baseline(scenarios: dict, baseline: dict) -> list[str]:
+    """Counter regressions relative to the committed baseline."""
+    failures = []
+    for name, expected in baseline.get("scenarios", {}).items():
+        actual = scenarios.get(name)
+        if actual is None:
+            failures.append(f"{name}: scenario missing from this run")
+            continue
+        for counter in GATED_COUNTERS:
+            if actual[counter] > expected[counter]:
+                failures.append(
+                    f"{name}.{counter}: {actual[counter]} exceeds the "
+                    f"baseline {expected[counter]}"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_topk.json")
+    parser.add_argument("--records", type=int, default=1000)
+    parser.add_argument("--k", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--method-seed", type=int, default=3)
+    parser.add_argument("--check-baseline", metavar="PATH")
+    parser.add_argument("--write-baseline", metavar="PATH")
+    args = parser.parse_args(argv)
+
+    scenarios = run_scenarios(args.records, args.seed, args.method_seed, args.k)
+    payload = {
+        "data_seed": args.seed,
+        "method_seed": args.method_seed,
+        "gated_counters": list(GATED_COUNTERS),
+        "scenarios": scenarios,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(payload, indent=2))
+
+    if args.write_baseline:
+        with open(args.write_baseline, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"baseline written to {args.write_baseline}")
+    if args.check_baseline:
+        with open(args.check_baseline, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        failures = check_baseline(scenarios, baseline)
+        if failures:
+            for failure in failures:
+                print(f"PERF REGRESSION: {failure}")
+            return 1
+        print(f"perf gate OK against {args.check_baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -55,6 +55,7 @@ DOCUMENTED_INFO_KEYS = frozenset(
         "design",
         "verified",
         "serving",
+        "memoized_pairs",
     }
 )
 

@@ -6,6 +6,7 @@ from .adaptive import AdaptiveLSH, adaptive_filter
 from .budget import exponential_budgets, linear_budgets
 from .config import AdaptiveConfig
 from .cost import CostModel
+from .pairmemo import PairVerdictMemo, resolve_pair_memo
 from .pairwise_fn import PairwiseComputation
 from .planning import WorkEstimate, predict_filter_work
 from .result import Cluster, FilterResult, WorkCounters
@@ -17,6 +18,8 @@ __all__ = [
     "adaptive_filter",
     "TransitiveHashingFunction",
     "PairwiseComputation",
+    "PairVerdictMemo",
+    "resolve_pair_memo",
     "CostModel",
     "predict_filter_work",
     "WorkEstimate",

@@ -41,6 +41,14 @@ from ..types import IntArray
 from .budget import exponential_budgets
 from .config import SELECTIONS, AdaptiveConfig, resolve_config
 from .cost import CostModel
+from .pairmemo import (
+    MATCH,
+    NO_MATCH,
+    UNKNOWN,
+    PairVerdictMemo,
+    pack_pair_keys,
+    resolve_pair_memo,
+)
 from .pairwise_fn import PairwiseComputation
 from .result import SOURCE_PAIRWISE, Cluster, FilterResult, WorkCounters
 from .transitive import TransitiveHashingFunction
@@ -134,8 +142,19 @@ class AdaptiveLSH:
         self._exec_pool: ExecutionPool | None = (
             ExecutionPool(store, self.n_jobs) if self.n_jobs > 1 else None
         )
+        #: Cross-round pair-verdict memo shared by the pairwise function
+        #: and the lookahead density sampler; ``None`` when disabled.
+        self._pair_memo: PairVerdictMemo | None = (
+            PairVerdictMemo(max_bytes=cfg.pair_memo_bytes)
+            if resolve_pair_memo(cfg.pair_memo)
+            else None
+        )
         self._pairwise = PairwiseComputation(
-            store, rule, strategy=cfg.pairwise_strategy, pool=self._exec_pool
+            store,
+            rule,
+            strategy=cfg.pairwise_strategy,
+            pool=self._exec_pool,
+            memo=self._pair_memo,
         )
         self._key_cache: LevelKeyCache | None = (
             LevelKeyCache(len(store)) if cfg.signature_cache else None
@@ -248,6 +267,12 @@ class AdaptiveLSH:
             self._key_cache.observer = self.obs
             for fn in self._functions:
                 fn.key_cache = self._key_cache.entry(fn.level)
+        if self._pair_memo is not None:
+            self._pair_memo.observer = self.obs
+            # Establish (or re-validate) the memo's (store, rule)
+            # binding; remembered verdicts survive exactly when both
+            # fingerprints still match.
+            self._pair_memo.bind(self.store, self.rule)
         self._prepared = True
 
     def adopt_prepared_state(
@@ -279,6 +304,26 @@ class AdaptiveLSH:
         with self.obs.span("adaLSH.restore"):
             self._install_prepared_state()
         self.warm_started = True
+
+    @property
+    def pair_memo(self) -> PairVerdictMemo | None:
+        """The pair-verdict memo, or ``None`` when memoization is off."""
+        return self._pair_memo
+
+    def adopt_pair_memo(self, memo: PairVerdictMemo | None) -> None:
+        """Transfer a pair-verdict memo from a prior method instance.
+
+        Used by :meth:`repro.serve.ResolverSession.extend_store`, where
+        a snapshot restore builds a fresh method over the extended
+        store: re-binding keeps every remembered verdict when the old
+        store is a byte-identical prefix of the new one, and clears the
+        memo otherwise — the verdicts stay correct either way.
+        """
+        self._pair_memo = memo
+        self._pairwise.memo = memo
+        if memo is not None:
+            memo.observer = self.obs
+            memo.bind(self.store, self.rule)
 
     def close(self) -> None:
         """Shut down the worker pool (no-op when running serial)."""
@@ -367,6 +412,8 @@ class AdaptiveLSH:
             info["parallel"] = self._exec_pool.stats()
         if self._key_cache is not None:
             info["signature_cache"] = self._key_cache.stats()
+        if self._pair_memo is not None:
+            info["memoized_pairs"] = self._pair_memo.stats()
 
     def iter_clusters(self, k: int) -> Iterator[Cluster]:
         """Incremental mode (§4.2): yield final clusters one by one,
@@ -472,11 +519,29 @@ class AdaptiveLSH:
         distinct = left != right
         if not distinct.any():
             return 1.0
+        sampled_a = left[distinct]
+        sampled_b = right[distinct]
+        total = int(distinct.sum())
+        memo = self._pair_memo
+        if memo is not None and not memo.disabled:
+            keys = pack_pair_keys(sampled_a, sampled_b)
+            verdicts = memo.lookup(keys)
+            unknown = np.nonzero(verdicts == UNKNOWN)[0]
+            if unknown.size:
+                fresh = np.zeros(unknown.size, dtype=bool)
+                for n, idx in enumerate(unknown.tolist()):
+                    fresh[n] = self.rule.is_match(
+                        self.store, int(sampled_a[idx]), int(sampled_b[idx])
+                    )
+                memo.record(keys[unknown], fresh)
+                verdicts[unknown] = np.where(fresh, MATCH, NO_MATCH)
+            hits = int(np.count_nonzero(verdicts == MATCH))
+            counters.pairs_compared += int(unknown.size)
+            return hits / total
         hits = 0
-        for a, b in zip(left[distinct], right[distinct]):
+        for a, b in zip(sampled_a, sampled_b):
             if self.rule.is_match(self.store, int(a), int(b)):
                 hits += 1
-        total = int(distinct.sum())
         counters.pairs_compared += total
         return hits / total
 

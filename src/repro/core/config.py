@@ -20,6 +20,7 @@ from ..errors import ConfigurationError
 from ..lsh.design import DEFAULT_EPSILON
 from ..rngutil import SeedLike
 from .cost import CostModel
+from .pairmemo import DEFAULT_MAX_BYTES as DEFAULT_PAIR_MEMO_BYTES
 
 #: Cluster-selection strategies accepted by the adaptive loop.
 SELECTIONS = ("largest", "largest-unoptimized", "smallest", "random")
@@ -50,6 +51,10 @@ class AdaptiveConfig:
     lookahead_density: float = 0.6
     n_jobs: int | None = None
     signature_cache: bool = True
+    #: Cross-round pair-verdict memoization (``None`` defers to the
+    #: ``REPRO_PAIR_MEMO`` environment variable, default enabled).
+    pair_memo: bool | None = None
+    pair_memo_bytes: int = DEFAULT_PAIR_MEMO_BYTES
 
     def __post_init__(self) -> None:
         if self.budgets is not None:
@@ -75,6 +80,7 @@ class AdaptiveConfig:
             )
         object.__setattr__(self, "lookahead_samples", int(self.lookahead_samples))
         object.__setattr__(self, "lookahead_density", float(self.lookahead_density))
+        object.__setattr__(self, "pair_memo_bytes", int(self.pair_memo_bytes))
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-friendly view of the *portable* settings.
@@ -95,6 +101,8 @@ class AdaptiveConfig:
             "lookahead_samples": self.lookahead_samples,
             "lookahead_density": self.lookahead_density,
             "signature_cache": self.signature_cache,
+            "pair_memo": self.pair_memo,
+            "pair_memo_bytes": self.pair_memo_bytes,
         }
 
     @classmethod

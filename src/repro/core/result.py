@@ -107,6 +107,12 @@ class FilterResult:
         outside a :class:`~repro.serve.ResolverSession`."""
         return self.info.get("serving")
 
+    @property
+    def pair_memo_stats(self) -> dict[str, Any] | None:
+        """Pair-verdict memo statistics (``info["memoized_pairs"]``),
+        or ``None`` when memoization was disabled."""
+        return self.info.get("memoized_pairs")
+
     @staticmethod
     def from_clusters(
         clusters: Sequence[Cluster],

@@ -60,7 +60,7 @@ class TransitiveHashingFunction:
         """
         rids = np.asarray(rids, dtype=np.int64)
         forest = ParentPointerForest()
-        int_rids = [int(r) for r in rids]
+        int_rids: list[int] = rids.tolist()
         for rid in int_rids:
             forest.make_singleton(rid)
         inserts = 0

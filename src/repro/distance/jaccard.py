@@ -50,15 +50,28 @@ class JaccardDistance(FieldDistance):
         sets = store.shingle_sets(self.field)
         return jaccard_distance(sets[r1], sets[r2])
 
+    #: Row-chunk height for ``pairwise``.  The full ``csr @ csr.T``
+    #: product densified all at once, so the transient matrices peaked
+    #: at several times the m×m output; evaluating block-style row
+    #: chunks bounds every intermediate to O(chunk · m) while the output
+    #: is written in place.  Intersection counts are exact integers, so
+    #: the chunked floats equal the one-shot ones bit for bit.
+    _PAIRWISE_CHUNK = 256
+
     def pairwise(self, store: RecordStore, rids: ArrayLike) -> FloatArray:
         rids = np.asarray(rids, dtype=np.int64)
+        m = int(rids.size)
         csr = store.shingle_csr(self.field)[rids]
-        inter = np.asarray((csr @ csr.T).todense(), dtype=np.float64)
+        csr_t = csr.T
         sizes = np.asarray(csr.sum(axis=1), dtype=np.float64).ravel()
-        union = sizes[:, None] + sizes[None, :] - inter
-        with np.errstate(divide="ignore", invalid="ignore"):
-            sim = np.where(union > 0.0, inter / union, 1.0)
-        dist = 1.0 - sim
+        dist = np.empty((m, m), dtype=np.float64)
+        for lo in range(0, m, self._PAIRWISE_CHUNK):
+            hi = min(lo + self._PAIRWISE_CHUNK, m)
+            inter = np.asarray((csr[lo:hi] @ csr_t).todense(), dtype=np.float64)
+            union = sizes[lo:hi, None] + sizes[None, :] - inter
+            with np.errstate(divide="ignore", invalid="ignore"):
+                sim = np.where(union > 0.0, inter / union, 1.0)
+            dist[lo:hi] = 1.0 - sim
         np.fill_diagonal(dist, 0.0)
         return dist
 
@@ -76,7 +89,7 @@ class JaccardDistance(FieldDistance):
         if rids.size == 0:
             return np.zeros(0, dtype=np.float64)
         if target.size and int(lengths.sum()):
-            flat = np.concatenate([sets[int(r)] for r in rids])
+            flat = np.concatenate([sets[r] for r in rids.tolist()])
             slots = np.searchsorted(target, flat)
             hits = target[np.minimum(slots, target.size - 1)] == flat
             csum = np.concatenate([[0], np.cumsum(hits)])

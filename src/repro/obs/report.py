@@ -158,6 +158,10 @@ class RunReport:
                 f"{key}={value}" for key, value in self.serving.items()
             )
             lines += ["", "serving:", f"  {parts}"]
+        memo = self.info.get("memoized_pairs")
+        if memo:
+            parts = ", ".join(f"{key}={value}" for key, value in memo.items())
+            lines += ["", "memoized pairs:", f"  {parts}"]
         if self.residuals:
             lines += ["", "cost-model residuals (predicted vs actual):"]
             lines.append(

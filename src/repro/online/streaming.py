@@ -10,7 +10,10 @@ coarse clusters to the adaptive refinement loop
 (:meth:`~repro.core.adaptive.AdaptiveLSH.refine`), which — thanks to
 the shared signature pools — only computes the *additional* hash
 functions needed by records in still-ambiguous, large clusters.
-Repeated queries therefore get cheaper as the pools warm up.
+Repeated queries therefore get cheaper as the pools warm up, and —
+because the wrapped method's
+:class:`~repro.core.pairmemo.PairVerdictMemo` lives across refines —
+pairs verified by one query are never re-evaluated by the next.
 
 Storage note: records live in a regular :class:`RecordStore` created up
 front; "arrival" is the ``insert`` call.  This decouples stream order

@@ -293,6 +293,48 @@ class ExecutionPool:
         self._account(len(futures), seconds)
         return bundles
 
+    def pairwise_job_edges(
+        self,
+        rule: MatchRule,
+        jobs: list[tuple[IntArray, list[tuple[IntArray, IntArray]]]],
+        total_rows: int,
+        block_size: int,
+    ) -> (
+        list[tuple[IntArray, IntArray, list[tuple[IntArray, IntArray]]]] | None
+    ):
+        """Evaluate per-block non-memoized jobs across workers.
+
+        ``jobs`` holds one ``(pair_rids, rects)`` memo-mask bundle per
+        row-block, in ascending block order (the parent's pair-verdict
+        memo plan; see
+        :func:`~repro.parallel.worker.evaluate_block_jobs`).  The
+        result carries one job-local edge bundle per block, in the same
+        order.  ``None`` means below the same thresholds as
+        :meth:`pairwise_block_edges`; caller evaluates in-process.
+        """
+        if (
+            self.serial
+            or total_rows < self.min_pairwise_rows
+            or total_rows <= block_size
+        ):
+            self.serial_calls += 1
+            return None
+        executor = self._ensure_executor()
+        futures = [
+            executor.submit(worker.pairwise_jobs_task, rule, pair_rids, rects)
+            for pair_rids, rects in jobs
+        ]
+        bundles: list[
+            tuple[IntArray, IntArray, list[tuple[IntArray, IntArray]]]
+        ] = []
+        seconds = 0.0
+        for future in futures:
+            pair_i, pair_j, rect_edges, task_seconds = future.result()
+            seconds += task_seconds
+            bundles.append((pair_i, pair_j, rect_edges))
+        self._account(len(futures), seconds)
+        return bundles
+
     # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------

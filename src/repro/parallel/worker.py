@@ -152,3 +152,58 @@ def pairwise_block_task(
         cross_i = np.zeros(0, dtype=np.int64)
         cross_j = np.zeros(0, dtype=np.int64)
     return intra_i, intra_j, cross_i, cross_j, monotonic() - started
+
+
+def evaluate_block_jobs(
+    store: RecordStore,
+    rule: MatchRule,
+    pair_rids: IntArray,
+    rects: list[tuple[IntArray, IntArray]],
+) -> tuple[IntArray, IntArray, list[tuple[IntArray, IntArray]]]:
+    """Evaluate the non-memoized jobs of one row-block.
+
+    ``pair_rids`` is evaluated all-pairs (upper-triangle edges);
+    each ``(rids_a, rids_b)`` rectangle in ``rects`` is evaluated with
+    ``match_block`` (the memo-mask metadata computed by the parent's
+    block plan).  Returns match edges in *job-local* coordinates, each
+    list in ``np.nonzero`` row-major order; the parent maps them back
+    through the plan's (sorted, hence order-preserving) index arrays.
+
+    Takes the store explicitly so the serial memo path shares this
+    exact evaluation with the worker task.
+    """
+    empty = np.zeros(0, dtype=np.int64)
+    if pair_rids.size >= 2:
+        square = rule.pairwise_match(store, pair_rids)
+        raw_i, raw_j = np.nonzero(np.triu(square, k=1))
+        pair_i = np.asarray(raw_i, dtype=np.int64)
+        pair_j = np.asarray(raw_j, dtype=np.int64)
+    else:
+        pair_i = pair_j = empty
+    rect_edges: list[tuple[IntArray, IntArray]] = []
+    for rids_a, rids_b in rects:
+        if rids_a.size and rids_b.size:
+            raw_a, raw_b = np.nonzero(rule.match_block(store, rids_a, rids_b))
+            rect_edges.append(
+                (
+                    np.asarray(raw_a, dtype=np.int64),
+                    np.asarray(raw_b, dtype=np.int64),
+                )
+            )
+        else:
+            rect_edges.append((empty, empty))
+    return pair_i, pair_j, rect_edges
+
+
+def pairwise_jobs_task(
+    rule: MatchRule,
+    pair_rids: IntArray,
+    rects: list[tuple[IntArray, IntArray]],
+) -> tuple[IntArray, IntArray, list[tuple[IntArray, IntArray]], float]:
+    """Worker wrapper around :func:`evaluate_block_jobs`."""
+    store = _store()
+    started = monotonic()
+    pair_i, pair_j, rect_edges = evaluate_block_jobs(
+        store, rule, pair_rids, rects
+    )
+    return pair_i, pair_j, rect_edges, monotonic() - started

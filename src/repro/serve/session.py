@@ -219,10 +219,17 @@ class ResolverSession:
         extended = self._store.concat(new_records)
         observer = self._method.obs if self._method.obs is not DISABLED else None
         n_jobs = self._method.n_jobs
+        pair_memo = self._method.pair_memo
         self._method.close()
         self._method = snapshot.restore(
             extended, n_jobs=n_jobs, observer=observer, strict=False
         )
+        if pair_memo is not None:
+            # Carry remembered pair verdicts across the re-seat: the old
+            # store is a byte-identical prefix of the extension, so the
+            # memo's re-bind keeps every verdict and later refines skip
+            # re-verifying pairs this session already resolved.
+            self._method.adopt_pair_memo(pair_memo)
         self._store = extended
         self.store_version += 1
         stream = StreamingTopK(extended, method=self._method)

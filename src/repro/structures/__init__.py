@@ -3,6 +3,13 @@ log-size bin index used for Largest-First cluster selection."""
 
 from .bin_index import BinIndex
 from .parent_pointer_tree import Leaf, Node, ParentPointerForest
-from .union_find import UnionFind
+from .union_find import ClusterUnionFind, UnionFind
 
-__all__ = ["ParentPointerForest", "Node", "Leaf", "BinIndex", "UnionFind"]
+__all__ = [
+    "ParentPointerForest",
+    "Node",
+    "Leaf",
+    "BinIndex",
+    "UnionFind",
+    "ClusterUnionFind",
+]

@@ -1,0 +1,222 @@
+"""Unit tests for the cross-round pair-verdict memo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pairmemo import (
+    MATCH,
+    NO_MATCH,
+    PAIR_MEMO_ENV,
+    UNKNOWN,
+    PairVerdictMemo,
+    pack_pair_keys,
+    resolve_pair_memo,
+    rule_fingerprint,
+)
+from repro.distance import JaccardDistance, ThresholdRule
+from repro.errors import ConfigurationError
+from repro.records import RecordStore, Schema
+
+
+def _shingle_store(n=8, offset=0):
+    sets = [np.arange(offset + i, offset + i + 4, dtype=np.int64) for i in range(n)]
+    return RecordStore(Schema.single_shingles(), {"shingles": sets})
+
+
+class TestPackPairKeys:
+    def test_canonical_order(self):
+        a = np.array([5, 2], dtype=np.int64)
+        b = np.array([2, 5], dtype=np.int64)
+        keys = pack_pair_keys(a, b)
+        assert keys[0] == keys[1] == (2 << 32) | 5
+
+    def test_broadcasts_scalar_against_array(self):
+        rid = np.asarray(7, dtype=np.int64)
+        others = np.array([1, 9, 3], dtype=np.int64)
+        keys = pack_pair_keys(rid, others)
+        expected = [(1 << 32) | 7, (7 << 32) | 9, (3 << 32) | 7]
+        assert keys.tolist() == expected
+
+    def test_distinct_pairs_distinct_keys(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 10_000, size=2000).astype(np.int64)
+        b = rng.integers(0, 10_000, size=2000).astype(np.int64)
+        keep = a != b
+        a, b = a[keep], b[keep]
+        keys = pack_pair_keys(a, b)
+        pairs = {(min(x, y), max(x, y)) for x, y in zip(a.tolist(), b.tolist())}
+        assert np.unique(keys).size == len(pairs)
+
+
+class TestResolveFlag:
+    def test_explicit_flag_wins(self, monkeypatch):
+        monkeypatch.setenv(PAIR_MEMO_ENV, "0")
+        assert resolve_pair_memo(True) is True
+        assert resolve_pair_memo(False) is False
+
+    def test_default_enabled(self, monkeypatch):
+        monkeypatch.delenv(PAIR_MEMO_ENV, raising=False)
+        assert resolve_pair_memo(None) is True
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("1", True), ("true", True), ("YES", True), ("on", True),
+        ("0", False), ("false", False), ("No", False), ("off", False),
+    ])
+    def test_env_values(self, monkeypatch, raw, expected):
+        monkeypatch.setenv(PAIR_MEMO_ENV, raw)
+        assert resolve_pair_memo(None) is expected
+
+    def test_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv(PAIR_MEMO_ENV, "maybe")
+        with pytest.raises(ConfigurationError):
+            resolve_pair_memo(None)
+
+
+class TestLookupRecord:
+    def test_roundtrip(self):
+        memo = PairVerdictMemo()
+        keys = pack_pair_keys(
+            np.array([0, 1, 2], dtype=np.int64),
+            np.array([3, 4, 5], dtype=np.int64),
+        )
+        memo.record(keys, np.array([True, False, True]))
+        verdicts = memo.lookup(keys)
+        assert verdicts.tolist() == [MATCH, NO_MATCH, MATCH]
+        assert memo.pairs == 3
+
+    def test_unknown_until_recorded(self):
+        memo = PairVerdictMemo()
+        keys = pack_pair_keys(
+            np.array([0], dtype=np.int64), np.array([1], dtype=np.int64)
+        )
+        assert memo.lookup(keys).tolist() == [UNKNOWN]
+        assert memo.misses == 1 and memo.hits == 0
+
+    def test_hit_miss_counters(self):
+        memo = PairVerdictMemo()
+        keys = pack_pair_keys(
+            np.arange(4, dtype=np.int64), np.arange(4, 8, dtype=np.int64)
+        )
+        memo.record(keys[:2], np.array([True, True]))
+        memo.lookup(keys)
+        assert memo.hits == 2 and memo.misses == 2
+
+    def test_duplicate_keys_in_one_batch_count_once(self):
+        memo = PairVerdictMemo()
+        key = pack_pair_keys(
+            np.array([1, 1], dtype=np.int64), np.array([2, 2], dtype=np.int64)
+        )
+        memo.record(key, np.array([True, True]))
+        assert memo.pairs == 1
+
+    def test_growth_preserves_verdicts(self):
+        memo = PairVerdictMemo()
+        n = 20_000  # far beyond the initial 4096-slot capacity
+        a = np.arange(n, dtype=np.int64)
+        b = a + n
+        keys = pack_pair_keys(a, b)
+        matched = (a % 3) == 0
+        memo.record(keys, matched)
+        assert memo.pairs == n
+        assert not memo.frozen
+        verdicts = memo.lookup(keys)
+        assert np.array_equal(verdicts == MATCH, matched)
+        assert np.all(verdicts != UNKNOWN)
+
+    def test_freeze_under_budget_pressure(self):
+        # Budget allows the initial table only: the first growth attempt
+        # freezes the memo, existing verdicts keep serving, new pairs
+        # count as evictions.
+        memo = PairVerdictMemo(max_bytes=4096 * 9)
+        first = pack_pair_keys(
+            np.arange(100, dtype=np.int64), np.arange(100, 200, dtype=np.int64)
+        )
+        memo.record(first, np.ones(100, dtype=bool))
+        n = 5000
+        more = pack_pair_keys(
+            np.arange(1000, 1000 + n, dtype=np.int64),
+            np.arange(9000, 9000 + n, dtype=np.int64),
+        )
+        memo.record(more, np.zeros(n, dtype=bool))
+        assert memo.frozen
+        assert memo.evictions > 0
+        assert np.all(memo.lookup(first) == MATCH)
+
+    def test_empty_batches_are_noops(self):
+        memo = PairVerdictMemo()
+        empty = np.zeros(0, dtype=np.int64)
+        memo.record(empty, np.zeros(0, dtype=bool))
+        assert memo.lookup(empty).size == 0
+        assert memo.stats()["pairs"] == 0
+
+
+class TestBinding:
+    def _rule(self, threshold=0.5):
+        return ThresholdRule(JaccardDistance("shingles"), threshold)
+
+    def _seed(self, memo):
+        keys = pack_pair_keys(
+            np.array([0], dtype=np.int64), np.array([1], dtype=np.int64)
+        )
+        memo.record(keys, np.array([True]))
+        return keys
+
+    def test_rebind_same_store_and_rule_keeps_table(self):
+        store = _shingle_store()
+        memo = PairVerdictMemo()
+        memo.bind(store, self._rule())
+        keys = self._seed(memo)
+        memo.bind(store, self._rule())
+        assert memo.lookup(keys).tolist() == [MATCH]
+        assert memo.invalidations == 0
+
+    def test_rule_change_invalidates(self):
+        store = _shingle_store()
+        memo = PairVerdictMemo()
+        memo.bind(store, self._rule(0.5))
+        keys = self._seed(memo)
+        memo.bind(store, self._rule(0.6))
+        assert memo.lookup(keys).tolist() == [UNKNOWN]
+        assert memo.invalidations == 1
+
+    def test_different_store_invalidates(self):
+        memo = PairVerdictMemo()
+        memo.bind(_shingle_store(offset=0), self._rule())
+        keys = self._seed(memo)
+        memo.bind(_shingle_store(offset=100), self._rule())
+        assert memo.lookup(keys).tolist() == [UNKNOWN]
+        assert memo.invalidations == 1
+
+    def test_store_extension_keeps_table(self):
+        store = _shingle_store(n=6)
+        memo = PairVerdictMemo()
+        memo.bind(store, self._rule())
+        keys = self._seed(memo)
+        extended = store.concat(_shingle_store(n=2, offset=500))
+        memo.bind(extended, self._rule())
+        assert memo.lookup(keys).tolist() == [MATCH]
+        assert memo.invalidations == 0
+
+    def test_fingerprint_distinguishes_rules(self):
+        assert rule_fingerprint(self._rule(0.5)) != rule_fingerprint(
+            self._rule(0.6)
+        )
+        assert rule_fingerprint(self._rule(0.5)) == rule_fingerprint(
+            self._rule(0.5)
+        )
+
+    def test_stats_shape(self):
+        memo = PairVerdictMemo()
+        stats = memo.stats()
+        assert set(stats) == {
+            "pairs",
+            "bytes",
+            "hits",
+            "misses",
+            "evictions",
+            "invalidations",
+            "frozen",
+            "disabled",
+        }

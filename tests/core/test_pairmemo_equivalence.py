@@ -1,0 +1,213 @@
+"""Property tests (issue satellite): pair-verdict memoization never
+changes output.  Memo-on equals memo-off bit-for-bit — cluster content
+AND leaf order — across seeds, strategies, worker counts, snapshot
+restores, and streaming insert-then-refine; a fully warm memo makes a
+repeated refine free (``pairs_compared == 0``)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AdaptiveConfig, AdaptiveLSH, StreamingTopK
+from repro.core import pairwise_fn
+from repro.core.pairmemo import PairVerdictMemo
+from repro.core.pairwise_fn import PairwiseComputation
+from repro.datasets import generate_spotsigs
+from repro.distance import CosineDistance, JaccardDistance, ThresholdRule
+from repro.parallel import ExecutionPool
+from repro.serve import ResolverSession
+from tests.conftest import make_shingle_store, make_vector_store
+
+
+def _random_case(kind, seed):
+    rng = np.random.default_rng(seed)
+    sizes = tuple(int(s) for s in rng.integers(3, 20, size=rng.integers(2, 5)))
+    noise = int(rng.integers(10, 40))
+    if kind == "vector":
+        store, _ = make_vector_store(cluster_sizes=sizes, n_noise=noise, seed=seed)
+        rule = ThresholdRule(CosineDistance("vec"), float(rng.uniform(0.03, 0.12)))
+    else:
+        store, _ = make_shingle_store(cluster_sizes=sizes, n_noise=noise, seed=seed)
+        rule = ThresholdRule(JaccardDistance("shingles"), float(rng.uniform(0.3, 0.6)))
+    return store, rule
+
+
+def _bound_memo(store, rule):
+    memo = PairVerdictMemo()
+    memo.bind(store, rule)
+    return memo
+
+
+def _assert_identical(expected, actual):
+    """Bit-identity: same cluster count, content, and leaf order."""
+    assert len(expected) == len(actual)
+    for a, b in zip(expected, actual):
+        assert np.array_equal(a, b)
+
+
+def _cluster_lists(result):
+    return [c.rids.tolist() for c in result.clusters]
+
+
+@pytest.mark.parametrize("kind", ["vector", "shingles"])
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("strategy", ["rowwise", "blocked"])
+def test_cold_and_warm_match_memo_off(kind, seed, strategy, monkeypatch):
+    """Both strategies, cold memo (every pair unknown) and warm memo
+    (every pair remembered) reproduce the memo-off edge replay exactly."""
+    # Shrink the row-block height so these modest stores span several
+    # blocks and the cross-block rectangle planner is exercised.
+    monkeypatch.setattr(pairwise_fn, "BLOCK", 32)
+    store, rule = _random_case(kind, seed)
+    rids = store.rids
+
+    baseline = PairwiseComputation(store, rule, strategy=strategy).apply(rids)
+
+    memo = _bound_memo(store, rule)
+    memoized = PairwiseComputation(store, rule, strategy=strategy, memo=memo)
+    _assert_identical(baseline, memoized.apply(rids))  # cold
+    warm = memoized.apply(rids)  # every verdict remembered
+    _assert_identical(baseline, warm)
+    assert memo.hits > 0, "warm pass did not consult the memo"
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_partially_warm_blocked_match_memo_off(seed, monkeypatch):
+    """The interesting regime: some pairs remembered, some not.  Warm
+    the memo on a subset, then apply to the full set — the vertex-cover
+    pair job, intra rectangle, and cross rectangles must still merge to
+    the memo-off edge stream."""
+    monkeypatch.setattr(pairwise_fn, "BLOCK", 32)
+    store, rule = _random_case("shingles", seed)
+    rids = store.rids
+    baseline = PairwiseComputation(store, rule, strategy="blocked").apply(rids)
+
+    rng = np.random.default_rng(seed + 100)
+    for frac in (0.25, 0.5, 0.9):
+        memo = _bound_memo(store, rule)
+        subset = rids[rng.random(rids.size) < frac]
+        pc = PairwiseComputation(store, rule, strategy="blocked", memo=memo)
+        if subset.size >= 2:
+            pc.apply(subset)  # warms only the subset's pairs
+        _assert_identical(baseline, pc.apply(rids))
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_warm_parallel_blocked_match_serial(seed, monkeypatch):
+    """A warm plan ships the same jobs to worker processes as it would
+    evaluate in-process; the replay must equal the serial memo-off pass
+    bit-for-bit."""
+    monkeypatch.setattr(pairwise_fn, "BLOCK", 32)
+    store, rule = _random_case("vector", seed)
+    rids = store.rids
+    baseline = PairwiseComputation(store, rule, strategy="blocked").apply(rids)
+
+    rng = np.random.default_rng(seed + 7)
+    memo = _bound_memo(store, rule)
+    with ExecutionPool(store, n_jobs=2, min_pairwise_rows=2) as pool:
+        pc = PairwiseComputation(store, rule, strategy="blocked", pool=pool, memo=memo)
+        subset = rids[rng.random(rids.size) < 0.5]
+        if subset.size >= 2:
+            pc.apply(subset)
+        _assert_identical(baseline, pc.apply(rids))
+        assert pool.parallel_calls >= 1, "parallel path was not taken"
+
+
+@pytest.mark.parametrize("method_seed", [3, 9])
+def test_adaptive_run_identical_across_memo_and_jobs(method_seed, tiny_spotsigs):
+    """End-to-end: memo {off, on} x n_jobs {1, 2} — four runs, one
+    answer, counter for counter on the cold pass."""
+    dataset = tiny_spotsigs
+    outputs = []
+    compared = []
+    for pair_memo in (False, True):
+        for n_jobs in (1, 2):
+            config = AdaptiveConfig(
+                seed=method_seed,
+                cost_model="analytic",
+                pair_memo=pair_memo,
+                n_jobs=n_jobs,
+            )
+            with AdaptiveLSH(dataset.store, dataset.rule, config=config) as m:
+                result = m.run(4)
+            outputs.append(_cluster_lists(result))
+            compared.append(int(result.counters.pairs_compared))
+    assert all(out == outputs[0] for out in outputs[1:])
+    # Cold runs evaluate every pair exactly once, memo or not.
+    assert len(set(compared)) == 1
+
+
+def test_repeated_refine_of_resolved_clusters_is_free(tiny_spotsigs):
+    """Acceptance criterion: refining an already-resolved clustering
+    with a warm memo re-verifies nothing — and still produces exactly
+    what a memo-off refine of the same clusters would."""
+    dataset = tiny_spotsigs
+
+    def run_and_refine(pair_memo):
+        config = AdaptiveConfig(seed=3, cost_model="analytic", pair_memo=pair_memo)
+        with AdaptiveLSH(dataset.store, dataset.rule, config=config) as m:
+            first = m.run(4)
+            return m.refine([(c.rids, 1) for c in first.clusters], 4)
+
+    baseline = run_and_refine(False)
+    again = run_and_refine(True)
+    assert _cluster_lists(again) == _cluster_lists(baseline)
+    assert int(again.counters.pairs_compared) == 0
+    assert again.pair_memo_stats is not None
+    assert again.pair_memo_stats["hits"] > 0
+
+
+@pytest.mark.parametrize("data_seed", [0, 5])
+def test_streaming_insert_then_refine_identical(data_seed):
+    """The motivating scenario: records stream in batches with a query
+    after each batch.  Every query's output is bit-identical memo on vs
+    off, and the memoized replay does strictly less verification."""
+    dataset = generate_spotsigs(n_records=360, seed=data_seed)
+    batches = np.array_split(np.arange(len(dataset.store), dtype=np.int64), 3)
+
+    def run(pair_memo):
+        config = AdaptiveConfig(seed=3, cost_model="analytic", pair_memo=pair_memo)
+        stream = StreamingTopK(dataset.store, dataset.rule, config=config)
+        outputs, compared = [], 0
+        try:
+            for batch in batches:
+                stream.insert_many(batch)
+                result = stream.top_k(4)
+                outputs.append(_cluster_lists(result))
+                compared += int(result.counters.pairs_compared)
+        finally:
+            stream.method.close()
+        return outputs, compared
+
+    off_outputs, off_compared = run(False)
+    on_outputs, on_compared = run(True)
+    assert on_outputs == off_outputs
+    assert on_compared < off_compared
+
+
+def test_session_snapshot_restore_and_extension_identical():
+    """`ResolverSession.extend_store` snapshots, restores, and re-seats
+    the memo; served results must match the memo-off session before and
+    after the extension."""
+    base = generate_spotsigs(n_records=300, seed=4)
+    extra = generate_spotsigs(n_records=120, seed=17)
+
+    def serve(pair_memo):
+        config = AdaptiveConfig(seed=3, cost_model="analytic", pair_memo=pair_memo)
+        with ResolverSession(base.store, base.rule, config=config) as s:
+            before = _cluster_lists(s.top_k(4))
+            s.extend_store(extra.store)
+            after_result = s.top_k(4)
+            return before, _cluster_lists(after_result), after_result
+
+    off_before, off_after, _ = serve(False)
+    on_before, on_after, on_result = serve(True)
+    assert on_before == off_before
+    assert on_after == off_after
+    stats = on_result.pair_memo_stats
+    assert stats is not None
+    # The re-bind across the restore kept the table: verdicts from the
+    # pre-extension rounds still serve.
+    assert stats["invalidations"] == 0
+    assert stats["hits"] > 0

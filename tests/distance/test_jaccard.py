@@ -86,6 +86,59 @@ class TestBatch:
         assert np.allclose(np.diag(mat), 0.0)
 
 
+class TestChunkedPairwise:
+    """Regression tests (issue satellite): ``pairwise`` evaluates row
+    chunks instead of densifying one m x m sparse product, without
+    changing a single output bit."""
+
+    def _store(self, n, seed=0):
+        rng = np.random.default_rng(seed)
+        sets = [
+            rng.choice(2000, size=int(rng.integers(5, 30)), replace=False)
+            for _ in range(n)
+        ]
+        return store_from(sets)
+
+    def test_matches_block_exactly(self, dist):
+        # Enough rows to span several chunks, plus a ragged tail.
+        m = JaccardDistance._PAIRWISE_CHUNK * 2 + 37
+        store = self._store(m)
+        rids = np.arange(m, dtype=np.int64)
+        expected = dist.block(store, rids, rids)
+        np.fill_diagonal(expected, 0.0)
+        # Intersection counts are exact integers, so the chunked floats
+        # must equal the one-shot formula bit for bit, not approximately.
+        assert np.array_equal(dist.pairwise(store, rids), expected)
+
+    def test_chunk_size_is_invisible(self, dist, monkeypatch):
+        store = self._store(131, seed=2)
+        rids = np.arange(131, dtype=np.int64)
+        reference = dist.pairwise(store, rids)
+        monkeypatch.setattr(JaccardDistance, "_PAIRWISE_CHUNK", 7)
+        assert np.array_equal(dist.pairwise(store, rids), reference)
+
+    def test_peak_memory_stays_near_output_size(self, dist, monkeypatch):
+        """The old ``csr @ csr.T`` densified transients several times
+        the m x m output; chunked evaluation keeps the peak below twice
+        the output, which a full densification cannot achieve."""
+        import tracemalloc
+
+        m = 1024
+        store = self._store(m, seed=1)
+        rids = np.arange(m, dtype=np.int64)
+        monkeypatch.setattr(JaccardDistance, "_PAIRWISE_CHUNK", 64)
+        dist.pairwise(store, rids[:8])  # warm the store's CSR cache
+        output_bytes = m * m * 8
+        tracemalloc.start()
+        try:
+            mat = dist.pairwise(store, rids)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert mat.shape == (m, m)
+        assert peak < 2 * output_bytes
+
+
 @settings(max_examples=60, deadline=None)
 @given(
     a=st.frozensets(st.integers(0, 60), max_size=20),

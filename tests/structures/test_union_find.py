@@ -1,9 +1,11 @@
-"""Tests for the plain union-find cross-check structure."""
+"""Tests for the union-find structures: the plain cross-check
+structure and the leaf-chain variant backing batched edge replay."""
 
+import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.structures import UnionFind
+from repro.structures import ClusterUnionFind, ParentPointerForest, UnionFind
 
 
 class TestBasics:
@@ -68,3 +70,88 @@ def test_components_match_reference(n, edges):
     assert {frozenset(c) for c in uf.components()} == {
         frozenset(g) for g in groups
     }
+
+
+def _edge_arrays(n, edges):
+    a = np.array([x % n for x, _ in edges], dtype=np.int64)
+    b = np.array([y % n for _, y in edges], dtype=np.int64)
+    return a, b
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(1, 30),
+    edges=st.lists(st.tuples(st.integers(0, 29), st.integers(0, 29)), max_size=60),
+)
+def test_union_edges_matches_sequential_unions(n, edges):
+    """Property (issue satellite): the batched entry point is the exact
+    sequential union order — identical parents and sizes, not merely
+    identical components."""
+    a, b = _edge_arrays(n, edges)
+    batched = UnionFind(n)
+    batched.union_edges(a, b)
+    sequential = UnionFind(n)
+    for x, y in zip(a.tolist(), b.tolist()):
+        sequential.union(x, y)
+    for x in range(n):  # normalize paths before comparing raw state
+        batched.find(x)
+        sequential.find(x)
+    assert np.array_equal(batched.parent, sequential.parent)
+    assert np.array_equal(batched.size, sequential.size)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(1, 30),
+    edges=st.lists(st.tuples(st.integers(0, 29), st.integers(0, 29)), max_size=60),
+)
+def test_cluster_union_find_matches_forest_replay(n, edges):
+    """Property (issue satellite): ``ClusterUnionFind.union_edges``
+    reproduces a ``ParentPointerForest`` replay of the same edge
+    sequence byte for byte — membership, leaf order within each
+    cluster, and cluster emission order."""
+    a, b = _edge_arrays(n, edges)
+
+    cuf = ClusterUnionFind(n)
+    cuf.union_edges(a, b)
+
+    forest = ParentPointerForest()
+    for x in range(n):
+        forest.make_singleton(x)
+    for x, y in zip(a.tolist(), b.tolist()):
+        if x != y:
+            forest.union_records(x, y)
+    expected = [
+        np.fromiter(forest.leaves(root), dtype=np.int64)
+        for root in forest.roots()
+    ]
+
+    actual = cuf.clusters()
+    assert len(actual) == len(expected)
+    for got, want in zip(actual, expected):
+        assert np.array_equal(got, want)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(1, 25),
+    edges=st.lists(st.tuples(st.integers(0, 24), st.integers(0, 24)), max_size=50),
+    split=st.integers(0, 50),
+)
+def test_cluster_union_edges_batching_is_transparent(n, edges, split):
+    """Splitting one edge stream across several ``union_edges`` calls
+    (as the blocked strategy does, block by block) changes nothing."""
+    a, b = _edge_arrays(n, edges)
+    cut = min(split, a.size)
+
+    whole = ClusterUnionFind(n)
+    whole.union_edges(a, b)
+    parts = ClusterUnionFind(n)
+    parts.union_edges(a[:cut], b[:cut])
+    for x, y in zip(a[cut:].tolist(), b[cut:].tolist()):
+        parts.union(x, y)  # per-edge entry point on the tail
+
+    got, want = parts.clusters(), whole.clusters()
+    assert len(got) == len(want)
+    for ga, wa in zip(got, want):
+        assert np.array_equal(ga, wa)
