@@ -1,4 +1,4 @@
-.PHONY: install lint lint-invariants typecheck test bench bench-smoke bench-full perf-gate report report-full examples clean
+.PHONY: install lint lint-invariants typecheck test bench bench-smoke bench-full perf-gate serve-load report report-full examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -58,6 +58,17 @@ bench-full:
 perf-gate:
 	PYTHONPATH=src python benchmarks/bench_topk_macro.py \
 		--out BENCH_topk.json --check-baseline perf_baseline.json
+
+# Smoke-scale open-loop load run against a 2-shard service, writing
+# BENCH_serve_load.json (p50/p95/p99 latency, throughput, shed rate).
+# The exit code gates on shed rate, error rate, and response
+# bit-identity vs the in-process ShardOracle — never on wall-clock
+# latency (see docs/SERVING.md).
+serve-load:
+	PYTHONPATH=src python -m repro loadtest --generate spotsigs \
+		--records 400 --qps 25 --duration 20 -k 2 5 10 \
+		--reserve 60 --write-fraction 0.05 --rollover-records 32 \
+		--shards 2 --out BENCH_serve_load.json
 
 report:
 	python -m repro report --out EXPERIMENTS_GENERATED.md

@@ -32,6 +32,8 @@ Public surface:
   configured through the frozen :class:`AdaptiveConfig`;
 * serving — :class:`IndexSnapshot` (persistent prepared state),
   :class:`ResolverSession` (long-lived warm sessions),
+  :class:`ResolverService` (sharded async HTTP service, configured by
+  :class:`ServiceConfig`, load-tested by :mod:`repro.serve.loadgen`),
   :class:`StreamingTopK` (online refine, :mod:`repro.online`);
 * baselines — :class:`LSHBlocking` (LSH-X / LSH-X-nP),
   :class:`PairsBaseline`;
@@ -81,7 +83,14 @@ from .eval import SpeedupModel, map_mar, precision_recall_f1
 from .obs import MetricsRegistry, RunObserver, RunReport, Tracer
 from .online import StreamingTopK
 from .records import FieldKind, FieldSpec, Record, RecordStore, Schema
-from .serve import IndexSnapshot, ResolverSession
+from .serve import (
+    IndexSnapshot,
+    LoadProfile,
+    ResolverService,
+    ResolverSession,
+    ServiceConfig,
+    ShardOracle,
+)
 
 __version__ = "1.0.0"
 
@@ -90,7 +99,11 @@ __all__ = [
     "AdaptiveLSH",
     "adaptive_filter",
     "IndexSnapshot",
+    "LoadProfile",
+    "ResolverService",
     "ResolverSession",
+    "ServiceConfig",
+    "ShardOracle",
     "StreamingTopK",
     "CostModel",
     "FilterResult",

@@ -27,7 +27,7 @@ from typing import Any
 import numpy as np
 
 from ..distance.rules import MatchRule
-from ..errors import ConfigurationError, SnapshotError
+from ..errors import ConfigurationError, ResolvableExceededError, SnapshotError
 from ..lsh.design import DesignContext, SchemeDesign, design_sequence
 from ..lsh.families import SignaturePool
 from ..lsh.keycache import LevelKeyCache
@@ -630,10 +630,7 @@ class AdaptiveLSH:
             for sub in self._process(cluster, counters):
                 bins.add(sub, sub.size)
         if emitted < k:
-            raise ConfigurationError(
-                f"k={k} exceeds the {emitted} resolvable clusters; "
-                f"rerun with k <= {emitted}"
-            )
+            raise ResolvableExceededError(k, emitted)
 
     def _loop_generic(
         self, clusters: list[Cluster], k: int, counters: WorkCounters
@@ -649,10 +646,7 @@ class AdaptiveLSH:
             top = pool[:k]
             if all(c.is_final(self.last_level) for c in top):
                 if len(top) < k:
-                    raise ConfigurationError(
-                        f"k={k} exceeds the {len(top)} resolvable clusters; "
-                        f"rerun with k <= {len(top)}"
-                    )
+                    raise ResolvableExceededError(k, len(top))
                 yield from top
                 return
             candidates = [

@@ -24,6 +24,23 @@ class ConfigurationError(ReproError):
     """Invalid parameter combination passed to a public API entry point."""
 
 
+class ResolvableExceededError(ConfigurationError):
+    """``k`` exceeds the number of clusters the method can resolve.
+
+    Carries ``resolvable`` — the exact number of final clusters the run
+    produced — so serving-layer callers can clamp and retry without
+    parsing the message.
+    """
+
+    def __init__(self, k: int, resolvable: int) -> None:
+        super().__init__(
+            f"k={k} exceeds the {resolvable} resolvable clusters; "
+            f"rerun with k <= {resolvable}"
+        )
+        self.k = int(k)
+        self.resolvable = int(resolvable)
+
+
 class CalibrationError(ReproError):
     """The cost model could not be calibrated (e.g., empty sample)."""
 
@@ -40,3 +57,8 @@ class AnalysisError(ReproError):
 class SnapshotError(ReproError):
     """An index snapshot could not be captured, loaded, or restored
     (wrong magic/version, store mismatch, or corrupt state arrays)."""
+
+
+class ServiceError(ReproError):
+    """The resolver service could not start, route, or complete a
+    request (worker died, malformed wire payload, bad endpoint)."""

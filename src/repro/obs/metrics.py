@@ -15,6 +15,7 @@ A disabled registry returns shared no-op instruments — the cost of an
 
 from __future__ import annotations
 
+import math
 from typing import Any
 
 
@@ -54,10 +55,17 @@ class Histogram:
     """Streaming summary of observed values (count/total/min/max).
 
     Keeps O(1) state rather than samples: runs can observe one value
-    per round, and the report only needs summary statistics.
+    per round, and the report only needs summary statistics.  Positive
+    observations additionally land in log-spaced buckets (4 per octave)
+    so :meth:`percentile` can estimate tail latencies — p99 of a
+    serving run — without retaining samples; the estimate is exact to
+    within one bucket (~19% relative width).
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    #: Sub-divisions per power of two; 4 gives ~19% bucket width.
+    _BUCKETS_PER_OCTAVE = 4
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -65,6 +73,8 @@ class Histogram:
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        #: Log-bucket index -> observation count (positive values only).
+        self.buckets: dict[int, int] = {}
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -74,19 +84,49 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if value > 0.0:
+            index = int(
+                math.floor(math.log2(value) * self._BUCKETS_PER_OCTAVE)
+            )
+            self.buckets[index] = self.buckets.get(index, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float | None:
+        """Estimate the ``q``-th percentile (``0 < q <= 100``) of the
+        positive observations; ``None`` when nothing positive was seen.
+
+        Returns the geometric midpoint of the bucket containing the
+        requested rank — within one bucket width of the true value.
+        """
+        n = sum(self.buckets.values())
+        if n == 0:
+            return None
+        rank = max(1, math.ceil(n * float(q) / 100.0))
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                lo = 2.0 ** (index / self._BUCKETS_PER_OCTAVE)
+                hi = 2.0 ** ((index + 1) / self._BUCKETS_PER_OCTAVE)
+                return math.sqrt(lo * hi)
+        return self.max  # pragma: no cover - rank <= n guarantees a hit
+
     def to_value(self) -> dict[str, Any]:
-        return {
+        out: dict[str, Any] = {
             "count": self.count,
             "total": self.total,
             "mean": self.mean,
             "min": self.min,
             "max": self.max,
         }
+        if self.buckets:
+            out["p50"] = self.percentile(50)
+            out["p95"] = self.percentile(95)
+            out["p99"] = self.percentile(99)
+        return out
 
 
 class _NullInstrument:

@@ -77,8 +77,19 @@ def resolve_n_jobs(n_jobs: int | None = None) -> int:
     return n_jobs
 
 
-def _fork_available() -> bool:
+def fork_available() -> bool:
+    """True when the ``fork`` start method exists on this platform.
+
+    Fork workers inherit the parent address space (stores shared
+    copy-on-write); spawn platforms ship a
+    :class:`~repro.parallel.sharing.StorePayload` instead.  The serve
+    layer's shard processes make the same choice through this predicate.
+    """
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+#: Backward-compatible private alias (pre-serve-layer name).
+_fork_available = fork_available
 
 
 class ExecutionPool:

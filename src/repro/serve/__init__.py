@@ -1,18 +1,35 @@
-"""Serving layer: persistent index snapshots and long-lived sessions.
+"""Serving layer: snapshots, sessions, and the sharded async service.
 
 ``IndexSnapshot`` freezes a prepared :class:`~repro.core.AdaptiveLSH`
 (designs, cost model, family parameters, signature columns, RNG
 lineage) into a versioned ``.npz``; ``ResolverSession`` owns a store
 plus a warm method and answers repeated ``top_k`` queries with an LRU
-and pool reuse.  See ``docs/SERVING.md``.
+and pool reuse; ``ResolverService`` shards a store across worker
+processes behind an asyncio HTTP front-end with request batching,
+admission control, and write rollover, configured by the frozen
+``ServiceConfig``; :mod:`repro.serve.loadgen` is the open-loop load
+harness that gates on response bit-identity against ``ShardOracle``.
+See ``docs/SERVING.md``.
 """
 
+from .config import WORKER_MODES, ServiceConfig
+from .loadgen import LoadProfile, run_loadtest
+from .service import ResolverService, ShardOracle
 from .session import ResolverSession
+from .sharding import merge_shard_top_k, shard_spans
 from .snapshot import SNAPSHOT_MAGIC, SNAPSHOT_VERSION, IndexSnapshot
 
 __all__ = [
     "IndexSnapshot",
+    "LoadProfile",
+    "ResolverService",
     "ResolverSession",
+    "ServiceConfig",
+    "ShardOracle",
     "SNAPSHOT_MAGIC",
     "SNAPSHOT_VERSION",
+    "WORKER_MODES",
+    "merge_shard_top_k",
+    "run_loadtest",
+    "shard_spans",
 ]

@@ -1,0 +1,166 @@
+"""Load harness: schedule determinism, payload round-trips, gating."""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro import AdaptiveConfig
+from repro.datasets import generate_querylog
+from repro.errors import ConfigurationError
+from repro.records import RecordStore
+from repro.serve import LoadProfile, ResolverService, ServiceConfig, run_loadtest
+from repro.serve.loadgen import (
+    build_schedule,
+    render_markdown,
+    store_columns_payload,
+    summarize,
+)
+
+ADAPTIVE = AdaptiveConfig(cost_model="analytic")
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_querylog(n_records=160, seed=6)
+
+
+class TestProfile:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LoadProfile(qps=0)
+        with pytest.raises(ConfigurationError):
+            LoadProfile(duration_s=0)
+        with pytest.raises(ConfigurationError):
+            LoadProfile(k_values=())
+        with pytest.raises(ConfigurationError):
+            LoadProfile(write_fraction=1.0)
+
+    def test_to_dict_is_json_ready(self):
+        out = LoadProfile().to_dict()
+        assert out["k_values"] == [2, 5, 10]
+        json.dumps(out)
+
+
+class TestSchedule:
+    def test_deterministic(self):
+        profile = LoadProfile(qps=80, duration_s=2.0, write_fraction=0.2, seed=3)
+        a = build_schedule(profile, 10)
+        b = build_schedule(profile, 10)
+        assert [(op.at, op.kind, op.k, op.chunk) for op in a] == [
+            (op.at, op.kind, op.k, op.chunk) for op in b
+        ]
+        assert all(0 <= op.at < 2.0 for op in a)
+
+    def test_writes_bounded_by_reserve_chunks(self):
+        profile = LoadProfile(qps=200, duration_s=2.0, write_fraction=0.5, seed=0)
+        sched = build_schedule(profile, 3)
+        writes = [op for op in sched if op.kind == "insert"]
+        assert len(writes) == 3  # capped; the rest degrade to queries
+        assert [op.chunk for op in writes] == [0, 1, 2]
+
+    def test_zipf_skew_prefers_first_k(self):
+        profile = LoadProfile(
+            qps=300, duration_s=3.0, k_values=(2, 5, 10), zipf_s=2.0, seed=1
+        )
+        sched = build_schedule(profile, 0)
+        counts = {k: 0 for k in profile.k_values}
+        for op in sched:
+            counts[op.k] += 1
+        assert counts[2] > counts[5] > counts[10]
+
+
+class TestPayloads:
+    def test_columns_roundtrip(self, dataset):
+        payload = store_columns_payload(dataset.store, 3, 9)
+        json.dumps(payload)  # wire-safe
+        rebuilt = RecordStore(dataset.store.schema, payload)
+        assert len(rebuilt) == 6
+        original = dataset.store.take(np.arange(3, 9))
+        assert rebuilt.content_fingerprint() == original.content_fingerprint()
+
+
+class TestSummary:
+    def _summary(self, **identity_overrides):
+        profile = LoadProfile(qps=10, duration_s=1.0)
+        identity = {
+            "checked": 2,
+            "matched": 2,
+            "mismatched_repeats": 0,
+            "mismatches": [],
+            "ok": True,
+        }
+        identity.update(identity_overrides)
+        return summarize(profile, [], 1.0, identity)
+
+    def test_gates_pass_when_clean(self):
+        summary = self._summary()
+        assert summary["gates"]["pass"] is True
+
+    def test_identity_failure_fails_gates(self):
+        summary = self._summary(matched=1, ok=False)
+        assert summary["gates"]["identity_ok"] is False
+        assert summary["gates"]["pass"] is False
+
+    def test_render_markdown_table(self):
+        text = render_markdown(self._summary())
+        assert text.startswith("| metric | value |")
+        assert "| identity checks | 2/2 matched |" in text
+        assert "| gates | PASS |" in text
+        failed = render_markdown(self._summary(matched=0, ok=False))
+        assert "FAIL" in failed and "identity_ok" in failed
+
+
+class TestEndToEnd:
+    def test_loadtest_gates_and_identity(self, dataset):
+        """A short inline-worker run: everything completes, the sampled
+        responses match the oracle, and the summary carries the
+        percentile fields the CI table renders."""
+        store = dataset.store.take(np.arange(120))
+        reserve = dataset.store.take(np.arange(120, 160))
+        config = ServiceConfig(
+            n_shards=2,
+            workers="inline",
+            seed=6,
+            rollover_records=16,
+            adaptive=ADAPTIVE,
+        )
+        profile = LoadProfile(
+            qps=40,
+            duration_s=1.5,
+            k_values=(2, 4),
+            write_fraction=0.15,
+            write_chunk=8,
+            seed=2,
+        )
+        service = ResolverService(store, dataset.rule, config)
+
+        async def go():
+            async with service:
+                return await run_loadtest(service, profile, reserve)
+
+        summary = asyncio.run(go())
+        assert summary["errors"] == 0, summary["error_samples"]
+        assert summary["identity"]["checked"] >= 1
+        assert summary["identity"]["ok"] is True
+        assert summary["gates"]["pass"] is True
+        assert summary["completed"] == summary["offered"]["requests"] - summary["shed"]
+        for key in ("p50", "p95", "p99"):
+            assert key in summary["latency_ms"]
+        json.dumps(summary)  # the artifact must serialize
+
+    def test_write_fraction_requires_reserve(self, dataset):
+        service = ResolverService(
+            dataset.store,
+            dataset.rule,
+            ServiceConfig(n_shards=1, workers="inline", adaptive=ADAPTIVE),
+        )
+        profile = LoadProfile(qps=10, duration_s=0.5, write_fraction=0.5)
+
+        async def go():
+            async with service:
+                return await run_loadtest(service, profile, None)
+
+        with pytest.raises(ConfigurationError, match="reserve"):
+            asyncio.run(go())

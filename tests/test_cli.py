@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -115,3 +117,52 @@ def test_query_metrics_out(tmp_path, capsys):
 def test_snapshot_requires_dataset_source(tmp_path):
     with pytest.raises(SystemExit, match="--data PATH or --generate"):
         main(["snapshot", "--out", str(tmp_path / "x.npz")])
+
+
+def test_loadreport_renders_and_checks(tmp_path, capsys):
+    good = {
+        "offered": {"requests": 10, "queries": 9, "writes": 1},
+        "completed": 10,
+        "throughput_rps": 12.5,
+        "latency_ms": {"p50": 4.0, "p95": 9.0, "p99": 11.0},
+        "shed_rate": 0.0,
+        "error_rate": 0.0,
+        "coalesced": 2,
+        "generations_seen": [0],
+        "identity": {"checked": 3, "matched": 3},
+        "gates": {"identity_ok": True, "shed_rate_ok": True,
+                  "error_rate_ok": True, "pass": True},
+    }
+    path = tmp_path / "BENCH_serve_load.json"
+    path.write_text(json.dumps(good))
+    assert main(["loadreport", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "| latency p50 / p95 / p99 (ms) | 4.00 / 9.00 / 11.00 |" in out
+    assert "| gates | PASS |" in out
+
+    good["gates"]["pass"] = False
+    good["gates"]["identity_ok"] = False
+    path.write_text(json.dumps(good))
+    # Without --check the render always succeeds; with it, failed gates
+    # propagate into the exit code.
+    assert main(["loadreport", str(path)]) == 0
+    assert main(["loadreport", str(path), "--check"]) == 1
+    assert main(["loadreport", str(tmp_path / "missing.json")]) == 2
+
+
+def test_loadtest_smoke(tmp_path, capsys):
+    out_path = tmp_path / "load.json"
+    code = main(
+        [
+            "loadtest", "--generate", "querylog", "--records", "120",
+            "--workers", "inline", "--shards", "2",
+            "--qps", "25", "--duration", "1", "-k", "2", "4",
+            "--out", str(out_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "| gates | PASS |" in out
+    summary = json.loads(out_path.read_text())
+    assert summary["identity"]["ok"] is True
+    assert summary["gates"]["pass"] is True
