@@ -1,4 +1,4 @@
-.PHONY: install lint lint-invariants typecheck test bench bench-smoke bench-full perf-gate serve-load report report-full examples clean
+.PHONY: install lint lint-invariants lint-changed typecheck test bench bench-smoke bench-full perf-gate serve-load report report-full examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -6,10 +6,22 @@ install:
 lint:
 	ruff check .
 
-# Repo-specific invariant linter (rules R1-R6; see docs/ANALYSIS.md).
-# The baseline file is the ratchet: it only ever shrinks.
+# Repo-specific invariant + AST linter (rules R1-R13; see
+# docs/ANALYSIS.md).  The baseline file is the ratchet: it only ever
+# shrinks.  The content-hash cache makes warm runs re-analyze only the
+# files you actually touched.
 lint-invariants:
-	PYTHONPATH=src python -m repro lint src --baseline analysis_baseline.json
+	PYTHONPATH=src python -m repro lint src \
+		--baseline analysis_baseline.json \
+		--cache .repro-lint-cache.json --jobs 4
+
+# Lint only the python files changed vs BASE (default origin/main if it
+# exists, else HEAD) plus untracked ones — the fast inner-loop target.
+BASE ?= $(shell git rev-parse --verify -q origin/main >/dev/null 2>&1 && echo origin/main || echo HEAD)
+lint-changed:
+	PYTHONPATH=src python -m repro lint src \
+		--baseline analysis_baseline.json \
+		--cache .repro-lint-cache.json --changed $(BASE)
 
 # Strict zone only; the gradually-typed packages are relaxed via the
 # [[tool.mypy.overrides]] tables in pyproject.toml.  Skips cleanly when

@@ -1,39 +1,64 @@
 """Repo-specific invariant linter (``repro lint``).
 
 AST-based checks for the invariants this codebase relies on but no
-off-the-shelf linter can express: the rngutil funnel (R1), the
-obs.clock wall-clock funnel (R2), the repro.errors taxonomy (R3),
-public-API annotation coverage (R4), and no mutable defaults (R5).
-See ``docs/ANALYSIS.md`` for the rule catalogue, the suppression
-syntax, and the baseline/ratchet workflow.
+off-the-shelf linter can express, in two generations:
+
+* the **syntactic rules** R1–R6 (``rules.py``): the rngutil funnel,
+  the obs.clock wall-clock funnel, the errors taxonomy for core/lsh,
+  annotation coverage, mutable defaults, the ``FilterResult.info``
+  key schema — plus R0, stale-suppression detection;
+* the **scope-aware rules** R7–R13 (``astrules.py``), built on a
+  shared per-file AST model (``model.py``) with import-alias
+  resolution and lexical scoping: unordered-iteration hazards,
+  blocking calls in coroutines, fork-unsafe import-time state,
+  dropped coroutines/tasks, frozen-config mutation, the taxonomy
+  extended to the whole strict zone, and alias-aware RNG leaks.
+
+The engine adds a content-hash incremental cache (warm runs re-analyze
+only changed files), optional multi-process fan-out, and SARIF output
+for CI annotations.  See ``docs/ANALYSIS.md`` for the rule catalogue,
+the suppression syntax, and the baseline/ratchet workflow.
 """
 
+from .cache import AnalysisCache, engine_fingerprint, file_digest
 from .engine import (
     Baseline,
     LintResult,
     apply_baseline,
+    git_changed_files,
     lint_file,
     lint_paths,
+    lint_source,
     make_baseline,
     resolve_rules,
 )
 from .findings import Finding, render_json, render_text
+from .model import ModuleModel
 from .rules import RULES, FileContext, Rule, all_rules, register
+from .sarif import render_sarif, sarif_document
 
 __all__ = [
+    "AnalysisCache",
     "Baseline",
     "FileContext",
     "Finding",
     "LintResult",
+    "ModuleModel",
     "RULES",
     "Rule",
     "all_rules",
     "apply_baseline",
+    "engine_fingerprint",
+    "file_digest",
+    "git_changed_files",
     "lint_file",
     "lint_paths",
+    "lint_source",
     "make_baseline",
     "register",
     "render_json",
+    "render_sarif",
     "render_text",
     "resolve_rules",
+    "sarif_document",
 ]

@@ -1,0 +1,140 @@
+"""Content-hash incremental cache for warm ``repro lint`` runs.
+
+The engine's per-file work (parse + model build + every rule) is pure:
+its output depends only on the file's bytes, the active rule set, and
+the analyzer's own code.  So a warm run can skip any file whose content
+hash matches the last run — provided the *fingerprint* (analyzer source
++ rule ids) matches too, which is what invalidates the whole cache when
+a rule changes behaviour without any target file changing.
+
+The cache stores **raw per-file results** (post-noqa, pre-baseline):
+baselines are applied per run in the engine, so the same cache serves
+runs with different ``--baseline`` flags.  The on-disk format is one
+JSON document; load failures of any kind degrade to an empty cache —
+a corrupt cache must never break a lint run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding
+
+#: Bump when the cached-entry layout changes.
+CACHE_FORMAT_VERSION = 1
+
+
+def file_digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def engine_fingerprint(rule_ids: tuple[str, ...]) -> str:
+    """Hash of everything besides file content that shapes results.
+
+    Covers the active rule ids and the source of every module in the
+    analysis package itself, so editing a rule (or the engine, model,
+    or this file) invalidates the cache without a manual version bump.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"v{CACHE_FORMAT_VERSION}|{','.join(rule_ids)}|".encode())
+    package_dir = Path(__file__).resolve().parent
+    for source in sorted(package_dir.glob("*.py")):
+        hasher.update(source.name.encode())
+        try:
+            hasher.update(source.read_bytes())
+        except OSError:  # unreadable analyzer source: treat as changed
+            hasher.update(b"<unreadable>")
+    return hasher.hexdigest()
+
+
+@dataclass
+class CachedFile:
+    """One file's raw lint result, keyed by its content hash."""
+
+    digest: str
+    findings: list[Finding]
+    suppressed: int
+
+    def to_dict(self) -> dict:
+        return {
+            "digest": self.digest,
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": self.suppressed,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> CachedFile:
+        return cls(
+            digest=str(doc["digest"]),
+            findings=[Finding(**f) for f in doc["findings"]],
+            suppressed=int(doc["suppressed"]),
+        )
+
+
+@dataclass
+class AnalysisCache:
+    """The incremental store: path -> :class:`CachedFile`.
+
+    ``hits``/``misses`` count this run's lookups so the engine can
+    report how incremental the run actually was.
+    """
+
+    path: Path | None
+    fingerprint: str
+    files: dict[str, CachedFile] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+    _dirty: bool = False
+
+    @classmethod
+    def load(cls, path: str | Path | None, fingerprint: str) -> AnalysisCache:
+        """Load ``path``; any mismatch or damage yields an empty cache."""
+        if path is None:
+            return cls(path=None, fingerprint=fingerprint)
+        cache_path = Path(path)
+        try:
+            doc = json.loads(cache_path.read_text(encoding="utf-8"))
+            if doc.get("fingerprint") != fingerprint:
+                return cls(path=cache_path, fingerprint=fingerprint)
+            files = {
+                str(rel): CachedFile.from_dict(entry)
+                for rel, entry in doc["files"].items()
+            }
+        except (OSError, ValueError, KeyError, TypeError):
+            return cls(path=cache_path, fingerprint=fingerprint)
+        return cls(path=cache_path, fingerprint=fingerprint, files=files)
+
+    def get(self, key: str, digest: str) -> CachedFile | None:
+        entry = self.files.get(key)
+        if entry is not None and entry.digest == digest:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def put(
+        self, key: str, digest: str, findings: list[Finding], suppressed: int
+    ) -> None:
+        self.files[key] = CachedFile(
+            digest=digest, findings=list(findings), suppressed=suppressed
+        )
+        self._dirty = True
+
+    def save(self) -> None:
+        """Persist (atomically) when backed by a path and changed."""
+        if self.path is None or not self._dirty:
+            return
+        doc = {
+            "version": CACHE_FORMAT_VERSION,
+            "fingerprint": self.fingerprint,
+            "files": {
+                key: entry.to_dict() for key, entry in sorted(self.files.items())
+            },
+        }
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(doc, indent=1) + "\n", encoding="utf-8")
+        tmp.replace(self.path)
+        self._dirty = False

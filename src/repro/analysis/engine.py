@@ -1,38 +1,59 @@
 """The lint engine: file discovery, parsing, suppression, baselines.
 
 The engine is what ``repro lint`` drives.  It walks the given paths,
-parses each ``*.py`` file once, hands the shared AST to every rule,
-then filters the raw findings through two mechanisms:
+parses each ``*.py`` file once, hands the shared AST (and the lazily
+built :class:`~repro.analysis.model.ModuleModel`) to every rule, then
+filters the raw findings through two mechanisms:
 
 * **noqa comments** — ``# repro: noqa`` on the offending line
   suppresses every rule there; ``# repro: noqa[R1]`` (or
-  ``noqa[R1,R3]``) suppresses only the listed rules;
+  ``noqa[R1,R3]``) suppresses only the listed rules.  A noqa that
+  suppresses nothing is itself reported (rule R0) on full-rule runs,
+  so dead suppressions cannot accumulate;
 * **baselines** — a JSON file recording, per rule and per file, how
   many findings are grandfathered in.  The engine drops up to that
   many findings (lowest line numbers first) and reports anything
   beyond the allowance.  Because the allowance is a *count*, the
   baseline acts as a ratchet: fixing violations and rewriting the
   baseline (``--write-baseline``) can only shrink it.
+
+Two run-shaping levers sit on top:
+
+* an :class:`~repro.analysis.cache.AnalysisCache` keyed by file
+  content hash skips unchanged files on warm runs;
+* ``jobs > 1`` fans per-file analysis across worker processes (the
+  per-file work is pure, so order and results are identical to serial).
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import json
 import re
-from collections.abc import Iterator, Sequence
+import subprocess
+import tokenize
+from collections.abc import Collection, Iterator, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
 
 from ..errors import AnalysisError
+from .cache import AnalysisCache, engine_fingerprint, file_digest
 from .findings import Finding
 from .rules import RULES, FileContext, Rule, all_rules
 
+# Importing the module registers R7-R13 alongside rules.py's R0-R6.
+from . import astrules  # noqa: F401  (import is the registration)
+
 BASELINE_VERSION = 1
 
-#: ``# repro: noqa`` or ``# repro: noqa[R1]`` / ``noqa[R1, R3]``.
-_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?")
+#: Suppression grammar: a comment of ``repro: noqa``, optionally with
+#: bracketed comma-separated rule ids (``[R1]``, ``[R1, R3]``,
+#: ``[R1,R3]``; spaces around the bracket allowed).  Phrased without a
+#: literal example so this very comment is not a live suppression.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\s*\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
 
 #: Directory names never descended into during discovery.
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
@@ -108,13 +129,21 @@ def apply_baseline(
 # ----------------------------------------------------------------------
 # per-file analysis
 # ----------------------------------------------------------------------
-def _noqa_map(lines: Sequence[str]) -> dict[int, set[str] | None]:
-    """Line number -> suppressed rule ids (None = all rules)."""
+def _noqa_map(source: str) -> dict[int, set[str] | None]:
+    """Line number -> suppressed rule ids (None = all rules).
+
+    Only genuine ``#`` comment tokens count: the source is tokenized so
+    a docstring *talking about* ``# repro: noqa`` (this engine's own
+    documentation, say) never becomes a live suppression.  Unparseable
+    token streams fall back to a raw line scan — over-matching beats
+    silently dropping a suppression.
+    """
     out: dict[int, set[str] | None] = {}
-    for lineno, line in enumerate(lines, start=1):
-        match = _NOQA_RE.search(line)
+
+    def record(lineno: int, text: str) -> None:
+        match = _NOQA_RE.search(text)
         if match is None:
-            continue
+            return
         spec = match.group("rules")
         if spec is None:
             out[lineno] = None
@@ -124,6 +153,15 @@ def _noqa_map(lines: Sequence[str]) -> dict[int, set[str] | None]:
                 for token in spec.split(",")
                 if token.strip()
             }
+
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                record(token.start[0], token.string)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            record(lineno, line)
     return out
 
 
@@ -155,14 +193,10 @@ def _iter_python_files(target: Path) -> Iterator[Path]:
         yield path
 
 
-def lint_file(
-    file: Path, root: Path, rules: Sequence[Rule]
+def lint_source(
+    source: str, file: Path, root: Path, rules: Sequence[Rule]
 ) -> tuple[list[Finding], int]:
-    """Run ``rules`` over one file; return (findings, suppressed count)."""
-    try:
-        source = file.read_text(encoding="utf-8")
-    except OSError as exc:
-        raise AnalysisError(f"cannot read {file!s}: {exc}") from exc
+    """Run ``rules`` over already-read source; the pure per-file core."""
     try:
         tree = ast.parse(source, filename=str(file))
     except SyntaxError as exc:
@@ -174,9 +208,11 @@ def lint_file(
         tree=tree,
         lines=lines,
     )
-    noqa = _noqa_map(lines)
+    noqa = _noqa_map(source)
     kept: list[Finding] = []
     suppressed = 0
+    #: noqa line -> rule ids actually suppressed there (staleness input).
+    used: dict[int, set[str]] = {}
     for rule in rules:
         for finding in rule.check(ctx):
             allowed = noqa.get(finding.line, ...)
@@ -184,9 +220,88 @@ def lint_file(
                 isinstance(allowed, set) and finding.rule in allowed
             ):
                 suppressed += 1
+                used.setdefault(finding.line, set()).add(finding.rule)
             else:
                 kept.append(finding)
+    kept.extend(_stale_noqa_findings(ctx, rules, noqa, used))
     return kept, suppressed
+
+
+def _stale_noqa_findings(
+    ctx: FileContext,
+    rules: Sequence[Rule],
+    noqa: dict[int, set[str] | None],
+    used: dict[int, set[str]],
+) -> Iterator[Finding]:
+    """R0 findings for suppressions that suppressed nothing.
+
+    Only meaningful on full-rule runs: with ``--rules R7`` active, a
+    ``noqa[R3]`` is aimed at a rule that never ran, not stale.  Stale
+    findings deliberately bypass line-level noqa (a blanket noqa cannot
+    vouch for itself); listing ``R0`` in the comment opts a line out.
+    """
+    active = {rule.id for rule in rules}
+    if "R0" not in active or not set(RULES) <= active:
+        return
+    for lineno in sorted(noqa):
+        spec = noqa[lineno]
+        suppressed_here = used.get(lineno, set())
+        if spec is None:
+            if not suppressed_here:
+                yield Finding(
+                    path=ctx.path,
+                    line=lineno,
+                    rule="R0",
+                    message="blanket '# repro: noqa' suppresses nothing",
+                    suggestion="remove the stale suppression comment",
+                )
+            continue
+        if "R0" in spec:
+            continue
+        unknown = sorted(spec - set(RULES))
+        if unknown:
+            yield Finding(
+                path=ctx.path,
+                line=lineno,
+                rule="R0",
+                message=(
+                    f"noqa lists unknown rule id(s): {', '.join(unknown)}"
+                ),
+                suggestion="fix or remove the unknown id "
+                "(see `repro lint --list-rules`)",
+            )
+        stale = sorted((spec & set(RULES)) - suppressed_here)
+        if stale:
+            yield Finding(
+                path=ctx.path,
+                line=lineno,
+                rule="R0",
+                message=(
+                    f"noqa[{', '.join(stale)}] suppresses nothing on this "
+                    f"line"
+                ),
+                suggestion="drop the listed id(s) from the noqa comment",
+            )
+
+
+def lint_file(
+    file: Path, root: Path, rules: Sequence[Rule]
+) -> tuple[list[Finding], int]:
+    """Run ``rules`` over one file; return (findings, suppressed count)."""
+    try:
+        source = file.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise AnalysisError(f"cannot read {file!s}: {exc}") from exc
+    return lint_source(source, file, root, rules)
+
+
+def _lint_file_task(
+    file_str: str, root_str: str, rule_ids: tuple[str, ...] | None
+) -> tuple[list[Finding], int]:
+    """Worker-process entry point: resolve rules locally (instances are
+    registry state, cheaper to rebuild than to pickle) and lint one file."""
+    rules = resolve_rules(rule_ids)
+    return lint_file(Path(file_str), Path(root_str), rules)
 
 
 # ----------------------------------------------------------------------
@@ -200,6 +315,10 @@ class LintResult:
     checked_files: int
     suppressed: int
     baselined: int
+    #: Files actually parsed and analyzed this run.
+    analyzed_files: int = 0
+    #: Files served from the incremental cache (content hash unchanged).
+    cached_files: int = 0
 
     @property
     def clean(self) -> bool:
@@ -221,30 +340,74 @@ def resolve_rules(rule_ids: Sequence[str] | None = None) -> list[Rule]:
     return rules
 
 
+#: Below this many cache-missing files a process pool costs more than
+#: it saves; the engine silently runs serial.
+MIN_PARALLEL_FILES = 4
+
+
 def lint_paths(
     paths: Sequence[str | Path],
     rule_ids: Sequence[str] | None = None,
     baseline: Baseline | None = None,
+    *,
+    cache_path: str | Path | None = None,
+    jobs: int = 1,
+    only: Collection[Path] | None = None,
 ) -> LintResult:
     """Lint every ``*.py`` file under ``paths``.
 
-    Findings are returned post-suppression and post-baseline, sorted
-    by (path, line, rule).
+    Findings are returned post-suppression and post-baseline, sorted by
+    (path, line, rule).
+
+    ``cache_path`` enables the incremental cache: files whose content
+    hash matches the stored entry reuse the previous raw result (the
+    cache fingerprint covers the active rule set and the analyzer's own
+    source, so rule changes invalidate it wholesale).  ``jobs > 1``
+    fans cache-missing files across worker processes.  ``only``
+    restricts discovery to the given (resolved) files — the
+    ``--changed`` fast path.
     """
     rules = resolve_rules(rule_ids)
+    active_ids = tuple(rule.id for rule in rules)
+    cache = AnalysisCache.load(cache_path, engine_fingerprint(active_ids))
+    only_set = (
+        {Path(p).resolve() for p in only} if only is not None else None
+    )
     findings: list[Finding] = []
     checked = 0
     suppressed = 0
+    cached_files = 0
+    #: (file, root, cache key, digest) for every cache miss.
+    pending: list[tuple[Path, Path, str, str]] = []
     for raw in paths:
         target = Path(raw)
         if not target.exists():
             raise AnalysisError(f"no such file or directory: {target!s}")
         root = target if target.is_dir() else target.parent
         for file in _iter_python_files(target):
-            file_findings, file_suppressed = lint_file(file, root, rules)
-            findings.extend(file_findings)
-            suppressed += file_suppressed
+            resolved = file.resolve()
+            if only_set is not None and resolved not in only_set:
+                continue
             checked += 1
+            key = str(resolved)
+            try:
+                digest = file_digest(file.read_bytes())
+            except OSError as exc:
+                raise AnalysisError(f"cannot read {file!s}: {exc}") from exc
+            entry = cache.get(key, digest)
+            if entry is not None:
+                findings.extend(entry.findings)
+                suppressed += entry.suppressed
+                cached_files += 1
+            else:
+                pending.append((file, root, key, digest))
+    for (file, root, key, digest), (file_findings, file_suppressed) in zip(
+        pending, _analyze_pending(pending, rule_ids, jobs)
+    ):
+        findings.extend(file_findings)
+        suppressed += file_suppressed
+        cache.put(key, digest, file_findings, file_suppressed)
+    cache.save()
     baselined = 0
     if baseline is not None:
         findings, baselined = apply_baseline(findings, baseline)
@@ -254,7 +417,71 @@ def lint_paths(
         checked_files=checked,
         suppressed=suppressed,
         baselined=baselined,
+        analyzed_files=len(pending),
+        cached_files=cached_files,
     )
+
+
+def _analyze_pending(
+    pending: Sequence[tuple[Path, Path, str, str]],
+    rule_ids: Sequence[str] | None,
+    jobs: int,
+) -> list[tuple[list[Finding], int]]:
+    """Per-file raw results for every cache miss, in ``pending`` order.
+
+    With ``jobs > 1`` and enough files the per-file work — which is
+    pure — is fanned across a process pool; results come back in
+    submission order, so output is bit-identical to the serial path.
+    """
+    if jobs <= 1 or len(pending) < MIN_PARALLEL_FILES:
+        rules = resolve_rules(rule_ids)
+        return [lint_file(file, root, rules) for file, root, _, _ in pending]
+    import concurrent.futures
+
+    ids = tuple(rule_ids) if rule_ids is not None else None
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=min(jobs, len(pending))
+    ) as executor:
+        futures = [
+            executor.submit(_lint_file_task, str(file), str(root), ids)
+            for file, root, _, _ in pending
+        ]
+        return [future.result() for future in futures]
+
+
+def git_changed_files(base: str, root: str | Path = ".") -> list[Path]:
+    """Python files changed vs ``base`` (plus untracked ones), resolved
+    and sorted.
+
+    Backs ``repro lint --changed``: the union of ``git diff
+    --name-only <base>`` (committed + working-tree changes) and
+    untracked files, filtered to ``*.py``.
+    """
+    root = Path(root).resolve()
+    commands = [
+        ["git", "diff", "--name-only", base, "--", "*.py"],
+        ["git", "ls-files", "--others", "--exclude-standard", "--", "*.py"],
+    ]
+    changed: set[Path] = set()
+    for command in commands:
+        try:
+            proc = subprocess.run(
+                command,
+                cwd=root,
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+        except (OSError, subprocess.CalledProcessError) as exc:
+            detail = getattr(exc, "stderr", "") or str(exc)
+            raise AnalysisError(
+                f"cannot list changed files ({' '.join(command)}): "
+                f"{detail.strip()}"
+            ) from exc
+        for line in proc.stdout.splitlines():
+            if line.strip():
+                changed.add((root / line.strip()).resolve())
+    return sorted(changed)
 
 
 def make_baseline(

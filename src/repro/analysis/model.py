@@ -1,0 +1,308 @@
+"""Shared per-file AST model for the scope-aware rules (R7–R13).
+
+The original rules (R1–R6) are purely syntactic: they pattern-match on
+node shapes and the literal dotted text in the source.  The rules added
+with the AST engine need three things syntax alone cannot give them:
+
+* **qualified names** — ``import numpy as xp; xp.random.seed(0)`` must
+  resolve to ``numpy.random.seed`` even though the text never says so;
+* **scopes** — "is this call inside an ``async def``?", "is this
+  statement at module import time?", "which class owns this method?";
+* **cheap local type facts** — "does this name hold a ``set`` in this
+  function?", "which functions in this module are coroutines?".
+
+One :class:`ModuleModel` is built lazily per file (one ``ast.parse``
+already happens in the engine; the model adds one walk over that tree)
+and shared by every AST rule through :attr:`FileContext.model`, so the
+per-rule cost is lookups, not re-traversal.
+
+Everything here is deliberately *local*: resolution never crosses file
+boundaries.  A rule that needs whole-program truth approximates it with
+module-level facts plus naming conventions, and says so in its docs.
+"""
+
+from __future__ import annotations
+
+import ast
+
+#: Node types that open a new (function-like) scope.
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+#: Calls whose result is a ``set`` regardless of arguments.
+_SET_FACTORIES = frozenset({"set", "frozenset"})
+
+#: Annotation heads naming an unordered collection type.
+_SET_ANNOTATIONS = frozenset(
+    {"set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet"}
+)
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for an Attribute/Name chain as written, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ModuleModel:
+    """Imports, scopes, and local type facts for one parsed module."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.tree = tree
+        #: child node -> parent node, for every node in the tree.
+        self.parents: dict[ast.AST, ast.AST] = {}
+        #: local name -> fully qualified dotted prefix it stands for.
+        #: ``import numpy as xp``   -> ``{"xp": "numpy"}``
+        #: ``from numpy import random as r`` -> ``{"r": "numpy.random"}``
+        #: ``from os.path import join``      -> ``{"join": "os.path.join"}``
+        self.imports: dict[str, str] = {}
+        #: names of module-level ``async def`` functions.
+        self.async_functions: set[str] = set()
+        #: class name -> names of its ``async def`` methods.
+        self.async_methods: dict[str, set[str]] = {}
+        self._set_names_cache: dict[ast.AST, frozenset[str]] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                self.parents[child] = node
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    target = alias.name if alias.asname else local
+                    self.imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:  # relative import: stays repo-local
+                    continue
+                module = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{module}.{alias.name}"
+            elif isinstance(node, ast.AsyncFunctionDef):
+                owner = self.parents.get(node)
+                if isinstance(owner, ast.Module):
+                    self.async_functions.add(node.name)
+                elif isinstance(owner, ast.ClassDef):
+                    self.async_methods.setdefault(owner.name, set()).add(
+                        node.name
+                    )
+
+    # ------------------------------------------------------------------
+    # name resolution
+    # ------------------------------------------------------------------
+    def qualified(self, node: ast.AST) -> str | None:
+        """The fully qualified dotted name behind ``node``, if knowable.
+
+        Resolves the *leading* segment through the module's import
+        table, so aliased access is seen through: with ``import numpy
+        as xp``, both ``xp.random.seed`` and ``numpy.random.seed``
+        resolve to ``numpy.random.seed``.  Names bound by assignment
+        (not import) resolve to ``None`` — the model does not chase
+        dataflow.
+        """
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        target = self.imports.get(head)
+        if target is None:
+            return None
+        return f"{target}.{rest}" if rest else target
+
+    def call_name(self, call: ast.Call) -> str | None:
+        """Qualified name of a call's callee; falls back to the literal
+        dotted text when the head is not an import binding (so builtins
+        like ``open`` still resolve to ``"open"``)."""
+        resolved = self.qualified(call.func)
+        if resolved is not None:
+            return resolved
+        return dotted_name(call.func)
+
+    # ------------------------------------------------------------------
+    # scope queries
+    # ------------------------------------------------------------------
+    def enclosing(self, node: ast.AST, kinds: tuple[type, ...]) -> ast.AST | None:
+        """The nearest ancestor of ``node`` of one of ``kinds``."""
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, kinds):
+                return current
+            current = self.parents.get(current)
+        return None
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda | None:
+        fn = self.enclosing(node, _FUNCTION_NODES)
+        assert fn is None or isinstance(fn, _FUNCTION_NODES)
+        return fn
+
+    def enclosing_class(self, node: ast.AST) -> ast.ClassDef | None:
+        cls = self.enclosing(node, (ast.ClassDef,) + _FUNCTION_NODES)
+        return cls if isinstance(cls, ast.ClassDef) else None
+
+    def in_async_function(self, node: ast.AST) -> bool:
+        """True when ``node`` sits (lexically) inside an ``async def``.
+
+        The *nearest* function decides: a sync ``def`` nested inside an
+        ``async def`` shields its body — it runs wherever it is called,
+        typically off-loop via ``asyncio.to_thread``.
+        """
+        return isinstance(self.enclosing_function(node), ast.AsyncFunctionDef)
+
+    def at_import_time(self, node: ast.AST) -> bool:
+        """True when ``node`` executes at module import (module or class
+        body, not inside any function)."""
+        return self.enclosing_function(node) is None
+
+    def is_local_coroutine_call(self, call: ast.Call) -> bool:
+        """True when ``call`` invokes an ``async def`` defined in this
+        module: a module-level coroutine by bare name, or
+        ``self.<m>()`` / ``cls.<m>()`` where ``<m>`` is an async method
+        of the lexically enclosing class."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            return func.id in self.async_functions
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("self", "cls")
+        ):
+            # ``self`` binds to the *nearest class* even across nested
+            # function scopes, so (unlike :meth:`enclosing_class`) walk
+            # straight up to the owning ClassDef.
+            owner = self.enclosing(call, (ast.ClassDef,))
+            if isinstance(owner, ast.ClassDef):
+                return func.attr in self.async_methods.get(owner.name, set())
+        return False
+
+    # ------------------------------------------------------------------
+    # local type facts
+    # ------------------------------------------------------------------
+    def _scope_of(self, node: ast.AST) -> ast.AST:
+        """The function (or module) whose namespace ``node`` reads."""
+        return self.enclosing_function(node) or self.tree
+
+    def set_typed_names(self, scope: ast.AST) -> frozenset[str]:
+        """Names that (locally) hold a ``set``/``frozenset`` in ``scope``.
+
+        Evidence counted: assignment from a set literal / comprehension
+        / ``set()``-``frozenset()`` call, an annotation whose head names
+        a set type (``x: set[int]``, parameter annotations included),
+        and ``|=``-style augmented assignment from another set-typed
+        name.  This is one-pass flow-insensitive inference — enough for
+        R7's "you are iterating an unordered collection" question, and
+        cheap enough to memoize per scope.
+        """
+        cached = self._set_names_cache.get(scope)
+        if cached is None:
+            cached = self._infer_set_typed_names(scope)
+            self._set_names_cache[scope] = cached
+        return cached
+
+    def _infer_set_typed_names(self, scope: ast.AST) -> frozenset[str]:
+        names: set[str] = set()
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = scope.args
+            for arg in (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+                + [a for a in (args.vararg, args.kwarg) if a is not None]
+            ):
+                if arg.annotation is not None and self._is_set_annotation(
+                    arg.annotation
+                ):
+                    names.add(arg.arg)
+        for node in self._scope_statements(scope):
+            if isinstance(node, ast.Assign):
+                if self.is_set_expression(node.value, names):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            names.add(target.id)
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name) and (
+                    self._is_set_annotation(node.annotation)
+                    or (
+                        node.value is not None
+                        and self.is_set_expression(node.value, names)
+                    )
+                ):
+                    names.add(node.target.id)
+            elif isinstance(node, ast.AugAssign):
+                if (
+                    isinstance(node.target, ast.Name)
+                    and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub))
+                    and self.is_set_expression(node.value, names)
+                ):
+                    names.add(node.target.id)
+        return frozenset(names)
+
+    def _scope_statements(self, scope: ast.AST):
+        """Every node whose nearest enclosing function is ``scope``."""
+        for node in ast.walk(scope):
+            if node is scope:
+                continue
+            if self._scope_of(node) is scope or (
+                scope is self.tree and self.enclosing_function(node) is None
+            ):
+                yield node
+
+    @staticmethod
+    def _is_set_annotation(annotation: ast.AST) -> bool:
+        head = annotation
+        if isinstance(head, ast.Subscript):
+            head = head.value
+        name = dotted_name(head)
+        if name is None and isinstance(head, ast.Constant) and isinstance(
+            head.value, str
+        ):
+            name = head.value.split("[", 1)[0]
+        if name is None:
+            return False
+        return name.split(".")[-1] in _SET_ANNOTATIONS
+
+    def is_set_expression(
+        self, node: ast.AST, known_sets: frozenset[str] | set[str] = frozenset()
+    ) -> bool:
+        """True when ``node`` evaluates to a set, as far as local
+        evidence goes: literals, comprehensions, factory calls, names
+        already known to be sets, and set-algebra ``BinOp``s over them.
+        """
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = self.call_name(node)
+            if name in _SET_FACTORIES:
+                return True
+            # s.union(...) / s.intersection(...) on a known set
+            if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                "union",
+                "intersection",
+                "difference",
+                "symmetric_difference",
+                "copy",
+            ):
+                return self.is_set_expression(node.func.value, known_sets)
+            return False
+        if isinstance(node, ast.Name):
+            return node.id in known_sets
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self.is_set_expression(
+                node.left, known_sets
+            ) or self.is_set_expression(node.right, known_sets)
+        return False

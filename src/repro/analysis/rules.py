@@ -25,9 +25,10 @@ from __future__ import annotations
 import abc
 import ast
 from collections.abc import Iterator
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from .findings import Finding
+from .model import ModuleModel
 
 #: Packages whose code must not read the wall clock (R2).
 CLOCK_FREE_PACKAGES = frozenset({"core", "lsh", "structures", "distance"})
@@ -85,6 +86,15 @@ class FileContext:
     scope: tuple[str, ...]
     tree: ast.Module
     lines: list[str]
+    #: Lazily built shared AST model (imports, scopes, parents) for the
+    #: scope-aware rules; one build serves every rule on this file.
+    _model: ModuleModel | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def model(self) -> ModuleModel:
+        if self._model is None:
+            self._model = ModuleModel(self.tree)
+        return self._model
 
     @property
     def package(self) -> str:
@@ -145,6 +155,27 @@ def _dotted(node: ast.AST) -> str | None:
         parts.append(node.id)
         return ".".join(reversed(parts))
     return None
+
+
+@register
+class StaleNoqaRule(Rule):
+    """R0: a ``# repro: noqa`` that suppresses nothing is itself a finding.
+
+    The check lives in the engine (:func:`repro.analysis.engine.lint_file`)
+    because staleness is only knowable *after* every other rule has run
+    on the file; this class exists so R0 participates in the registry —
+    ``--list-rules``, ``--rules`` filtering, baselines — like any rule.
+    Stale-suppression detection only runs when R0 is in the active rule
+    set **and** the run covers all registered rules (a ``--rules R7``
+    subset run cannot tell a stale noqa from one aimed at an inactive
+    rule).
+    """
+
+    id = "R0"
+    title = "stale noqa: suppression comment that suppresses nothing"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
 
 
 @register

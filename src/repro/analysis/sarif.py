@@ -1,0 +1,113 @@
+"""SARIF 2.1.0 rendering for CI code-scanning annotations.
+
+``repro lint --format sarif`` emits one SARIF run whose results GitHub
+code scanning turns into inline PR annotations (via
+``github/codeql-action/upload-sarif``).  The document is deliberately
+minimal — tool driver with one descriptor per registered rule, one
+``result`` per finding — because annotation rendering only consumes
+``ruleId``, ``message`` and the physical location.
+
+Paths are emitted as repo-relative POSIX URIs when they fall under the
+current working directory (CI invokes the linter from the repo root),
+which is what the annotation matcher requires.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from pathlib import Path
+
+from .findings import Finding
+from .rules import Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _relative_uri(path: str, root: Path) -> str:
+    """``path`` as a POSIX URI relative to ``root`` when possible."""
+    candidate = Path(path)
+    try:
+        resolved = candidate.resolve()
+        return resolved.relative_to(root).as_posix()
+    except (OSError, ValueError):
+        return candidate.as_posix()
+
+
+def sarif_document(
+    findings: Sequence[Finding],
+    rules: Sequence[Rule],
+    root: str | Path | None = None,
+) -> dict:
+    """The SARIF run as a plain dict (``render_sarif`` serializes it)."""
+    base = Path(root).resolve() if root is not None else Path.cwd().resolve()
+    ordered_rules = sorted(rules, key=lambda rule: rule.id)
+    rule_index = {rule.id: i for i, rule in enumerate(ordered_rules)}
+    descriptors = [
+        {
+            "id": rule.id,
+            "name": type(rule).__name__,
+            "shortDescription": {"text": rule.title},
+            "fullDescription": {
+                "text": (type(rule).__doc__ or rule.title).strip()
+            },
+            "help": {"text": "See docs/ANALYSIS.md for the rule catalogue."},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in ordered_rules
+    ]
+    results = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        result = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {
+                "text": f"{finding.message} (fix: {finding.suggestion})"
+            },
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _relative_uri(finding.path, base),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": max(1, finding.line)},
+                    }
+                }
+            ],
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": descriptors,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": base.as_uri() + "/"}
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    rules: Sequence[Rule],
+    root: str | Path | None = None,
+) -> str:
+    """Serialize :func:`sarif_document` for ``--format sarif``."""
+    return json.dumps(sarif_document(findings, rules, root), indent=2)

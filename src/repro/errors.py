@@ -49,6 +49,12 @@ class DatasetError(ReproError):
     """A synthetic dataset generator received unsatisfiable parameters."""
 
 
+class StructureError(ReproError):
+    """A union-find / bin-index structure was driven outside its
+    contract (duplicate insert, iterating a merged node) or detected
+    internal corruption (leaf chain inconsistent with recorded size)."""
+
+
 class AnalysisError(ReproError):
     """The invariant linter could not analyze its input (bad path,
     unparseable source, or a corrupt baseline file)."""

@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections.abc import Iterator
 from typing import Generic, TypeVar
 
+from ..errors import ConfigurationError
+
 T = TypeVar("T")
 
 
@@ -25,7 +27,7 @@ class BinIndex(Generic[T]):
     @staticmethod
     def _bin_of(size: int) -> int:
         if size < 1:
-            raise ValueError(f"cluster size must be >= 1, got {size}")
+            raise ConfigurationError(f"cluster size must be >= 1, got {size}")
         return size.bit_length() - 1
 
     def add(self, item: T, size: int) -> None:

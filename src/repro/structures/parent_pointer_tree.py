@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
+from ..errors import StructureError
+
 
 class Node:
     """Internal node (or single-tree root).  Roots have ``parent is None``."""
@@ -67,7 +69,7 @@ class ParentPointerForest:
     def make_singleton(self, rid: int) -> Node:
         """Create a one-leaf tree for ``rid`` and return its root."""
         if rid in self._leaf_of:
-            raise ValueError(f"record {rid} is already in the forest")
+            raise StructureError(f"record {rid} is already in the forest")
         leaf = Leaf(rid)
         root = Node()
         leaf.parent = root
@@ -131,16 +133,16 @@ class ParentPointerForest:
         """Yield the record ids of a tree in chain order."""
         leaf = root.first_leaf
         if leaf is None and root.n_leaves:
-            raise ValueError("cannot iterate a non-root (merged) node")
+            raise StructureError("cannot iterate a non-root (merged) node")
         count = 0
         while leaf is not None:
             yield leaf.rid
             count += 1
             if count > root.n_leaves:
-                raise RuntimeError("leaf chain longer than recorded size")
+                raise StructureError("leaf chain longer than recorded size")
             leaf = leaf.next_leaf
         if count != root.n_leaves:
-            raise RuntimeError(
+            raise StructureError(
                 f"leaf chain has {count} leaves, root records {root.n_leaves}"
             )
 

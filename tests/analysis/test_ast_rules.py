@@ -1,0 +1,579 @@
+"""AST-engine rules R7–R13: one violating and one clean fixture each.
+
+Each rule is exercised in isolation via ``rule_ids=`` so unrelated
+rules (R4 annotations, R3 taxonomy, ...) never muddy the assertions.
+The two *seeded-bug* classes at the bottom plant realistic bugs —
+an event-loop stall in a serve handler and an aliased RNG leak — and
+prove the analyzer pinpoints them by line.
+"""
+
+from repro.analysis import lint_paths
+
+from .test_rules import run_lint, rules_found
+
+
+class TestR7UnorderedIteration:
+    def test_set_iteration_reaching_union(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {
+                "core/bad.py": """
+                def merge_all(uf, pairs: set) -> None:
+                    for a, b in pairs:
+                        uf.union(a, b)
+                """
+            },
+            rule_ids=["R7"],
+        )
+        assert rules_found(result) == ["R7"]
+        assert "iterates set 'pairs'" in result.findings[0].message
+
+    def test_listdir_iteration_appending(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {
+                "structures/bad.py": """
+                import os
+
+                def load(root, out) -> None:
+                    for name in os.listdir(root):
+                        out.append(name)
+                """
+            },
+            rule_ids=["R7"],
+        )
+        assert rules_found(result) == ["R7"]
+
+    def test_iterdir_yield(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {
+                "serve/bad.py": """
+                from pathlib import Path
+
+                def snapshots(root: Path):
+                    for p in root.iterdir():
+                        yield p
+                """
+            },
+            rule_ids=["R7"],
+        )
+        assert rules_found(result) == ["R7"]
+
+    def test_sorted_wrapper_is_clean(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {
+                "core/ok.py": """
+                def merge_all(uf, pairs: set) -> None:
+                    for a, b in sorted(pairs):
+                        uf.union(a, b)
+                """
+            },
+            rule_ids=["R7"],
+        )
+        assert result.findings == []
+
+    def test_pure_consumption_is_clean(self, tmp_path):
+        # Iterating a set without touching order-sensitive state
+        # (aggregation into a local) is fine.
+        result = run_lint(
+            tmp_path,
+            {
+                "core/ok.py": """
+                def total(sizes: set) -> int:
+                    acc = 0
+                    for s in sizes:
+                        acc += s
+                    return acc
+                """
+            },
+            rule_ids=["R7"],
+        )
+        assert result.findings == []
+
+    def test_out_of_scope_package_ignored(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {
+                "eval/ok.py": """
+                def merge_all(uf, pairs: set) -> None:
+                    for a, b in pairs:
+                        uf.union(a, b)
+                """
+            },
+            rule_ids=["R7"],
+        )
+        assert result.findings == []
+
+
+class TestR8BlockingAsync:
+    def test_time_sleep(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {
+                "serve/bad.py": """
+                import time
+
+                async def handler(req):
+                    time.sleep(0.1)
+                    return req
+                """
+            },
+            rule_ids=["R8"],
+        )
+        assert rules_found(result) == ["R8"]
+        assert "time.sleep" in result.findings[0].message
+
+    def test_aliased_import_still_caught(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {
+                "serve/bad.py": """
+                import time as t
+
+                async def handler(req):
+                    t.sleep(0.1)
+                """
+            },
+            rule_ids=["R8"],
+        )
+        assert rules_found(result) == ["R8"]
+
+    def test_open_builtin(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {
+                "serve/bad.py": """
+                async def read_config(path):
+                    with open(path) as fh:
+                        return fh.read()
+                """
+            },
+            rule_ids=["R8"],
+        )
+        assert rules_found(result) == ["R8"]
+
+    def test_sync_helper_inside_async_file_is_clean(self, tmp_path):
+        # Only async bodies are constrained; a sync def in the same
+        # file (even nested inside an async def) may block.
+        result = run_lint(
+            tmp_path,
+            {
+                "serve/ok.py": """
+                import time
+
+                async def handler(req):
+                    def blocking_probe():
+                        time.sleep(0.1)
+                    return blocking_probe
+                """
+            },
+            rule_ids=["R8"],
+        )
+        assert result.findings == []
+
+    def test_asyncio_sleep_is_clean(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {
+                "serve/ok.py": """
+                import asyncio
+
+                async def handler(req):
+                    await asyncio.sleep(0.1)
+                """
+            },
+            rule_ids=["R8"],
+        )
+        assert result.findings == []
+
+    def test_outside_serve_is_clean(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {
+                "parallel/ok.py": """
+                import time
+
+                async def helper():
+                    time.sleep(0.1)
+                """
+            },
+            rule_ids=["R8"],
+        )
+        assert result.findings == []
+
+
+class TestR9ForkUnsafeState:
+    def test_module_scope_lock(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {
+                "parallel/bad.py": """
+                import threading
+
+                LOCK = threading.Lock()
+                """
+            },
+            rule_ids=["R9"],
+        )
+        assert rules_found(result) == ["R9"]
+
+    def test_module_scope_executor(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {
+                "parallel/bad.py": """
+                from concurrent.futures import ProcessPoolExecutor
+
+                POOL = ProcessPoolExecutor()
+                """
+            },
+            rule_ids=["R9"],
+        )
+        assert rules_found(result) == ["R9"]
+
+    def test_lazy_construction_is_clean(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {
+                "parallel/ok.py": """
+                import threading
+
+                def make_lock():
+                    return threading.Lock()
+
+                class Guard:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                """
+            },
+            rule_ids=["R9"],
+        )
+        assert result.findings == []
+
+
+class TestR10UnawaitedCoroutine:
+    def test_bare_local_coroutine_call(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {
+                "serve/bad.py": """
+                async def flush():
+                    pass
+
+                async def handler():
+                    flush()
+                """
+            },
+            rule_ids=["R10"],
+        )
+        assert rules_found(result) == ["R10"]
+
+    def test_bare_create_task(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {
+                "serve/bad.py": """
+                import asyncio
+
+                async def flush():
+                    pass
+
+                async def handler():
+                    asyncio.create_task(flush())
+                """
+            },
+            rule_ids=["R10"],
+        )
+        assert rules_found(result) == ["R10"]
+        assert "task" in result.findings[0].message
+
+    def test_awaited_and_stored_are_clean(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {
+                "serve/ok.py": """
+                import asyncio
+
+                async def flush():
+                    pass
+
+                async def handler(tasks):
+                    await flush()
+                    task = asyncio.create_task(flush())
+                    tasks.add(task)
+                    await task
+                """
+            },
+            rule_ids=["R10"],
+        )
+        assert result.findings == []
+
+    def test_self_method_coroutine(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {
+                "serve/bad.py": """
+                class Service:
+                    async def _drain(self):
+                        pass
+
+                    async def stop(self):
+                        self._drain()
+                """
+            },
+            rule_ids=["R10"],
+        )
+        assert rules_found(result) == ["R10"]
+
+
+class TestR11FrozenMutation:
+    def test_setattr_outside_post_init(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {
+                "core/bad.py": """
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class Config:
+                    k: int
+
+                def bump(cfg: Config) -> None:
+                    object.__setattr__(cfg, "k", cfg.k + 1)
+                """
+            },
+            rule_ids=["R11"],
+        )
+        assert rules_found(result) == ["R11"]
+
+    def test_post_init_derivation_is_clean(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {
+                "core/ok.py": """
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class Config:
+                    k: int
+                    k2: int = 0
+
+                    def __post_init__(self) -> None:
+                        object.__setattr__(self, "k2", self.k * 2)
+                """
+            },
+            rule_ids=["R11"],
+        )
+        assert result.findings == []
+
+    def test_post_init_of_unfrozen_class_flagged(self, tmp_path):
+        # __post_init__ only sanctions the call when the class is a
+        # frozen dataclass; elsewhere it's still a mutation smell.
+        result = run_lint(
+            tmp_path,
+            {
+                "core/bad.py": """
+                class NotADataclass:
+                    def __post_init__(self) -> None:
+                        object.__setattr__(self, "k", 1)
+                """
+            },
+            rule_ids=["R11"],
+        )
+        assert rules_found(result) == ["R11"]
+
+
+class TestR12TaxonomyEscape:
+    def test_structures_value_error(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {
+                "structures/bad.py": """
+                def check(n: int) -> None:
+                    if n < 0:
+                        raise ValueError("negative")
+                """
+            },
+            rule_ids=["R12"],
+        )
+        assert rules_found(result) == ["R12"]
+
+    def test_taxonomy_subclass_is_clean(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {
+                "obs/ok.py": """
+                from repro.errors import ConfigurationError
+
+                def check(n: int) -> None:
+                    if n < 0:
+                        raise ConfigurationError("negative")
+                """
+            },
+            rule_ids=["R12"],
+        )
+        assert result.findings == []
+
+    def test_core_left_to_r3(self, tmp_path):
+        # core/ and lsh/ stay R3's territory; R12 must not double-report.
+        result = run_lint(
+            tmp_path,
+            {
+                "core/bad.py": """
+                def check(n: int) -> None:
+                    raise ValueError("negative")
+                """
+            },
+            rule_ids=["R12"],
+        )
+        assert result.findings == []
+
+
+class TestR13AliasedRng:
+    def test_numpy_alias(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {
+                "core/bad.py": """
+                import numpy as xp
+
+                def seed_it() -> None:
+                    xp.random.seed(0)
+                """
+            },
+            rule_ids=["R13"],
+        )
+        assert rules_found(result) == ["R13"]
+        assert "numpy.random" in result.findings[0].message
+
+    def test_from_import_alias(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {
+                "distance/bad.py": """
+                from numpy import random as nr
+
+                RNG = nr.default_rng()
+                """
+            },
+            rule_ids=["R13"],
+        )
+        assert rules_found(result) == ["R13"]
+
+    def test_literal_spelling_left_to_r1(self, tmp_path):
+        # np.random.* is R1's (syntactic) catch; R13 must not
+        # double-report the same violation under a second id.
+        src = "import numpy as np\n\nrng = np.random.default_rng(0)\n"
+        r13_only = run_lint(tmp_path, {"core/x.py": src}, rule_ids=["R13"])
+        assert r13_only.findings == []
+        both = lint_paths([tmp_path], rule_ids=["R1", "R13"])
+        assert rules_found(both) == ["R1"]
+
+    def test_rngutil_funnel_is_clean(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {
+                "core/ok.py": """
+                from repro.rngutil import make_rng
+
+                def build(seed: int):
+                    return make_rng(seed)
+                """
+            },
+            rule_ids=["R13"],
+        )
+        assert result.findings == []
+
+
+SEEDED_BLOCKING_HANDLER = """
+import subprocess
+import time as clock
+
+
+async def resolve_query(service, payload):
+    # BUG (line 8): stalls the event loop for every in-flight request.
+    clock.sleep(0.05)
+    result = await service.submit(payload)
+    return result
+
+
+async def rotate_snapshot(service, path):
+    # BUG (line 15): shells out synchronously inside the handler.
+    subprocess.run(["gzip", str(path)])
+    await service.mark_rotated(path)
+"""
+
+SEEDED_RNG_LEAK = """
+import numpy as xp
+from numpy import random as nrandom
+
+
+def jitter(values):
+    # BUG (line 7): fresh unseeded generator — bypasses the seed funnel.
+    gen = nrandom.default_rng()
+    return values + gen.normal(size=len(values))
+
+
+def shuffle_in_place(values) -> None:
+    # BUG (line 13): global numpy RNG state mutated behind an alias.
+    xp.random.shuffle(values)
+"""
+
+
+class TestSeededBugR8:
+    """The analyzer pinpoints a realistic event-loop stall by line."""
+
+    def test_both_blocking_calls_caught(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"serve/handler.py": SEEDED_BLOCKING_HANDLER},
+            rule_ids=["R8"],
+        )
+        assert [f.rule for f in result.findings] == ["R8", "R8"]
+        by_line = {f.line: f.message for f in result.findings}
+        assert sorted(by_line) == [8, 15]
+        assert "time.sleep" in by_line[8]
+        assert "subprocess.run" in by_line[15]
+        assert all(
+            "to_thread" in f.suggestion for f in result.findings
+        )
+
+    def test_fixed_handler_is_clean(self, tmp_path):
+        fixed = SEEDED_BLOCKING_HANDLER.replace(
+            "clock.sleep(0.05)", "await __import__('asyncio').sleep(0.05)"
+        ).replace(
+            'subprocess.run(["gzip", str(path)])',
+            "await service.compress(path)",
+        )
+        result = run_lint(
+            tmp_path, {"serve/handler.py": fixed}, rule_ids=["R8"]
+        )
+        assert result.findings == []
+
+
+class TestSeededBugR13:
+    """The analyzer sees RNG leaks through both alias forms by line."""
+
+    def test_both_leaks_caught(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"core/perturb.py": SEEDED_RNG_LEAK},
+            rule_ids=["R13"],
+        )
+        assert [f.rule for f in result.findings] == ["R13", "R13"]
+        by_line = {f.line: f.message for f in result.findings}
+        assert sorted(by_line) == [8, 14]
+        assert "numpy.random" in by_line[8]
+        assert "numpy.random" in by_line[14]
+        assert all("rngutil" in f.suggestion for f in result.findings)
+
+    def test_r1_alone_misses_the_aliases(self, tmp_path):
+        # The point of R13: the purely syntactic R1 cannot see these.
+        result = run_lint(
+            tmp_path,
+            {"core/perturb.py": SEEDED_RNG_LEAK},
+            rule_ids=["R1"],
+        )
+        assert result.findings == []

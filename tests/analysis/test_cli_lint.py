@@ -64,5 +64,8 @@ class TestLintCommand:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("R1", "R2", "R3", "R4", "R5"):
+        for rule_id in (
+            "R0", "R1", "R2", "R3", "R4", "R5", "R6",
+            "R7", "R8", "R9", "R10", "R11", "R12", "R13",
+        ):
             assert rule_id in out

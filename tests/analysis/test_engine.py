@@ -53,7 +53,9 @@ class TestNoqa:
             tmp_path,
             {"core/x.py": "rng = np.random.default_rng(0)  # repro: noqa[R2]\n"},
         )
-        assert [f.rule for f in result.findings] == ["R1"]
+        # The R1 finding survives, and the noqa[R2] — which suppressed
+        # nothing — is itself reported as stale (R0).
+        assert [f.rule for f in result.findings] == ["R0", "R1"]
         assert result.suppressed == 0
 
     def test_other_lines_unaffected(self, tmp_path):
@@ -120,7 +122,7 @@ class TestEngine:
 
     def test_unknown_rule_raises(self):
         with pytest.raises(AnalysisError):
-            resolve_rules(["R9"])
+            resolve_rules(["R99"])
 
     def test_missing_path_raises(self, tmp_path):
         with pytest.raises(AnalysisError):

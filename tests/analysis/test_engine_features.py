@@ -1,0 +1,266 @@
+"""Engine features added with the AST analyzer: incremental cache,
+parallel analysis, SARIF output, changed-only mode, stale-noqa audit."""
+
+import json
+import subprocess
+
+import pytest
+
+from repro.analysis import (
+    AnalysisCache,
+    all_rules,
+    engine_fingerprint,
+    git_changed_files,
+    lint_paths,
+    render_sarif,
+    sarif_document,
+)
+from repro.cli import main
+from repro.errors import AnalysisError
+
+from .test_rules import run_lint
+
+BAD_RNG = "import numpy as np\n\nrng = np.random.default_rng(0)\n"
+CLEAN = "X = 1\n"
+
+
+def write_tree(tmp_path, files):
+    for rel, text in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+
+
+class TestIncrementalCache:
+    def test_cold_then_warm(self, tmp_path):
+        write_tree(
+            tmp_path, {"core/a.py": CLEAN, "core/b.py": CLEAN, "lsh/c.py": CLEAN}
+        )
+        cache = tmp_path / "cache.json"
+        cold = lint_paths([tmp_path], cache_path=cache)
+        assert (cold.analyzed_files, cold.cached_files) == (3, 0)
+        warm = lint_paths([tmp_path], cache_path=cache)
+        assert (warm.analyzed_files, warm.cached_files) == (0, 3)
+
+    def test_edit_reanalyzes_only_that_file(self, tmp_path):
+        write_tree(
+            tmp_path, {"core/a.py": CLEAN, "core/b.py": CLEAN, "lsh/c.py": CLEAN}
+        )
+        cache = tmp_path / "cache.json"
+        lint_paths([tmp_path], cache_path=cache)
+        (tmp_path / "core" / "b.py").write_text("Y = 2\n")
+        result = lint_paths([tmp_path], cache_path=cache)
+        assert (result.analyzed_files, result.cached_files) == (1, 2)
+
+    def test_findings_survive_warm_runs(self, tmp_path):
+        write_tree(tmp_path, {"core/bad.py": BAD_RNG, "core/ok.py": CLEAN})
+        cache = tmp_path / "cache.json"
+        cold = lint_paths([tmp_path], cache_path=cache)
+        warm = lint_paths([tmp_path], cache_path=cache)
+        assert warm.findings == cold.findings
+        assert [f.rule for f in warm.findings] == ["R1"]
+        assert warm.cached_files == 2
+
+    def test_suppressed_counts_survive_warm_runs(self, tmp_path):
+        src = "rng = np.random.default_rng(0)  # repro: noqa[R1]\n"
+        write_tree(tmp_path, {"core/x.py": src})
+        cache = tmp_path / "cache.json"
+        cold = lint_paths([tmp_path], cache_path=cache)
+        warm = lint_paths([tmp_path], cache_path=cache)
+        assert cold.suppressed == warm.suppressed == 1
+
+    def test_rule_subset_invalidates_fingerprint(self, tmp_path):
+        write_tree(tmp_path, {"core/a.py": CLEAN})
+        cache = tmp_path / "cache.json"
+        lint_paths([tmp_path], cache_path=cache)
+        # A different active-rule set is a different engine: the cache
+        # must not serve R1-era verdicts to an R5-only run.
+        result = lint_paths([tmp_path], rule_ids=["R5"], cache_path=cache)
+        assert (result.analyzed_files, result.cached_files) == (1, 0)
+
+    def test_corrupt_cache_degrades_to_cold_run(self, tmp_path):
+        write_tree(tmp_path, {"core/a.py": CLEAN})
+        cache = tmp_path / "cache.json"
+        cache.write_text("{definitely not json")
+        result = lint_paths([tmp_path], cache_path=cache)
+        assert (result.analyzed_files, result.cached_files) == (1, 0)
+        # ... and the run repaired the file for the next one.
+        warm = lint_paths([tmp_path], cache_path=cache)
+        assert warm.cached_files == 1
+
+    def test_fingerprint_covers_rule_ids(self):
+        assert engine_fingerprint(("R1",)) != engine_fingerprint(("R1", "R5"))
+
+    def test_cache_roundtrip_is_atomic_format(self, tmp_path):
+        write_tree(tmp_path, {"core/a.py": CLEAN})
+        cache = tmp_path / "cache.json"
+        lint_paths([tmp_path], cache_path=cache)
+        doc = json.loads(cache.read_text())
+        loaded = AnalysisCache.load(cache, doc["fingerprint"])
+        assert loaded.files
+        assert not (tmp_path / "cache.json.tmp").exists()
+
+
+class TestParallelAnalysis:
+    def test_jobs_do_not_change_output(self, tmp_path):
+        files = {f"core/m{i}.py": BAD_RNG for i in range(6)}
+        files["lsh/ok.py"] = CLEAN
+        write_tree(tmp_path, files)
+        serial = lint_paths([tmp_path], jobs=1)
+        parallel = lint_paths([tmp_path], jobs=2)
+        assert serial.findings == parallel.findings
+        assert serial.suppressed == parallel.suppressed
+        assert parallel.checked_files == 7
+
+    def test_small_trees_stay_serial(self, tmp_path):
+        # Below MIN_PARALLEL_FILES the pool is skipped entirely; the
+        # result must be identical either way.
+        write_tree(tmp_path, {"core/a.py": BAD_RNG})
+        result = lint_paths([tmp_path], jobs=8)
+        assert [f.rule for f in result.findings] == ["R1"]
+
+
+class TestSarif:
+    def test_document_structure(self, tmp_path):
+        write_tree(tmp_path, {"core/bad.py": BAD_RNG})
+        result = lint_paths([tmp_path])
+        doc = sarif_document(result.findings, all_rules(), root=tmp_path)
+        assert doc["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+        (run,) = doc["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        ids = [rule["id"] for rule in driver["rules"]]
+        assert ids == sorted(ids)
+        assert {"R1", "R7", "R13"} <= set(ids)
+        (res,) = run["results"]
+        assert res["ruleId"] == "R1"
+        assert res["level"] == "error"
+        assert driver["rules"][res["ruleIndex"]]["id"] == "R1"
+        loc = res["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "core/bad.py"
+        assert loc["artifactLocation"]["uriBaseId"] == "SRCROOT"
+        assert loc["region"]["startLine"] == 3
+        assert run["originalUriBaseIds"]["SRCROOT"]["uri"].endswith("/")
+
+    def test_render_is_valid_json(self, tmp_path):
+        write_tree(tmp_path, {"core/bad.py": BAD_RNG})
+        result = lint_paths([tmp_path])
+        doc = json.loads(render_sarif(result.findings, all_rules()))
+        assert doc["runs"][0]["results"]
+
+    def test_empty_findings_still_valid(self):
+        doc = sarif_document([], all_rules())
+        assert doc["runs"][0]["results"] == []
+
+    def test_cli_sarif_format(self, tmp_path, capsys):
+        write_tree(tmp_path, {"core/bad.py": BAD_RNG})
+        assert main(["lint", str(tmp_path), "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["results"][0]["ruleId"] == "R1"
+
+
+def _git(*argv, cwd):
+    subprocess.run(
+        ["git", *argv],
+        cwd=cwd,
+        check=True,
+        capture_output=True,
+        env={
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@example.com",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@example.com",
+            "HOME": str(cwd),
+            "PATH": "/usr/bin:/bin:/usr/local/bin",
+        },
+    )
+
+
+@pytest.fixture
+def git_repo(tmp_path):
+    write_tree(
+        tmp_path,
+        {"src/core/a.py": CLEAN, "src/core/b.py": CLEAN, "README.md": "hi\n"},
+    )
+    _git("init", "-q", cwd=tmp_path)
+    _git("add", "-A", cwd=tmp_path)
+    _git("commit", "-q", "-m", "seed", cwd=tmp_path)
+    return tmp_path
+
+
+class TestChangedOnly:
+    def test_modified_and_untracked_selected(self, git_repo):
+        (git_repo / "src" / "core" / "a.py").write_text("Y = 2\n")
+        (git_repo / "src" / "core" / "new.py").write_text(CLEAN)
+        (git_repo / "notes.txt").write_text("not python\n")
+        changed = git_changed_files("HEAD", root=git_repo)
+        names = sorted(p.name for p in changed)
+        assert names == ["a.py", "new.py"]
+
+    def test_clean_tree_selects_nothing(self, git_repo):
+        assert git_changed_files("HEAD", root=git_repo) == []
+
+    def test_bad_ref_raises_analysis_error(self, git_repo):
+        with pytest.raises(AnalysisError):
+            git_changed_files("no-such-ref", root=git_repo)
+
+    def test_only_filter_restricts_lint(self, git_repo):
+        (git_repo / "src" / "core" / "a.py").write_text(BAD_RNG)
+        changed = git_changed_files("HEAD", root=git_repo)
+        result = lint_paths([git_repo / "src"], only=changed)
+        assert result.checked_files == 1
+        assert [f.rule for f in result.findings] == ["R1"]
+
+    def test_cli_changed_flag(self, git_repo, capsys, monkeypatch):
+        monkeypatch.chdir(git_repo)
+        (git_repo / "src" / "core" / "a.py").write_text(BAD_RNG)
+        assert main(["lint", str(git_repo / "src"), "--changed", "HEAD"]) == 1
+        out = capsys.readouterr().out
+        assert "1 finding(s) in 1 file(s)" in out
+
+    def test_cli_changed_nothing_exits_zero(self, git_repo, capsys, monkeypatch):
+        monkeypatch.chdir(git_repo)
+        assert main(["lint", str(git_repo / "src"), "--changed", "HEAD"]) == 0
+        assert "no python files changed" in capsys.readouterr().out
+
+
+class TestStaleNoqaAudit:
+    def test_unknown_rule_id_reported(self, tmp_path):
+        src = "rng = np.random.default_rng(0)  # repro: noqa[R1, R99]\n"
+        result = run_lint(tmp_path, {"core/x.py": src})
+        assert [f.rule for f in result.findings] == ["R0"]
+        assert "unknown rule id" in result.findings[0].message
+        assert result.suppressed == 1  # R1 still suppressed
+
+    def test_blanket_noqa_on_clean_line_reported(self, tmp_path):
+        result = run_lint(
+            tmp_path, {"core/x.py": "X = 1  # repro: noqa\n"}
+        )
+        assert [f.rule for f in result.findings] == ["R0"]
+        assert "suppresses nothing" in result.findings[0].message
+
+    def test_docstring_mention_is_not_a_noqa(self, tmp_path):
+        src = (
+            '"""Suppressions use the form: # repro: noqa[R1]."""\n'
+            "import numpy as np\n"
+            "rng = np.random.default_rng(0)\n"
+        )
+        result = run_lint(tmp_path, {"core/x.py": src})
+        # The R1 finding survives (the docstring suppresses nothing) and
+        # no stale-noqa finding appears (it is not a comment at all).
+        assert [f.rule for f in result.findings] == ["R1"]
+        assert result.suppressed == 0
+
+    def test_r0_opt_out(self, tmp_path):
+        result = run_lint(
+            tmp_path, {"core/x.py": "X = 1  # repro: noqa[R0]\n"}
+        )
+        assert result.findings == []
+
+    def test_subset_runs_skip_the_audit(self, tmp_path):
+        # With only R1 active the engine cannot know whether noqa[R5]
+        # is stale, so the audit only runs on full-rule runs.
+        src = "X = 1  # repro: noqa[R5]\n"
+        result = run_lint(tmp_path, {"core/x.py": src}, rule_ids=["R1"])
+        assert result.findings == []

@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.errors import ConfigurationError
 from repro.structures import BinIndex
 
 
@@ -22,7 +23,7 @@ class TestBasics:
             BinIndex().peek_largest_size()
 
     def test_zero_size_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             BinIndex().add("x", 0)
 
     def test_single_item(self):

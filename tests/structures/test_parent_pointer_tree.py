@@ -1,11 +1,11 @@
 """Tests for parent-pointer trees (Appendix B.1/B.2), including
 property-based cross-checks against a plain union-find."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.errors import StructureError
 from repro.structures import ParentPointerForest, UnionFind
 
 
@@ -25,7 +25,7 @@ class TestBasics:
     def test_duplicate_singleton_rejected(self):
         forest = ParentPointerForest()
         forest.make_singleton(1)
-        with pytest.raises(ValueError):
+        with pytest.raises(StructureError):
             forest.make_singleton(1)
 
     def test_union_merges_leaf_chains(self):
