@@ -1,4 +1,4 @@
-.PHONY: install lint lint-invariants lint-changed typecheck test bench bench-smoke bench-full perf-gate serve-load report report-full examples clean
+.PHONY: install lint lint-invariants lint-changed typecheck test bench bench-smoke bench-full bench-scale perf-gate serve-load report report-full examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -62,6 +62,16 @@ bench-smoke:
 
 bench-full:
 	REPRO_FULL=1 pytest benchmarks/ --benchmark-only
+
+# Out-of-core scale run: streaming-build a Cora layout on disk, resolve
+# top-k across 4 shards over the mmap open, and gate on (a) cross-shard
+# bit-identity vs the single-shard in-memory path on a shard-aligned
+# planted store, (b) zero store-pickle bytes shipped to process
+# workers, and (c) an optional peak-RSS ceiling.  Writes
+# BENCH_scale.json; the nightly scale-smoke job runs this at 500k
+# records with an RSS ceiling (see .github/workflows/nightly.yml).
+bench-scale:
+	PYTHONPATH=src python benchmarks/bench_scale.py --out BENCH_scale.json
 
 # Deterministic perf gate: the macro benchmark's pairs_compared /
 # hashes_computed counters must not exceed perf_baseline.json (the

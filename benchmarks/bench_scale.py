@@ -1,0 +1,237 @@
+"""Out-of-core scale benchmark (``make bench-scale``).
+
+Exercises the full million-record-scale serving path end to end:
+
+1. **Streaming build** — :func:`repro.datasets.build_cora_layout`
+   writes an ``n``-record Cora to an on-disk columnar layout chunk by
+   chunk, so the dataset never exists in memory.
+2. **Sharded mmap resolve** — the layout is reopened with
+   ``mmap_mode="r"`` and a :class:`repro.serve.ShardedIndex` runs
+   Largest-First across ``--shards`` zero-copy slice views, merging
+   through the deterministic cross-shard top-k.
+3. **Bit-identity gate (small n)** — a planted-cluster store whose
+   entities are aligned to shard boundaries is resolved both ways:
+   ``--shards`` over the mmap layout vs a single shard fully in
+   memory.  The merged clusters must match exactly — content *and*
+   leaf order.
+4. **Zero-pickle service gate** — a :class:`repro.serve.
+   ResolverService` with process workers serves the mmap layout; its
+   response must be bit-identical to the in-process
+   :class:`ShardedIndex` over the same store, and its
+   ``store_pickle_bytes`` counter must be exactly 0 (shard workers
+   received :class:`~repro.parallel.sharing.DiskStoreRef` handles,
+   never pickled columns).
+5. **Peak-RSS ceiling** — ``--max-rss-mb`` (0 disables) gates
+   ``getrusage(RUSAGE_SELF).ru_maxrss`` over the whole run.
+
+Timings and gate outcomes land in ``BENCH_scale.json``; any failed
+gate is a nonzero exit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import resource
+import tempfile
+import time
+
+import numpy as np
+
+from repro.core.config import AdaptiveConfig, config_with
+from repro.datasets import build_cora_layout
+from repro.distance import CosineDistance, ThresholdRule
+from repro.records import RecordStore, Schema
+from repro.serve import ResolverService, ServiceConfig, ShardedIndex
+from repro.serve.sharding import shard_spans
+from repro.storage import StoreLayout
+
+
+def _peak_rss_mb() -> float:
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return raw / 1024.0 if os.uname().sysname == "Linux" else raw / 2**20
+
+
+def _layout_bytes(path: str) -> int:
+    return sum(
+        os.path.getsize(os.path.join(path, name))
+        for name in os.listdir(path)
+    )
+
+
+def _planted_store(
+    blocks: list[tuple[tuple[int, ...], int]], dim: int = 16, seed: int = 0
+) -> RecordStore:
+    """Contiguous planted clusters: ``[(sizes, n_noise), ...]`` blocks
+    (mirrors the serving test fixture)."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for sizes, n_noise in blocks:
+        for base_scale, size in enumerate(sizes):
+            base = rng.normal(size=dim) * (2.0 + base_scale)
+            for _ in range(size):
+                rows.append(base + rng.normal(scale=0.005, size=dim))
+        for _ in range(n_noise):
+            rows.append(rng.normal(size=dim) * 8.0)
+    return RecordStore(Schema.single_vector(), {"vec": np.asarray(rows)})
+
+
+def identity_gate(workdir: str, n_shards: int, seed: int) -> dict:
+    """4-shard mmap vs single-shard in-memory on a shard-aligned store."""
+    # One 40-record block per shard, entities never straddle a span.
+    blocks = [((12, 5), 23), ((9, 7), 24), ((10, 6), 24), ((8, 4), 28)]
+    store = _planted_store(blocks[:n_shards] if n_shards <= 4 else blocks)
+    n = len(store)
+    spans = shard_spans(n, n_shards)
+    aligned = all(lo % 40 == 0 for lo, _hi in spans)
+    mm = StoreLayout.write(store, os.path.join(workdir, "planted.store")).open()
+    rule = ThresholdRule(CosineDistance("vec"), 0.15)
+    config = AdaptiveConfig(cost_model="analytic", seed=seed)
+    k = 6
+    with ShardedIndex(mm, rule, n_shards=n_shards, config=config) as sharded:
+        multi = sharded.top_k(k)
+    with ShardedIndex(store, rule, n_shards=1, config=config) as single:
+        mono = single.top_k(k)
+    return {
+        "n_records": n,
+        "spans": [list(s) for s in spans],
+        "spans_entity_aligned": aligned,
+        "k": k,
+        "sharded_sizes": [len(c) for c in multi["clusters"]],
+        "identical": multi["clusters"] == mono["clusters"],
+    }
+
+
+async def service_gate(
+    layout: StoreLayout, n_shards: int, k: int, seed: int
+) -> dict:
+    """Process-worker service over the mmap layout: zero pickled
+    column bytes, response bit-identical to the in-process index."""
+    from repro.io import rule_from_spec
+
+    rule = rule_from_spec(layout.extras["rule"])
+    store = layout.open()
+    cfg = ServiceConfig(
+        n_shards=n_shards, workers="process", seed=seed, batch_window_ms=0.0
+    )
+    async with ResolverService(store, rule, config=cfg) as svc:
+        served = await svc.top_k(k)
+        stats = svc.stats()
+    config = config_with(cfg.adaptive, seed=seed)
+    with ShardedIndex(store, rule, n_shards=n_shards, config=config) as idx:
+        direct = idx.top_k(k)
+    return {
+        "store_backed": bool(stats["store_backed"]),
+        "store_pickle_bytes": int(stats["store_pickle_bytes"]),
+        "identical_to_sharded_index": served["clusters"] == direct["clusters"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_scale.json")
+    parser.add_argument("--records", type=int, default=50_000)
+    parser.add_argument("--chunk", type=int, default=50_000)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--max-rss-mb",
+        type=float,
+        default=0.0,
+        help="fail if peak RSS exceeds this many MiB (0 disables)",
+    )
+    parser.add_argument(
+        "--skip-service",
+        action="store_true",
+        help="skip the process-worker service gate (e.g. no fork)",
+    )
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="bench_scale_") as workdir:
+        # 1. Streaming build ------------------------------------------------
+        layout_path = os.path.join(workdir, "cora.store")
+        started = time.perf_counter()
+        layout = build_cora_layout(
+            layout_path,
+            args.records,
+            chunk_records=args.chunk,
+            seed=args.seed,
+        )
+        build_s = time.perf_counter() - started
+        disk_bytes = _layout_bytes(layout_path)
+
+        # 2. Sharded resolve over the mmap open -----------------------------
+        from repro.io import rule_from_spec
+
+        store = layout.open()
+        rule = rule_from_spec(layout.extras["rule"])
+        config = AdaptiveConfig(cost_model="analytic", seed=args.seed)
+        started = time.perf_counter()
+        with ShardedIndex(
+            store, rule, n_shards=args.shards, config=config
+        ) as index:
+            merged = index.top_k(args.k)
+        resolve_s = time.perf_counter() - started
+
+        # 3. Bit-identity gate at small n -----------------------------------
+        identity = identity_gate(workdir, args.shards, args.seed)
+        if not identity["identical"]:
+            failures.append("sharded clusters differ from single-shard run")
+
+        # 4. Zero-pickle service gate ---------------------------------------
+        service: dict = {"skipped": True}
+        if not args.skip_service:
+            service = asyncio.run(
+                service_gate(layout, args.shards, args.k, args.seed)
+            )
+            if service["store_pickle_bytes"] != 0:
+                failures.append(
+                    f"shard workers pickled "
+                    f"{service['store_pickle_bytes']} store bytes"
+                )
+            if not service["identical_to_sharded_index"]:
+                failures.append("served response differs from ShardedIndex")
+
+    # 5. RSS ceiling --------------------------------------------------------
+    peak_mb = _peak_rss_mb()
+    if args.max_rss_mb > 0 and peak_mb > args.max_rss_mb:
+        failures.append(
+            f"peak RSS {peak_mb:.0f} MiB exceeds ceiling {args.max_rss_mb} MiB"
+        )
+
+    payload = {
+        "scenario": (
+            f"streamed cora({args.records}) -> mmap layout -> "
+            f"{args.shards}-shard top-{args.k}"
+        ),
+        "records": args.records,
+        "chunk_records": args.chunk,
+        "build_seconds": round(build_s, 3),
+        "layout_disk_bytes": disk_bytes,
+        "resolve_seconds": round(resolve_s, 3),
+        "resolvable": int(merged["resolvable"]),
+        "top_cluster_sizes": [len(c) for c in merged["clusters"]],
+        "hashes_computed": int(merged["hashes_computed"]),
+        "pairs_compared": int(merged["pairs_compared"]),
+        "peak_rss_mb": round(peak_mb, 1),
+        "max_rss_mb": args.max_rss_mb,
+        "identity_gate": identity,
+        "service_gate": service,
+        "failures": failures,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(payload, indent=2))
+    for failure in failures:
+        print(f"FATAL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

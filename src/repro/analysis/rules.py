@@ -57,6 +57,7 @@ DOCUMENTED_INFO_KEYS = frozenset(
         "verified",
         "serving",
         "memoized_pairs",
+        "store_backing",
     }
 )
 

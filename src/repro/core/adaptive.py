@@ -414,6 +414,14 @@ class AdaptiveLSH:
             info["signature_cache"] = self._key_cache.stats()
         if self._pair_memo is not None:
             info["memoized_pairs"] = self._pair_memo.stats()
+        backing = self.store.backing
+        if backing is not None:
+            info["store_backing"] = {
+                "path": backing.path,
+                "store_version": int(backing.store_version),
+                "lo": int(backing.lo),
+                "hi": int(backing.hi),
+            }
 
     def iter_clusters(self, k: int) -> Iterator[Cluster]:
         """Incremental mode (§4.2): yield final clusters one by one,

@@ -3,7 +3,7 @@
 articles), and PopularImages (RGB-histogram image records)."""
 
 from .base import Dataset, extend_dataset
-from .cora import generate_cora
+from .cora import build_cora_layout, generate_cora, stream_cora
 from .popularimages import generate_popular_images
 from .querylog import generate_querylog
 from .spotsigs import generate_spotsigs
@@ -13,6 +13,8 @@ __all__ = [
     "Dataset",
     "extend_dataset",
     "generate_cora",
+    "stream_cora",
+    "build_cora_layout",
     "generate_spotsigs",
     "generate_popular_images",
     "generate_querylog",

@@ -17,14 +17,20 @@ structural properties:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any, Iterator
+
 import numpy as np
 
 from ..distance import AndRule, JaccardDistance, ThresholdRule, WeightedAverageRule
 from ..records import RecordStore, Schema, FieldKind, FieldSpec
-from ..rngutil import make_rng
+from ..rngutil import SeedLike, make_rng
+from ..types import IntArray
 from .base import Dataset
 from .text import corrupt_tokens, make_vocabulary, token_ids
 from .zipfsizes import zipf_sizes_for_total
+
+if TYPE_CHECKING:
+    from ..storage import StoreLayout
 
 #: Paper rule: avg Jaccard similarity(title, authors) >= 0.7.
 TITLE_AUTHOR_SIM = 0.7
@@ -51,6 +57,31 @@ def cora_rule() -> AndRule:
     return AndRule([title_author, rest])
 
 
+def _cora_entity_sizes(
+    n_records: int,
+    n_popular: "int | None",
+    top1_frac: float,
+    zipf_exponent: float,
+) -> IntArray:
+    """Entity sizes (popular Zipf block + singleton background).
+
+    Pure arithmetic — no RNG draws — so extracting it from
+    :func:`generate_cora` left that generator's streams untouched.
+    """
+    from .zipfsizes import zipf_sizes
+
+    top1 = max(2, int(round(top1_frac * n_records)))
+    if n_popular is None:
+        n_popular = max(5, n_records // 25)
+    sizes = zipf_sizes(n_popular, zipf_exponent, top1)
+    sizes = sizes[sizes >= 2]
+    n_background = n_records - int(sizes.sum())
+    if n_background < 0:
+        sizes = zipf_sizes_for_total(len(sizes), zipf_exponent, n_records)
+        n_background = 0
+    return np.concatenate([sizes, np.ones(n_background, dtype=np.int64)])
+
+
 def generate_cora(
     n_records: int = 2000,
     n_popular: "int | None" = None,
@@ -68,18 +99,7 @@ def generate_cora(
     entities).
     """
     rng = make_rng(seed)
-    from .zipfsizes import zipf_sizes
-
-    top1 = max(2, int(round(top1_frac * n_records)))
-    if n_popular is None:
-        n_popular = max(5, n_records // 25)
-    sizes = zipf_sizes(n_popular, zipf_exponent, top1)
-    sizes = sizes[sizes >= 2]
-    n_background = n_records - int(sizes.sum())
-    if n_background < 0:
-        sizes = zipf_sizes_for_total(len(sizes), zipf_exponent, n_records)
-        n_background = 0
-    sizes = np.concatenate([sizes, np.ones(n_background, dtype=np.int64)])
+    sizes = _cora_entity_sizes(n_records, n_popular, top1_frac, zipf_exponent)
 
     title_vocab = make_vocabulary(2500, seed=rng)
     author_vocab = make_vocabulary(1200, seed=rng)
@@ -134,5 +154,125 @@ def generate_cora(
             "zipf_exponent": zipf_exponent,
             "n_popular": int((sizes >= 2).sum()),
             "top1_size": int(sizes.max()),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Out-of-core construction
+# ----------------------------------------------------------------------
+def stream_cora(
+    n_records: int,
+    chunk_records: int = 100_000,
+    n_popular: "int | None" = None,
+    top1_frac: float = 0.05,
+    zipf_exponent: float = 1.35,
+    drop_p: float = 0.06,
+    replace_p: float = 0.03,
+    seed: SeedLike = None,
+) -> Iterator[tuple[dict[str, list[IntArray]], IntArray]]:
+    """Yield a Cora-like dataset as ``(columns, labels)`` chunks.
+
+    The bounded-memory twin of :func:`generate_cora`: entities follow
+    the same Zipf size model and records the same corruption model, but
+    rows are emitted ``chunk_records`` at a time for
+    :class:`~repro.storage.StoreWriter` to flush, so peak memory is one
+    chunk no matter how large ``n_records`` is.  Each chunk is shuffled
+    internally (a chunk-local stand-in for :func:`generate_cora`'s
+    global permutation — entity blocks still never survive in record
+    order, but records of one entity stay within ~one chunk of each
+    other) and no raw-string previews are kept.  Deterministic in
+    ``seed``; the streams differ from :func:`generate_cora`'s for the
+    same seed because the global shuffle is gone.
+    """
+    from ..errors import DatasetError
+
+    if chunk_records < 1:
+        raise DatasetError(f"chunk_records must be >= 1, got {chunk_records}")
+    rng = make_rng(seed)
+    sizes = _cora_entity_sizes(n_records, n_popular, top1_frac, zipf_exponent)
+
+    title_vocab = make_vocabulary(2500, seed=rng)
+    author_vocab = make_vocabulary(1200, seed=rng)
+    venue_vocab = make_vocabulary(400, seed=rng)
+
+    def pick(vocab: list[str], count: int) -> list[str]:
+        return [vocab[int(i)] for i in rng.integers(0, len(vocab), size=count)]
+
+    titles: list[IntArray] = []
+    authors: list[IntArray] = []
+    rests: list[IntArray] = []
+    labels: list[int] = []
+
+    def flush() -> tuple[dict[str, list[IntArray]], IntArray]:
+        order = rng.permutation(len(labels))
+        chunk = (
+            {
+                "title": [titles[i] for i in order],
+                "authors": [authors[i] for i in order],
+                "rest": [rests[i] for i in order],
+            },
+            np.asarray(labels, dtype=np.int64)[order],
+        )
+        titles.clear()
+        authors.clear()
+        rests.clear()
+        labels.clear()
+        return chunk
+
+    for entity, size in enumerate(sizes):
+        base_title = pick(title_vocab, int(rng.integers(8, 15)))
+        base_authors = pick(author_vocab, int(rng.integers(2, 6)))
+        base_rest = pick(venue_vocab, int(rng.integers(6, 12))) + [
+            f"vol{int(rng.integers(1, 40))}",
+            f"pp{int(rng.integers(1, 900))}",
+            f"{int(rng.integers(1985, 2016))}",
+        ]
+        for _ in range(int(size)):
+            title = corrupt_tokens(base_title, rng, drop_p, replace_p, title_vocab)
+            author = corrupt_tokens(
+                base_authors, rng, drop_p / 2, replace_p / 2, author_vocab
+            )
+            rest = corrupt_tokens(base_rest, rng, drop_p, replace_p, venue_vocab)
+            titles.append(token_ids(title))
+            authors.append(token_ids(author))
+            rests.append(token_ids(rest))
+            labels.append(entity)
+            if len(labels) == chunk_records:
+                yield flush()
+    if labels:
+        yield flush()
+
+
+def build_cora_layout(
+    path: Any,
+    n_records: int,
+    chunk_records: int = 100_000,
+    seed: SeedLike = None,
+    **params: Any,
+) -> "StoreLayout":
+    """Stream a Cora-like dataset straight to an on-disk layout.
+
+    This is how ``cora(2_000_000)`` gets built: :func:`stream_cora`
+    chunks flow through :func:`repro.storage.write_dataset_chunks`, so
+    the full dataset never exists in memory.  Open the result with
+    :func:`repro.storage.open_dataset` for a memory-mapped
+    :class:`Dataset`.
+    """
+    from ..io import rule_to_spec
+    from ..storage import write_dataset_chunks
+
+    return write_dataset_chunks(
+        CORA_SCHEMA,
+        stream_cora(
+            n_records, chunk_records=chunk_records, seed=seed, **params
+        ),
+        path,
+        rule_spec=rule_to_spec(cora_rule()),
+        name="Cora",
+        info={
+            "streamed": True,
+            "n_records": int(n_records),
+            "chunk_records": int(chunk_records),
         },
     )

@@ -140,13 +140,12 @@ def save_dataset(dataset: Dataset, path) -> None:
         if field.kind is FieldKind.VECTOR:
             arrays[f"vec::{field.name}"] = dataset.store.vectors(field.name)
         else:
-            sets = dataset.store.shingle_sets(field.name)
-            lengths = np.array([s.size for s in sets], dtype=np.int64)
-            flat = (
-                np.concatenate(sets) if lengths.sum() else np.zeros(0, np.int64)
+            # Columnar store → two flat arrays, no per-record loop.
+            column = dataset.store.shingle_sets(field.name)
+            arrays[f"shingles::{field.name}::flat"] = column.flat
+            arrays[f"shingles::{field.name}::lengths"] = np.ascontiguousarray(
+                column.sizes()
             )
-            arrays[f"shingles::{field.name}::flat"] = flat
-            arrays[f"shingles::{field.name}::lengths"] = lengths
     info = {}
     for key, value in dataset.info.items():
         try:
@@ -179,14 +178,14 @@ def load_dataset(path) -> Dataset:
                 flat = np.asarray(
                     data[f"shingles::{field['name']}::flat"], dtype=np.int64
                 )
-                lengths = data[f"shingles::{field['name']}::lengths"]
-                if lengths.size:
-                    bounds = np.cumsum(lengths)[:-1]
-                    columns[field["name"]] = np.split(flat, bounds)
-                else:
-                    # np.split(flat, []) would yield ONE empty set — a
-                    # phantom record — so the empty dataset is special.
-                    columns[field["name"]] = []
+                lengths = np.asarray(
+                    data[f"shingles::{field['name']}::lengths"], dtype=np.int64
+                )
+                # Rebuild the CSR column directly — the saved arrays
+                # came from a validated store, no np.split row lists.
+                offsets = np.zeros(lengths.size + 1, dtype=np.int64)
+                np.cumsum(lengths, out=offsets[1:])
+                columns[field["name"]] = (offsets, flat)
         store = RecordStore(Schema(tuple(specs)), columns)
         return Dataset(
             name=header["name"],

@@ -16,7 +16,7 @@ from .config import WORKER_MODES, ServiceConfig
 from .loadgen import LoadProfile, run_loadtest
 from .service import ResolverService, ShardOracle
 from .session import ResolverSession
-from .sharding import merge_shard_top_k, shard_spans
+from .sharding import ShardedIndex, merge_shard_top_k, shard_spans
 from .snapshot import SNAPSHOT_MAGIC, SNAPSHOT_VERSION, IndexSnapshot
 
 __all__ = [
@@ -25,6 +25,7 @@ __all__ = [
     "ResolverService",
     "ResolverSession",
     "ServiceConfig",
+    "ShardedIndex",
     "ShardOracle",
     "SNAPSHOT_MAGIC",
     "SNAPSHOT_VERSION",

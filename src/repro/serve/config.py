@@ -65,6 +65,16 @@ class ServiceConfig:
     worker_n_jobs:
         ``n_jobs`` for the session inside each shard worker (default 1:
         shard-level parallelism already uses one process per shard).
+    spool_dir:
+        When set, a service given a purely in-memory store writes it to
+        an on-disk columnar layout (:mod:`repro.storage`) under this
+        directory at start and serves from the memory-mapped copy; the
+        spooled layout is service-owned, so generation rollovers append
+        to it in place (O(pending) instead of O(n) concat copies) and
+        shard workers receive :class:`~repro.parallel.sharing.
+        DiskStoreRef` handles instead of pickled columns.  Stores that
+        already carry a layout backing get all of this without
+        spooling.  ``None`` (default) keeps the in-memory path.
     adaptive:
         The :class:`AdaptiveConfig` shard sessions are built from
         (``seed``/``n_jobs`` fields are overridden per shard).  Must
@@ -82,6 +92,7 @@ class ServiceConfig:
     warm_k: int = 0
     seed: int = 0
     worker_n_jobs: int = 1
+    spool_dir: "str | None" = None
     adaptive: AdaptiveConfig = field(
         default_factory=lambda: AdaptiveConfig(cost_model="analytic")
     )
@@ -129,6 +140,8 @@ class ServiceConfig:
         object.__setattr__(self, "seed", int(self.seed))
         object.__setattr__(self, "worker_n_jobs", int(self.worker_n_jobs))
         object.__setattr__(self, "batch_window_ms", float(self.batch_window_ms))
+        if self.spool_dir is not None:
+            object.__setattr__(self, "spool_dir", str(self.spool_dir))
 
     # ------------------------------------------------------------------
     def shard_seed(self, generation: int, shard_index: int) -> int:

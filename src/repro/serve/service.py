@@ -53,15 +53,19 @@ import time
 import traceback
 from typing import TYPE_CHECKING, Any
 
-import numpy as np
-
 from ..core.config import AdaptiveConfig
 from ..errors import ConfigurationError, ReproError, SchemaError, ServiceError
 from ..io import rule_from_spec, rule_to_spec
 from ..obs import RunObserver
 from ..obs.report import RunReport
 from ..parallel.pool import fork_available
-from ..parallel.sharing import StorePayload, payload_from_store, store_from_payload
+from ..parallel.sharing import (
+    DiskStoreRef,
+    StorePayload,
+    payload_from_store,
+    ref_from_store,
+    resolve_store_arg,
+)
 from ..records import RecordStore
 from .config import ServiceConfig
 from .session import ResolverSession
@@ -130,7 +134,7 @@ class _ShardServer:
 
 
 def _build_shard_server(
-    store: RecordStore | StorePayload,
+    store: RecordStore | StorePayload | DiskStoreRef,
     rule_spec: dict[str, Any],
     adaptive_portable: dict[str, Any],
     seed: int,
@@ -139,9 +143,15 @@ def _build_shard_server(
     warm_k: int,
 ) -> _ShardServer:
     """Rebuild a :class:`_ShardServer` from picklable parts (the worker
-    process entry path; inline backends call it with live objects)."""
-    if isinstance(store, StorePayload):
-        store = store_from_payload(store)
+    process entry path; inline backends call it with live objects).
+
+    The store arrives in whichever transferable shape the parent chose:
+    a live :class:`RecordStore` (inline / fork copy-on-write), a
+    :class:`StorePayload` of pickled columns (spawn fallback), or a
+    :class:`DiskStoreRef` the worker resolves by memory-mapping the
+    layout itself — zero column bytes on the pipe.
+    """
+    store = resolve_store_arg(store)
     adaptive = AdaptiveConfig.from_dict(
         adaptive_portable, cost_model="analytic", seed=seed, n_jobs=n_jobs
     )
@@ -152,7 +162,7 @@ def _build_shard_server(
 
 def _shard_process_main(
     conn: Connection,
-    store: RecordStore | StorePayload,
+    store: RecordStore | StorePayload | DiskStoreRef,
     rule_spec: dict[str, Any],
     adaptive_portable: dict[str, Any],
     seed: int,
@@ -231,7 +241,11 @@ class _ProcessBackend:
             ctx = multiprocessing.get_context()
             store = self._args[0]
             if isinstance(store, RecordStore):
-                args = (payload_from_store(store),) + self._args[1:]
+                # Disk-backed stores travel as a ref (no column bytes);
+                # purely in-memory ones must be pickled as a payload.
+                ref = ref_from_store(store)
+                shipped = ref if ref is not None else payload_from_store(store)
+                args = (shipped,) + self._args[1:]
             else:
                 args = self._args
         parent_conn, child_conn = ctx.Pipe()
@@ -367,7 +381,7 @@ class ShardOracle:
         self.spans = shard_spans(len(store), config.n_shards)
         self._servers = [
             _ShardServer(
-                store.take(np.arange(lo, hi)),
+                store.slice_view(lo, hi),
                 rule,
                 config.shard_adaptive(generation, i),
                 offset=lo,
@@ -450,7 +464,9 @@ class ResolverService:
             "batches": 0,
             "coalesced": 0,
             "rollovers": 0,
+            "store_pickle_bytes": 0,
         }
+        self._spool_seq = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -470,6 +486,13 @@ class ResolverService:
         if self._server is not None:
             raise ServiceError("service already started")
         with self.obs.span("service.start", n_shards=self.config.n_shards):
+            if (
+                self.config.spool_dir is not None
+                and self._generations[0].backing is None
+            ):
+                self._generations[0] = await asyncio.to_thread(
+                    self._spool_store, self._generations[0], 0
+                )
             handles = await asyncio.to_thread(
                 self._start_generation, self._generations[0], 0
             )
@@ -514,9 +537,22 @@ class ResolverService:
         spans = shard_spans(len(store), self.config.n_shards)
         handles: list[_ShardHandle] = []
         for i, (lo, hi) in enumerate(spans):
-            shard_store = store.take(np.arange(lo, hi))
+            # Zero-copy window; with an on-disk backing it also carries
+            # the (path, version, lo, hi) needed to ship a ref.
+            shard_store = store.slice_view(lo, hi)
+            shipped: RecordStore | StorePayload | DiskStoreRef = shard_store
+            if self.config.workers == "process":
+                ref = ref_from_store(shard_store)
+                if ref is not None:
+                    # Disk-backed: the worker mmaps the layout itself.
+                    shipped = ref
+                elif not fork_available():  # pragma: no cover - spawn
+                    payload = payload_from_store(shard_store)
+                    self._count("store_pickle_bytes", payload.nbytes)
+                    shipped = payload
+                # fork: inherited copy-on-write, nothing serialized.
             builder_args = (
-                shard_store,
+                shipped,
                 rule_to_spec(self.rule),
                 self.config.adaptive.to_dict(),
                 self.config.shard_seed(generation, i),
@@ -546,6 +582,58 @@ class ResolverService:
         for handle in handles:
             handle.close()
 
+    def _spool_store(self, store: RecordStore, generation: int) -> RecordStore:
+        """Write an in-memory store to a service-owned layout under
+        ``config.spool_dir`` and return the memory-mapped reopen."""
+        import os
+
+        from ..storage import StoreLayout
+
+        assert self.config.spool_dir is not None
+        os.makedirs(self.config.spool_dir, exist_ok=True)
+        self._spool_seq += 1
+        path = os.path.join(
+            self.config.spool_dir,
+            f"spool-{os.getpid()}-{id(self):x}-{self._spool_seq}.store",
+        )
+        return StoreLayout.write(store, path).open()
+
+    def _extended_store(
+        self, base: RecordStore, pending: list[RecordStore], generation: int
+    ) -> RecordStore:
+        """``base`` plus the buffered writes, as the next generation's
+        store.
+
+        When ``base`` is the full current view of an on-disk layout
+        (and the layout carries no ground-truth labels column), the
+        pending rows are *appended to the layout in place* and the
+        result is a fresh mmap open — O(pending) I/O, zero copies of
+        the existing rows, and old-generation shards keep serving their
+        shorter prefix because layouts are append-only.  Anything else
+        falls back to the in-memory concat (then spools the result when
+        ``spool_dir`` is set, so the *next* rollover takes the fast
+        path).
+        """
+        backing = base.backing
+        if backing is not None and backing.lo == 0:
+            from ..storage import StoreLayout
+
+            layout = StoreLayout(backing.path)
+            if (
+                layout.store_version == backing.store_version
+                and layout.n == backing.hi
+                and not layout.header.get("with_labels")
+            ):
+                for chunk in pending:
+                    layout.append(chunk)
+                return layout.open()
+        store = base
+        for chunk in pending:
+            store = store.concat(chunk)
+        if self.config.spool_dir is not None:
+            store = self._spool_store(store, generation)
+        return store
+
     # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
@@ -564,6 +652,7 @@ class ResolverService:
                 "n_shards": len(handles),
                 "n_records": len(self.current_store()),
                 "workers": self.config.workers,
+                "store_backed": self.current_store().backing is not None,
                 "inflight": self._inflight,
                 "pending_writes": self._pending_records,
                 "latency_ms": latency.to_value()
@@ -684,12 +773,16 @@ class ResolverService:
                 self._pending_stores = []
                 self._pending_records = 0
                 gen, old_handles = self._current
-                new_store = self._generations[gen]
-                for chunk in pending:
-                    new_store = new_store.concat(chunk)
                 new_gen = gen + 1
-                # Build + warm the new generation off-loop; reads keep
+                # Extend (layout append or concat fallback), then build
+                # + warm the new generation — all off-loop; reads keep
                 # hitting the old handles the whole time.
+                new_store = await asyncio.to_thread(
+                    self._extended_store,
+                    self._generations[gen],
+                    pending,
+                    new_gen,
+                )
                 handles = await asyncio.to_thread(
                     self._start_generation, new_store, new_gen
                 )

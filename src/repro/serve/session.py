@@ -114,6 +114,42 @@ class ResolverSession:
         method = snapshot.restore(store, n_jobs=n_jobs, observer=observer)
         return cls(store, method=method, cache_size=cache_size)
 
+    @classmethod
+    def from_layout(
+        cls,
+        path: Any,
+        rule: MatchRule | None = None,
+        config: AdaptiveConfig | None = None,
+        observer: RunObserver | None = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> ResolverSession:
+        """Serve an on-disk columnar layout (:mod:`repro.storage`).
+
+        The store is opened with ``mmap_mode="r"`` — columns fault in
+        on first touch and the session never holds a private copy.
+        ``rule`` may be omitted when the layout was written with a rule
+        spec (dataset layouts are), in which case the stored rule is
+        used.
+        """
+        from ..io import rule_from_spec
+        from ..storage import StoreLayout
+
+        layout = path if isinstance(path, StoreLayout) else StoreLayout(path)
+        if rule is None:
+            spec = layout.extras.get("rule")
+            if not spec:
+                raise ConfigurationError(
+                    f"layout at {layout.path} stores no rule spec; pass rule="
+                )
+            rule = rule_from_spec(spec)
+        return cls(
+            layout.open(),
+            rule,
+            config=config,
+            observer=observer,
+            cache_size=cache_size,
+        )
+
     # ------------------------------------------------------------------
     @property
     def store(self) -> RecordStore:

@@ -1,0 +1,682 @@
+"""The versioned columnar on-disk layout for :class:`RecordStore`.
+
+A *layout* is a directory of plain ``.npy`` column files plus one
+``header.json``::
+
+    mystore.store/
+        header.json                  # magic, versions, n, schema, extras
+        vec__<field>.npy             # (n, d) float64, C-contiguous
+        shl__<field>__offsets.npy    # (n + 1,) int64, offsets[0] == 0
+        shl__<field>__values.npy     # (total,) int64, CSR values
+        labels.npy                   # optional (n,) int64 ground truth
+
+Columns are exactly the in-memory representation of
+:class:`~repro.records.RecordStore` (vectors as one contiguous float64
+matrix, shingles as a CSR-style :class:`~repro.records.ShingleColumn`),
+so :meth:`StoreLayout.open` is ``np.load(..., mmap_mode="r")`` per file
+plus the trusted no-copy constructor: nothing is parsed, converted, or
+validated row by row, and the opened store is bit-identical to the one
+that was written.  Shard workers take
+:meth:`~repro.records.RecordStore.slice_view` windows over the mapped
+columns, so an entire service generation shares one set of page-cache
+pages.
+
+**Versioned and append-only.**  ``header.json`` carries a
+``store_version`` that each :meth:`StoreLayout.append` bumps; rows are
+only ever added, never rewritten, so a store opened at version ``v``
+keeps serving its ``[0, n_v)`` prefix unchanged while later versions
+grow the files — the property the serving layer's generation rollover
+leans on.  The ``.npy`` files are written with a fixed-size header
+(padded per the format spec), so an append only extends the data and
+patches the shape digits in place.
+
+**Streaming writes.**  :class:`StoreWriter` builds a layout chunk by
+chunk without ever holding the full dataset: each
+:meth:`StoreWriter.append` validates and flushes one chunk of columns,
+so ``cora(2_000_000)`` is constructible on a laptop (see
+``repro.datasets.cora.build_cora_layout``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+from typing import IO, TYPE_CHECKING, Any, Iterable, Iterator
+
+import numpy as np
+
+from .errors import SchemaError, SnapshotError
+from .records import (
+    FieldKind,
+    FieldSpec,
+    RecordStore,
+    Schema,
+    ShingleColumn,
+    StoreBacking,
+)
+from .types import IntArray
+
+if TYPE_CHECKING:
+    from .datasets.base import Dataset
+
+#: ``header.json`` sentinel; opens that do not find it fail fast.
+LAYOUT_MAGIC = "repro-store-layout"
+#: Bumped on any incompatible change to the directory format.
+LAYOUT_VERSION = 1
+
+#: Reserved on-disk ``.npy`` header size.  Large enough for any shape
+#: this library writes, and a multiple of 64 as the format recommends;
+#: keeping it constant lets :meth:`StoreLayout.append` patch the shape
+#: in place without moving data.
+_NPY_HEADER_SIZE = 128
+
+_FIELD_NAME_RE = re.compile(r"^[A-Za-z0-9_.-]+$")
+
+
+def _column_filename(prefix: str, field: str, suffix: str = "") -> str:
+    if not _FIELD_NAME_RE.match(field):
+        raise SchemaError(
+            f"field name {field!r} cannot name an on-disk column "
+            "(allowed: letters, digits, '_', '.', '-')"
+        )
+    return f"{prefix}__{field}{suffix}.npy"
+
+
+# ----------------------------------------------------------------------
+# Patchable .npy headers
+# ----------------------------------------------------------------------
+def _npy_header_bytes(descr: str, shape: tuple[int, ...]) -> bytes:
+    """A fixed-size v1 ``.npy`` header for ``descr``/``shape``.
+
+    Identical layout to what :func:`numpy.lib.format.write_array_header_1_0`
+    produces, except padded to the constant :data:`_NPY_HEADER_SIZE` so
+    the shape can be rewritten in place after appends.
+    """
+    shape_repr = "(" + ", ".join(str(int(d)) for d in shape)
+    shape_repr += ",)" if len(shape) == 1 else ")"
+    header = (
+        f"{{'descr': {descr!r}, 'fortran_order': False, "
+        f"'shape': {shape_repr}, }}"
+    )
+    pad = _NPY_HEADER_SIZE - 10 - 1 - len(header)
+    if pad < 0:  # pragma: no cover - shapes this big do not fit in RAM
+        raise SnapshotError(f"npy header overflow for shape {shape}")
+    body = (header + " " * pad + "\n").encode("latin-1")
+    return (
+        b"\x93NUMPY"
+        + bytes((1, 0))
+        + len(body).to_bytes(2, "little")
+        + body
+    )
+
+
+class _NpyAppendFile:
+    """One streamable ``.npy`` column: append rows, patch the header."""
+
+    def __init__(self, path: Path, dtype: np.dtype, row_shape: tuple[int, ...]):
+        self.path = path
+        self.dtype = np.dtype(dtype)
+        self.row_shape = row_shape
+        self.rows = 0
+        self._fh: IO[bytes] | None = None
+
+    def create(self) -> None:
+        self._fh = open(self.path, "wb")
+        self._fh.write(
+            _npy_header_bytes(self.dtype.str, (0, *self.row_shape))
+        )
+
+    def append(self, arr: np.ndarray) -> None:
+        assert self._fh is not None
+        data = np.ascontiguousarray(arr, dtype=self.dtype)
+        if data.shape[1:] != self.row_shape:
+            raise SchemaError(
+                f"column {self.path.name}: chunk row shape {data.shape[1:]} "
+                f"!= {self.row_shape}"
+            )
+        self._fh.write(data.tobytes())
+        self.rows += int(data.shape[0])
+
+    def close(self) -> None:
+        if self._fh is None:
+            return
+        self._fh.seek(0)
+        self._fh.write(
+            _npy_header_bytes(self.dtype.str, (self.rows, *self.row_shape))
+        )
+        self._fh.close()
+        self._fh = None
+
+    @classmethod
+    def reopen(cls, path: Path) -> _NpyAppendFile:
+        """Open an existing column for appending (header re-read)."""
+        with open(path, "rb") as fh:
+            version = np.lib.format.read_magic(fh)
+            if version != (1, 0):
+                raise SnapshotError(
+                    f"{path} has npy format version {version}; this "
+                    "layout writes version (1, 0)"
+                )
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(fh)
+            if fh.tell() != _NPY_HEADER_SIZE:
+                raise SnapshotError(
+                    f"{path} was not written by this layout "
+                    "(unexpected header size); cannot append in place"
+                )
+        if fortran:
+            raise SnapshotError(f"{path} is Fortran-ordered")
+        out = cls(path, dtype, tuple(int(d) for d in shape[1:]))
+        out.rows = int(shape[0])
+        out._fh = open(path, "r+b")
+        out._fh.seek(0, os.SEEK_END)
+        return out
+
+
+# ----------------------------------------------------------------------
+# The streaming writer
+# ----------------------------------------------------------------------
+class StoreWriter:
+    """Build (or extend) a layout chunk by chunk, bounded-memory.
+
+    Parameters
+    ----------
+    path:
+        Layout directory; created (parents included) unless resuming.
+    schema:
+        The store schema every appended chunk must match.
+    with_labels:
+        Reserve a ``labels.npy`` column; every append must then pass
+        ``labels`` of matching length (dataset layouts).
+
+    Chunks are validated through the normal
+    :class:`~repro.records.RecordStore` coercion, so a finalized layout
+    always opens to a store indistinguishable from
+    ``RecordStore(schema, all_columns_at_once)``.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        schema: Schema,
+        with_labels: bool = False,
+        vector_dims: dict[str, int] | None = None,
+    ) -> None:
+        self.path = Path(path)
+        self.schema = schema
+        self.with_labels = bool(with_labels)
+        self.n = 0
+        self._extras: dict[str, Any] = {}
+        self._finalized = False
+        self.path.mkdir(parents=True, exist_ok=True)
+        if (self.path / "header.json").exists():
+            raise SnapshotError(
+                f"{self.path} already holds a layout; use "
+                "StoreLayout.append to extend it"
+            )
+        self._vec_files: dict[str, _NpyAppendFile | None] = {}
+        self._off_files: dict[str, _NpyAppendFile] = {}
+        self._val_files: dict[str, _NpyAppendFile] = {}
+        self._totals: dict[str, int] = {}
+        for spec in schema:
+            if spec.kind is FieldKind.VECTOR:
+                # Created lazily — the width is known at the first
+                # chunk — unless the caller pins it up front (the only
+                # way an *empty* layout can remember its width).
+                _column_filename("vec", spec.name)
+                if vector_dims is not None and spec.name in vector_dims:
+                    vec_file = _NpyAppendFile(
+                        self.path / _column_filename("vec", spec.name),
+                        np.dtype(np.float64),
+                        (int(vector_dims[spec.name]),),
+                    )
+                    vec_file.create()
+                    self._vec_files[spec.name] = vec_file
+                else:
+                    self._vec_files[spec.name] = None
+            else:
+                off = _NpyAppendFile(
+                    self.path / _column_filename("shl", spec.name, "__offsets"),
+                    np.dtype(np.int64),
+                    (),
+                )
+                off.create()
+                off.append(np.zeros(1, dtype=np.int64))
+                val = _NpyAppendFile(
+                    self.path / _column_filename("shl", spec.name, "__values"),
+                    np.dtype(np.int64),
+                    (),
+                )
+                val.create()
+                self._off_files[spec.name] = off
+                self._val_files[spec.name] = val
+                self._totals[spec.name] = 0
+        self._labels_file: _NpyAppendFile | None = None
+        if self.with_labels:
+            self._labels_file = _NpyAppendFile(
+                self.path / "labels.npy", np.dtype(np.int64), ()
+            )
+            self._labels_file.create()
+
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        columns: RecordStore | dict[str, Any],
+        labels: IntArray | None = None,
+    ) -> None:
+        """Validate and flush one chunk of rows."""
+        if self._finalized:
+            raise SnapshotError("StoreWriter is finalized")
+        chunk = (
+            columns
+            if isinstance(columns, RecordStore)
+            else RecordStore(self.schema, columns)
+        )
+        if chunk.schema != self.schema:
+            raise SchemaError("chunk schema does not match the writer's")
+        if self.with_labels:
+            if labels is None:
+                raise SchemaError("this layout stores labels; pass labels=")
+            labels = np.asarray(labels, dtype=np.int64)
+            if labels.shape != (len(chunk),):
+                raise SchemaError(
+                    f"{labels.shape} labels for a {len(chunk)}-row chunk"
+                )
+        elif labels is not None:
+            raise SchemaError("writer was created without with_labels=True")
+        for name, vec_file in self._vec_files.items():
+            mat = chunk.vectors(name)
+            if vec_file is None:
+                vec_file = _NpyAppendFile(
+                    self.path / _column_filename("vec", name),
+                    np.dtype(np.float64),
+                    (int(mat.shape[1]),),
+                )
+                vec_file.create()
+                self._vec_files[name] = vec_file
+            vec_file.append(mat)
+        for name, off_file in self._off_files.items():
+            column = chunk.shingle_sets(name)
+            sizes = column.sizes()
+            offsets = np.cumsum(sizes, dtype=np.int64) + self._totals[name]
+            off_file.append(offsets)
+            self._val_files[name].append(column.flat)
+            self._totals[name] += int(sizes.sum())
+        if self._labels_file is not None and labels is not None:
+            self._labels_file.append(labels)
+        self.n += len(chunk)
+
+    def add_extras(self, extras: dict[str, Any]) -> None:
+        """Attach JSON-serializable metadata (rule spec, dataset name,
+        generator parameters) to ``header.json``'s ``extras``."""
+        self._extras.update(extras)
+
+    def finalize(self) -> StoreLayout:
+        """Patch every column header, write ``header.json``, and return
+        the finished :class:`StoreLayout`."""
+        if self._finalized:
+            raise SnapshotError("StoreWriter is already finalized")
+        self._finalized = True
+        vector_dims: dict[str, int] = {}
+        for name, vec_file in self._vec_files.items():
+            if vec_file is None:
+                vec_file = _NpyAppendFile(
+                    self.path / _column_filename("vec", name),
+                    np.dtype(np.float64),
+                    (0,),
+                )
+                vec_file.create()
+            vector_dims[name] = int(vec_file.row_shape[0])
+            vec_file.close()
+        for off_file in self._off_files.values():
+            off_file.close()
+        for val_file in self._val_files.values():
+            val_file.close()
+        if self._labels_file is not None:
+            self._labels_file.close()
+        header = {
+            "magic": LAYOUT_MAGIC,
+            "layout_version": LAYOUT_VERSION,
+            "store_version": 1,
+            "n": self.n,
+            "schema": [
+                {"name": spec.name, "kind": spec.kind.value}
+                for spec in self.schema
+            ],
+            "vector_dims": vector_dims,
+            "shingle_totals": dict(self._totals),
+            "with_labels": self.with_labels,
+            "extras": self._extras,
+        }
+        _write_header_atomic(self.path, header)
+        return StoreLayout(self.path)
+
+    def __enter__(self) -> StoreWriter:
+        return self
+
+    def __exit__(self, exc_type: object, *exc: object) -> None:
+        if exc_type is None and not self._finalized:
+            self.finalize()
+
+
+def _write_header_atomic(path: Path, header: dict[str, Any]) -> None:
+    tmp = path / "header.json.tmp"
+    tmp.write_text(json.dumps(header, indent=2, sort_keys=True))
+    os.replace(tmp, path / "header.json")
+
+
+# ----------------------------------------------------------------------
+# The layout
+# ----------------------------------------------------------------------
+class StoreLayout:
+    """A finished on-disk columnar store directory.
+
+    ``open()`` memory-maps the columns; ``append()`` extends them in
+    place and bumps ``store_version`` (already-open stores keep their
+    shorter view — layouts are append-only).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        header_path = self.path / "header.json"
+        if not header_path.exists():
+            raise SnapshotError(f"no store layout at {self.path}")
+        header = json.loads(header_path.read_text())
+        if header.get("magic") != LAYOUT_MAGIC:
+            raise SnapshotError(
+                f"{header_path} is not a {LAYOUT_MAGIC} header"
+            )
+        if int(header.get("layout_version", -1)) != LAYOUT_VERSION:
+            raise SnapshotError(
+                f"layout version {header.get('layout_version')!r} is not "
+                f"supported (this build reads version {LAYOUT_VERSION})"
+            )
+        self.header = header
+        self.schema = Schema(
+            tuple(
+                FieldSpec(f["name"], FieldKind(f["kind"]))
+                for f in header["schema"]
+            )
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return int(self.header["n"])
+
+    @property
+    def store_version(self) -> int:
+        return int(self.header["store_version"])
+
+    @property
+    def extras(self) -> dict[str, Any]:
+        return dict(self.header.get("extras", {}))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def write(
+        cls,
+        store: RecordStore,
+        path: str | Path,
+        labels: IntArray | None = None,
+        extras: dict[str, Any] | None = None,
+    ) -> StoreLayout:
+        """One-shot: persist an in-memory store (optionally labelled)."""
+        writer = StoreWriter(
+            path,
+            store.schema,
+            with_labels=labels is not None,
+            vector_dims={
+                spec.name: int(store.vectors(spec.name).shape[1])
+                for spec in store.schema
+                if spec.kind is FieldKind.VECTOR
+            },
+        )
+        if extras:
+            writer.add_extras(extras)
+        if len(store):
+            writer.append(store, labels=labels)
+        elif labels is not None and len(labels):
+            raise SchemaError(f"{len(labels)} labels for an empty store")
+        return writer.finalize()
+
+    def _load(self, name: str, mmap: bool) -> np.ndarray:
+        return np.load(
+            self.path / name, mmap_mode="r" if mmap else None
+        )
+
+    def open(self, mmap: bool = True) -> RecordStore:
+        """The layout's rows as a :class:`RecordStore`.
+
+        With ``mmap=True`` (default) every column is
+        ``np.load(mmap_mode="r")`` — pages fault in on first touch and
+        are shared with every other process mapping the same layout.
+        The store's :attr:`~repro.records.RecordStore.backing` records
+        ``(path, store_version, 0, n)`` so slice views of it can be
+        shipped to workers as :class:`~repro.parallel.sharing.DiskStoreRef`
+        handles.  Arrays are windowed to the header's ``n``: a reader
+        that raced an append sees exactly the version it opened.
+        """
+        n = self.n
+        vectors: dict[str, Any] = {}
+        shingles: dict[str, ShingleColumn] = {}
+        for spec in self.schema:
+            if spec.kind is FieldKind.VECTOR:
+                mat = self._load(_column_filename("vec", spec.name), mmap)
+                if mat.ndim != 2 or mat.dtype != np.float64:
+                    raise SnapshotError(
+                        f"vector column {spec.name!r} has shape "
+                        f"{mat.shape} dtype {mat.dtype}"
+                    )
+                vectors[spec.name] = mat[:n]
+            else:
+                offsets = self._load(
+                    _column_filename("shl", spec.name, "__offsets"), mmap
+                )
+                values = self._load(
+                    _column_filename("shl", spec.name, "__values"), mmap
+                )
+                if offsets.dtype != np.int64 or values.dtype != np.int64:
+                    raise SnapshotError(
+                        f"shingle column {spec.name!r} is not int64"
+                    )
+                if offsets.shape[0] < n + 1:
+                    raise SnapshotError(
+                        f"shingle column {spec.name!r} has "
+                        f"{offsets.shape[0]} offsets for n={n}"
+                    )
+                shingles[spec.name] = ShingleColumn(offsets[: n + 1], values)
+        backing = StoreBacking(str(self.path), self.store_version, 0, n)
+        return RecordStore._from_parts(
+            self.schema, vectors, shingles, n, backing=backing
+        )
+
+    def labels(self, mmap: bool = True) -> IntArray | None:
+        """The ground-truth labels column, when the layout has one."""
+        if not self.header.get("with_labels"):
+            return None
+        return np.asarray(self._load("labels.npy", mmap)[: self.n])
+
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        columns: RecordStore | dict[str, Any],
+        labels: IntArray | None = None,
+    ) -> int:
+        """Append rows in place; returns the new ``store_version``.
+
+        Cost is O(appended rows): column files are extended and their
+        fixed-size headers patched, never rewritten.  Stores opened
+        before the append keep serving their shorter prefix (the files
+        only grow), which is exactly the generation-rollover contract
+        of :class:`~repro.serve.service.ResolverService`.
+        """
+        chunk = (
+            columns
+            if isinstance(columns, RecordStore)
+            else RecordStore(self.schema, columns)
+        )
+        if chunk.schema != self.schema:
+            raise SchemaError("appended schema does not match the layout's")
+        with_labels = bool(self.header.get("with_labels"))
+        if with_labels:
+            if labels is None:
+                raise SchemaError("this layout stores labels; pass labels=")
+            labels = np.asarray(labels, dtype=np.int64)
+            if labels.shape != (len(chunk),):
+                raise SchemaError(
+                    f"{labels.shape} labels for a {len(chunk)}-row chunk"
+                )
+        elif labels is not None:
+            raise SchemaError("layout was written without labels")
+        vector_dims = dict(self.header["vector_dims"])
+        totals = dict(self.header["shingle_totals"])
+        for spec in self.schema:
+            if spec.kind is FieldKind.VECTOR:
+                mat = chunk.vectors(spec.name)
+                want = int(vector_dims[spec.name])
+                if self.n and int(mat.shape[1]) != want:
+                    raise SchemaError(
+                        f"vector field {spec.name!r} has width "
+                        f"{mat.shape[1]}, layout stores {want}"
+                    )
+                fh = _NpyAppendFile.reopen(
+                    self.path / _column_filename("vec", spec.name)
+                )
+                if self.n == 0 and fh.row_shape != mat.shape[1:]:
+                    # First real rows decide the width of a layout that
+                    # was finalized empty.
+                    fh.close()
+                    fh = _NpyAppendFile(
+                        fh.path, np.dtype(np.float64), (int(mat.shape[1]),)
+                    )
+                    fh.create()
+                fh.append(mat)
+                fh.close()
+                vector_dims[spec.name] = int(mat.shape[1])
+            else:
+                column = chunk.shingle_sets(spec.name)
+                sizes = column.sizes()
+                base = int(totals[spec.name])
+                fh = _NpyAppendFile.reopen(
+                    self.path / _column_filename("shl", spec.name, "__offsets")
+                )
+                fh.append(np.cumsum(sizes, dtype=np.int64) + base)
+                fh.close()
+                fh = _NpyAppendFile.reopen(
+                    self.path / _column_filename("shl", spec.name, "__values")
+                )
+                fh.append(column.flat)
+                fh.close()
+                totals[spec.name] = base + int(sizes.sum())
+        if with_labels and labels is not None:
+            fh = _NpyAppendFile.reopen(self.path / "labels.npy")
+            fh.append(labels)
+            fh.close()
+        self.header["n"] = self.n + len(chunk)
+        self.header["store_version"] = self.store_version + 1
+        self.header["vector_dims"] = vector_dims
+        self.header["shingle_totals"] = totals
+        _write_header_atomic(self.path, self.header)
+        return self.store_version
+
+
+# ----------------------------------------------------------------------
+# Labelled-dataset conveniences
+# ----------------------------------------------------------------------
+def write_dataset_layout(dataset: "Dataset", path: str | Path) -> StoreLayout:
+    """Persist a :class:`~repro.datasets.Dataset` (store + labels +
+    rule spec + JSON-able info) as a layout."""
+    from .io import rule_to_spec
+
+    info = {
+        key: value
+        for key, value in dataset.info.items()
+        if _json_safe(value)
+    }
+    return StoreLayout.write(
+        dataset.store,
+        path,
+        labels=np.asarray(dataset.labels, dtype=np.int64),
+        extras={
+            "dataset_name": dataset.name,
+            "rule": rule_to_spec(dataset.rule),
+            "info": info,
+        },
+    )
+
+
+def write_dataset_chunks(
+    schema: Schema,
+    chunks: Iterable[tuple[dict[str, Any] | RecordStore, IntArray]],
+    path: str | Path,
+    rule_spec: dict[str, Any] | None = None,
+    name: str = "dataset",
+    info: dict[str, Any] | None = None,
+) -> StoreLayout:
+    """Stream ``(columns, labels)`` chunks into a labelled layout.
+
+    The generator-facing half of out-of-core dataset construction:
+    chunks are validated, flushed, and dropped one at a time, so peak
+    memory is one chunk regardless of the final row count.
+    """
+    writer = StoreWriter(path, schema, with_labels=True)
+    writer.add_extras(
+        {
+            "dataset_name": name,
+            "rule": rule_spec,
+            "info": info or {},
+        }
+    )
+    for columns, labels in chunks:
+        writer.append(columns, labels=labels)
+    return writer.finalize()
+
+
+def open_dataset(path: str | Path, mmap: bool = True) -> "Dataset":
+    """Open a labelled layout back into a :class:`Dataset`.
+
+    The store is memory-mapped (see :meth:`StoreLayout.open`); the rule
+    is rebuilt from the stored spec.
+    """
+    from .datasets.base import Dataset
+    from .io import rule_from_spec
+
+    layout = StoreLayout(path)
+    labels = layout.labels(mmap=mmap)
+    if labels is None:
+        raise SnapshotError(
+            f"layout at {path} has no labels column; open it with "
+            "StoreLayout(path).open() instead"
+        )
+    extras = layout.extras
+    rule_spec = extras.get("rule")
+    if not rule_spec:
+        raise SnapshotError(f"layout at {path} stores no rule spec")
+    return Dataset(
+        name=str(extras.get("dataset_name", layout.path.name)),
+        store=layout.open(mmap=mmap),
+        labels=labels,
+        rule=rule_from_spec(rule_spec),
+        info=dict(extras.get("info", {})),
+    )
+
+
+def iter_store_chunks(
+    store: RecordStore, chunk_rows: int
+) -> Iterator[RecordStore]:
+    """Contiguous :meth:`~repro.records.RecordStore.slice_view` windows
+    of ``chunk_rows`` rows (the last may be shorter)."""
+    if chunk_rows < 1:
+        raise SchemaError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    for lo in range(0, len(store), chunk_rows):
+        yield store.slice_view(lo, min(lo + chunk_rows, len(store)))
+
+
+def _json_safe(value: Any) -> bool:
+    try:
+        json.dumps(value)
+    except TypeError:
+        return False
+    return True

@@ -363,3 +363,150 @@ class TestCrossShardMerge:
         assert merged == [
             sorted(int(r) for r in c.rids) for c in direct.clusters
         ]
+
+
+class TestOutOfCore:
+    """PR-8: disk-backed stores flow through the service without the
+    column bytes ever crossing a pickle boundary, and rollovers append
+    to the backing layout in O(pending) instead of rewriting the base."""
+
+    def _layout_store(self, dataset, tmp_path):
+        from repro.storage import StoreLayout
+
+        return StoreLayout.write(dataset.store, tmp_path / "base.store").open()
+
+    def test_mmap_store_serves_identically(self, dataset, tmp_path):
+        opened = self._layout_store(dataset, tmp_path)
+
+        async def run(store, expect_backed):
+            async with ResolverService(store, dataset.rule, _config()) as svc:
+                assert svc.stats()["store_backed"] is expect_backed
+                return await svc.top_k(4)
+
+        mapped = asyncio.run(run(opened, True))
+        direct = asyncio.run(run(dataset.store, False))
+        assert mapped["clusters"] == direct["clusters"]
+
+    def test_process_workers_ship_zero_store_bytes(self, dataset, tmp_path):
+        opened = self._layout_store(dataset, tmp_path)
+
+        async def body(svc):
+            out = await svc.top_k(3)
+            assert out["clusters"]
+            assert svc.stats()["store_pickle_bytes"] == 0
+
+        _serve(
+            type("D", (), {"store": opened, "rule": dataset.rule})(),
+            _config(workers="process"),
+            body,
+        )
+
+    def test_spool_dir_backs_in_memory_store(self, dataset, tmp_path):
+        async def body(svc):
+            stats = svc.stats()
+            assert stats["store_backed"] is True
+            backing = svc.current_store().backing
+            assert backing is not None
+            assert backing.path.startswith(str(tmp_path))
+            out = await svc.top_k(3)
+            return out["clusters"]
+
+        spooled = _serve(dataset, _config(spool_dir=str(tmp_path)), body)
+        plain = _serve(dataset, _config(), lambda svc: svc.top_k(3))
+        assert spooled == plain["clusters"]
+
+    def test_rollover_appends_to_backing_layout(self, dataset, tmp_path):
+        """A rollover on a layout-backed store must extend the layout in
+        place (version bump, same path) instead of rebuilding it."""
+        from repro.storage import StoreLayout
+
+        opened = self._layout_store(dataset, tmp_path)
+        extra = generate_querylog(n_records=200, seed=6).store
+
+        async def body(svc):
+            base_backing = svc.current_store().backing
+            payload = store_columns_payload(extra, 160, 185)
+            status, out = await http_request(
+                "127.0.0.1",
+                svc.port,
+                "POST",
+                "/insert_records",
+                {"columns": payload},
+            )
+            assert status == 200 and out["rollover_scheduled"] is True
+            while svc._rollover_task is not None and not svc._rollover_task.done():
+                await asyncio.sleep(0.01)
+            assert svc.generation == 1
+            store = svc.current_store()
+            assert len(store) == 185
+            backing = store.backing
+            assert backing is not None
+            assert backing.path == base_backing.path
+            assert backing.store_version == base_backing.store_version + 1
+            assert StoreLayout(backing.path).n == 185
+            status, served = await http_request(
+                "127.0.0.1", svc.port, "POST", "/top_k", {"k": 4}
+            )
+            assert status == 200
+            with svc.build_oracle() as oracle:
+                assert served["clusters"] == oracle.top_k(4)["clusters"]
+
+        _serve(
+            type("D", (), {"store": opened, "rule": dataset.rule})(),
+            _config(rollover_records=20),
+            body,
+        )
+
+
+class TestShardedIndex:
+    def _fixture(self):
+        from repro.distance import CosineDistance, ThresholdRule
+
+        store = _planted_store(
+            [((12, 5), 23), ((9, 7), 24), ((10, 6), 24), ((8, 4), 28)]
+        )
+        assert shard_spans(len(store), 4) == [
+            (0, 40),
+            (40, 80),
+            (80, 120),
+            (120, 160),
+        ]
+        return store, ThresholdRule(CosineDistance("vec"), 0.15)
+
+    def test_four_shard_equals_single_shard(self):
+        from repro.serve import ShardedIndex
+
+        store, rule = self._fixture()
+        with ShardedIndex(store, rule, n_shards=4) as sharded:
+            merged = sharded.top_k(6)
+        with ShardedIndex(store, rule, n_shards=1) as single:
+            direct = single.top_k(6)
+        assert [len(c) for c in merged["clusters"]] == [12, 10, 9, 8, 7, 6]
+        assert merged["clusters"] == direct["clusters"]
+        assert merged["n_shards"] == 4 and merged["k"] == 6
+
+    def test_mmap_store_equals_in_memory(self, tmp_path):
+        from repro.serve import ShardedIndex
+        from repro.storage import StoreLayout
+
+        store, rule = self._fixture()
+        opened = StoreLayout.write(store, tmp_path / "s.store").open()
+        with ShardedIndex(store, rule, n_shards=4) as mem:
+            want = mem.top_k(5)["clusters"]
+        with ShardedIndex(opened, rule, n_shards=4) as mm:
+            got = mm.top_k(5)["clusters"]
+        assert got == want
+
+    def test_shard_stats_report_spans(self):
+        from repro.serve import ShardedIndex
+
+        store, rule = self._fixture()
+        with ShardedIndex(store, rule, n_shards=4) as sharded:
+            stats = sharded.shard_stats()
+        assert [s["span"] for s in stats] == [
+            [0, 40],
+            [40, 80],
+            [80, 120],
+            [120, 160],
+        ]
+        assert sharded.n_shards == 4

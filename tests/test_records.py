@@ -177,6 +177,180 @@ class TestRecordStore:
         assert np.array_equal(self._store().rids, [0, 1, 2, 3])
 
 
+class TestCopyPaths:
+    """The PR-8 copy-path bugfixes: take/concat/slice_view go through
+    the trusted constructor and share arrays instead of re-validating
+    and re-copying every shingle set."""
+
+    def _store(self, n=10):
+        rng = np.random.default_rng(3)
+        schema = Schema(
+            (
+                FieldSpec("vec", FieldKind.VECTOR),
+                FieldSpec("toks", FieldKind.SHINGLES),
+            )
+        )
+        return RecordStore(
+            schema,
+            {
+                "vec": rng.normal(size=(n, 4)),
+                "toks": [
+                    sorted(set(rng.integers(0, 40, rng.integers(0, 6))))
+                    for _ in range(n)
+                ],
+            },
+        )
+
+    def test_take_shares_shingle_values_on_contiguous_range(self):
+        store = self._store()
+        sub = store.take(np.arange(3, 8))
+        assert np.shares_memory(
+            sub.shingle_sets("toks").values, store.shingle_sets("toks").values
+        )
+        assert np.shares_memory(sub.vectors("vec"), store.vectors("vec"))
+
+    def test_slice_view_is_zero_copy(self):
+        store = self._store()
+        view = store.slice_view(2, 7)
+        assert len(view) == 5
+        assert np.shares_memory(view.vectors("vec"), store.vectors("vec"))
+        assert np.shares_memory(
+            view.shingle_sets("toks").values,
+            store.shingle_sets("toks").values,
+        )
+        for i in range(5):
+            assert np.array_equal(
+                view.shingle_sets("toks")[i], store.shingle_sets("toks")[i + 2]
+            )
+
+    def test_slice_view_bad_range_rejected(self):
+        store = self._store()
+        with pytest.raises(SchemaError):
+            store.slice_view(5, 2)
+        with pytest.raises(SchemaError):
+            store.slice_view(0, 99)
+
+    def test_take_gather_matches_python_reference(self):
+        store = self._store()
+        rids = np.asarray([7, 0, 7, 3])
+        sub = store.take(rids)
+        for out_row, rid in enumerate(rids):
+            assert np.array_equal(
+                sub.shingle_sets("toks")[out_row],
+                store.shingle_sets("toks")[int(rid)],
+            )
+
+    def test_concat_equals_rebuild(self):
+        store = self._store(6)
+        other = store.take([4, 1])
+        both = store.concat(other)
+        assert len(both) == 8
+        rebuilt = RecordStore(
+            store.schema,
+            {
+                "vec": np.vstack([store.vectors("vec"), other.vectors("vec")]),
+                "toks": list(store.shingle_sets("toks"))
+                + list(other.shingle_sets("toks")),
+            },
+        )
+        assert both.content_fingerprint() == rebuilt.content_fingerprint()
+
+    def test_adopted_column_is_not_copied(self):
+        offsets = np.asarray([0, 2, 2, 5], dtype=np.int64)
+        values = np.asarray([1, 4, 0, 2, 9], dtype=np.int64)
+        store = RecordStore(
+            Schema.single_shingles("s"), {"s": (offsets, values)}
+        )
+        assert store.shingle_sets("s").values is values
+
+    def test_invalid_adopted_column_rejected(self):
+        offsets = np.asarray([0, 2], dtype=np.int64)
+        values = np.asarray([4, 1], dtype=np.int64)  # not sorted
+        with pytest.raises(SchemaError):
+            RecordStore(Schema.single_shingles("s"), {"s": (offsets, values)})
+
+
+class TestFingerprint:
+    def _store(self):
+        schema = Schema(
+            (
+                FieldSpec("vec", FieldKind.VECTOR),
+                FieldSpec("toks", FieldKind.SHINGLES),
+            )
+        )
+        return RecordStore(
+            schema,
+            {
+                "vec": np.arange(24, dtype=float).reshape(8, 3) / 7.0,
+                "toks": [
+                    [1, 2],
+                    [2, 3, 4],
+                    [],
+                    [9],
+                    [0, 5, 6, 7],
+                    [3],
+                    [8, 10],
+                    [2, 4, 6],
+                ],
+            },
+        )
+
+    def test_digest_pinned(self):
+        """Regression pin: the chunked fingerprint must keep emitting
+        exactly the digest of the original whole-matrix
+        ``tobytes()`` implementation."""
+        assert self._store().content_fingerprint() == (
+            "6d393fd33011cd5b34f869c0e079b3cf609b03a37329a28e5ab86b4641ad8022"
+        )
+        assert self._store().content_fingerprint(limit=3) == (
+            "e802e0435a47b82e66c89ebd3c954daf750e28882b1d58f18c6194788116d0e0"
+        )
+
+    def test_chunked_equals_one_shot_reference(self):
+        """The digest is invariant to the chunk size — forcing many
+        tiny chunks reproduces the one-shot stream byte for byte."""
+        import hashlib
+
+        store = self._store()
+
+        def one_shot(limit=None):
+            n = len(store) if limit is None else min(int(limit), len(store))
+            digest = hashlib.sha256()
+            digest.update(f"n={n}".encode())
+            for spec in store.schema:
+                digest.update(f"|{spec.name}:{spec.kind.value}".encode())
+                if spec.kind is FieldKind.VECTOR:
+                    mat = store.vectors(spec.name)[:n]
+                    digest.update(
+                        f":{mat.shape[1] if mat.ndim == 2 else 0}".encode()
+                    )
+                    digest.update(np.ascontiguousarray(mat).tobytes())
+                else:
+                    sets = store.shingle_sets(spec.name)
+                    for i in range(n):
+                        digest.update(np.int64(sets[i].size).tobytes())
+                        digest.update(sets[i].tobytes())
+            return digest.hexdigest()
+
+        assert store.content_fingerprint() == one_shot()
+        assert store.content_fingerprint(limit=5) == one_shot(5)
+        original = RecordStore._FINGERPRINT_CHUNK_ROWS
+        try:
+            RecordStore._FINGERPRINT_CHUNK_ROWS = 2
+            assert store.content_fingerprint() == one_shot()
+            assert store.content_fingerprint(limit=5) == one_shot(5)
+        finally:
+            RecordStore._FINGERPRINT_CHUNK_ROWS = original
+
+    def test_concat_prefix_property_still_holds(self):
+        store = self._store()
+        extended = store.concat(store.take([0, 3]))
+        assert (
+            extended.content_fingerprint(limit=len(store))
+            == store.content_fingerprint()
+        )
+
+
 @settings(max_examples=50, deadline=None)
 @given(
     sets=st.lists(

@@ -1,0 +1,270 @@
+"""Tests for the on-disk columnar store layout (`repro.storage`).
+
+The load-bearing property: a store opened from a layout with
+``mmap_mode="r"`` is *bit-identical* to the in-memory store it was
+written from — fingerprints, shingle sets, vectors, and resolved
+clusters — across every dataset generator, including empty stores and
+zero-shingle rows.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    generate_cora,
+    generate_popular_images,
+    generate_querylog,
+    generate_spotsigs,
+)
+from repro.errors import SchemaError, SnapshotError
+from repro.records import FieldKind, FieldSpec, RecordStore, Schema
+from repro.storage import (
+    StoreLayout,
+    StoreWriter,
+    iter_store_chunks,
+    open_dataset,
+    write_dataset_layout,
+)
+
+GENERATORS = {
+    "cora": (generate_cora, 120),
+    "spotsigs": (generate_spotsigs, 120),
+    "popularimages": (generate_popular_images, 3000),
+    "querylog": (generate_querylog, 120),
+}
+
+MIXED_SCHEMA = Schema(
+    (
+        FieldSpec("vec", FieldKind.VECTOR),
+        FieldSpec("toks", FieldKind.SHINGLES),
+    )
+)
+
+
+def _mixed_store(n=8):
+    rng = np.random.default_rng(7)
+    return RecordStore(
+        MIXED_SCHEMA,
+        {
+            "vec": rng.normal(size=(n, 3)),
+            "toks": [
+                sorted(set(rng.integers(0, 50, size=int(rng.integers(0, 6)))))
+                for _ in range(n)
+            ],
+        },
+    )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_mmap_store_bit_identical_across_generators(self, name, tmp_path):
+        generate, n = GENERATORS[name]
+        dataset = generate(n, seed=3)
+        layout = StoreLayout.write(dataset.store, tmp_path / "s.store")
+        opened = layout.open()
+        assert len(opened) == len(dataset.store)
+        assert opened.content_fingerprint() == dataset.store.content_fingerprint()
+        for spec in dataset.store.schema:
+            if spec.kind is FieldKind.VECTOR:
+                want = dataset.store.vectors(spec.name)
+                got = opened.vectors(spec.name)
+                assert got.dtype == want.dtype
+                assert np.array_equal(got, want)
+            else:
+                assert opened.shingle_sets(spec.name) == dataset.store.shingle_sets(
+                    spec.name
+                )
+
+    def test_resolved_clusters_bit_identical(self, tmp_path):
+        from repro.core.adaptive import AdaptiveLSH
+        from repro.core.config import AdaptiveConfig
+
+        dataset = generate_cora(150, seed=5)
+        opened = StoreLayout.write(dataset.store, tmp_path / "c.store").open()
+        config = AdaptiveConfig(cost_model="analytic", seed=11)
+        with AdaptiveLSH(dataset.store, dataset.rule, config=config) as mem:
+            direct = mem.run(3)
+        with AdaptiveLSH(opened, dataset.rule, config=config) as mm:
+            mapped = mm.run(3)
+        assert [c.rids.tolist() for c in direct.clusters] == [
+            c.rids.tolist() for c in mapped.clusters
+        ]
+        assert mapped.info["store_backing"]["store_version"] == 1
+
+    def test_dtype_exact(self, tmp_path):
+        store = _mixed_store()
+        opened = StoreLayout.write(store, tmp_path / "m.store").open()
+        assert opened.vectors("vec").dtype == np.float64
+        column = opened.shingle_sets("toks")
+        assert column.offsets.dtype == np.int64
+        assert column.values.dtype == np.int64
+
+    def test_empty_store(self, tmp_path):
+        store = RecordStore(
+            MIXED_SCHEMA, {"vec": np.zeros((0, 3)), "toks": []}
+        )
+        layout = StoreLayout.write(store, tmp_path / "e.store")
+        opened = layout.open()
+        assert len(opened) == 0
+        assert opened.content_fingerprint() == store.content_fingerprint()
+
+    def test_zero_shingle_rows(self, tmp_path):
+        store = RecordStore(
+            Schema.single_shingles("s"), {"s": [[], [1, 2], [], []]}
+        )
+        opened = StoreLayout.write(store, tmp_path / "z.store").open()
+        assert opened.shingle_sets("s") == store.shingle_sets("s")
+        assert np.array_equal(opened.set_sizes("s"), [0, 2, 0, 0])
+
+    def test_open_without_mmap(self, tmp_path):
+        store = _mixed_store()
+        layout = StoreLayout.write(store, tmp_path / "m.store")
+        assert (
+            layout.open(mmap=False).content_fingerprint()
+            == store.content_fingerprint()
+        )
+
+    def test_backing_recorded(self, tmp_path):
+        store = _mixed_store()
+        opened = StoreLayout.write(store, tmp_path / "m.store").open()
+        backing = opened.backing
+        assert backing is not None
+        assert (backing.lo, backing.hi) == (0, len(store))
+        assert backing.store_version == 1
+        view = opened.slice_view(2, 6)
+        assert view.backing is not None
+        assert (view.backing.lo, view.backing.hi) == (2, 6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    sets=st.lists(
+        st.lists(st.integers(min_value=0, max_value=100), max_size=8),
+        min_size=0,
+        max_size=16,
+    ),
+    chunk=st.integers(min_value=1, max_value=7),
+)
+def test_chunked_writer_equals_one_shot(tmp_path_factory, sets, chunk):
+    """Property: writing a store in arbitrary chunk sizes produces a
+    layout bit-identical to the one-shot write."""
+    store = RecordStore(Schema.single_shingles("s"), {"s": sets})
+    base = tmp_path_factory.mktemp("layouts")
+    one = StoreLayout.write(store, base / "one.store").open()
+    writer = StoreWriter(base / "chunked.store", store.schema)
+    for piece in iter_store_chunks(store, chunk) if len(store) else []:
+        writer.append(piece)
+    chunked = writer.finalize().open()
+    assert chunked.content_fingerprint() == one.content_fingerprint()
+    assert chunked.content_fingerprint() == store.content_fingerprint()
+
+
+class TestAppend:
+    def test_append_bumps_version_and_extends(self, tmp_path):
+        store = _mixed_store(10)
+        layout = StoreLayout.write(store, tmp_path / "a.store")
+        extra = store.slice_view(0, 4)
+        new_version = layout.append(extra)
+        assert new_version == 2
+        assert layout.n == 14
+        reopened = StoreLayout(tmp_path / "a.store").open()
+        assert (
+            reopened.content_fingerprint()
+            == store.concat(extra).content_fingerprint()
+        )
+
+    def test_open_store_survives_append(self, tmp_path):
+        """Layouts are append-only: a store opened before an append
+        keeps serving its shorter prefix unchanged."""
+        store = _mixed_store(10)
+        layout = StoreLayout.write(store, tmp_path / "a.store")
+        before = layout.open()
+        fingerprint = before.content_fingerprint()
+        layout.append(store.slice_view(0, 5))
+        assert len(before) == 10
+        assert before.content_fingerprint() == fingerprint
+
+    def test_append_schema_mismatch_rejected(self, tmp_path):
+        layout = StoreLayout.write(_mixed_store(), tmp_path / "a.store")
+        other = RecordStore(Schema.single_vector(), {"vec": np.zeros((1, 3))})
+        with pytest.raises(SchemaError):
+            layout.append(other)
+
+    def test_labelled_layout_requires_labels(self, tmp_path):
+        store = _mixed_store(6)
+        layout = StoreLayout.write(
+            store, tmp_path / "l.store", labels=np.arange(6, dtype=np.int64)
+        )
+        with pytest.raises(SchemaError):
+            layout.append(store.slice_view(0, 2))
+        layout.append(
+            store.slice_view(0, 2), labels=np.asarray([9, 9], dtype=np.int64)
+        )
+        assert layout.labels().tolist() == [0, 1, 2, 3, 4, 5, 9, 9]
+
+
+class TestErrors:
+    def test_missing_layout(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            StoreLayout(tmp_path / "nope.store")
+
+    def test_double_finalize_rejected(self, tmp_path):
+        writer = StoreWriter(tmp_path / "w.store", MIXED_SCHEMA)
+        writer.finalize()
+        with pytest.raises(SnapshotError):
+            writer.finalize()
+
+    def test_append_after_finalize_rejected(self, tmp_path):
+        writer = StoreWriter(tmp_path / "w.store", MIXED_SCHEMA)
+        writer.finalize()
+        with pytest.raises(SnapshotError):
+            writer.append(_mixed_store(2))
+
+    def test_existing_layout_not_overwritten(self, tmp_path):
+        StoreLayout.write(_mixed_store(), tmp_path / "w.store")
+        with pytest.raises(SnapshotError):
+            StoreWriter(tmp_path / "w.store", MIXED_SCHEMA)
+
+    def test_bad_field_name_rejected(self, tmp_path):
+        schema = Schema((FieldSpec("bad/name", FieldKind.SHINGLES),))
+        store = RecordStore(schema, {"bad/name": [[1]]})
+        with pytest.raises(SchemaError):
+            StoreLayout.write(store, tmp_path / "w.store")
+
+    def test_unlabelled_open_dataset_rejected(self, tmp_path):
+        StoreLayout.write(_mixed_store(), tmp_path / "w.store")
+        with pytest.raises(SnapshotError):
+            open_dataset(tmp_path / "w.store")
+
+
+class TestDatasetLayouts:
+    def test_dataset_round_trip(self, tmp_path):
+        from repro.io import rule_to_spec
+
+        dataset = generate_cora(100, seed=2)
+        write_dataset_layout(dataset, tmp_path / "ds.store")
+        loaded = open_dataset(tmp_path / "ds.store")
+        assert loaded.name == dataset.name
+        assert len(loaded) == len(dataset)
+        assert np.array_equal(loaded.labels, dataset.labels)
+        assert rule_to_spec(loaded.rule) == rule_to_spec(dataset.rule)
+        assert (
+            loaded.store.content_fingerprint()
+            == dataset.store.content_fingerprint()
+        )
+
+    def test_streamed_build_matches_writer(self, tmp_path):
+        from repro.datasets import build_cora_layout
+
+        one = build_cora_layout(tmp_path / "a.store", 400, chunk_records=97, seed=6)
+        two = build_cora_layout(tmp_path / "b.store", 400, chunk_records=97, seed=6)
+        assert (
+            one.open().content_fingerprint() == two.open().content_fingerprint()
+        )
+        dataset = open_dataset(tmp_path / "a.store")
+        assert len(dataset) == 400
+        assert dataset.labels.size == 400
+        # Chunk-local shuffles: record order carries no entity signal.
+        assert not np.array_equal(dataset.labels, np.sort(dataset.labels))
