@@ -12,14 +12,13 @@ from repro.core import AdaptiveLSH
 from repro.lsh.design import build_design_context, design_scheme
 
 from .conftest import SEED
+from repro.core.config import AdaptiveConfig
 
 
 @pytest.mark.parametrize("epsilon", [1e-2, 1e-3, 1e-4])
 def test_epsilon_run_time(benchmark, spotsigs, epsilon):
     def setup():
-        method = AdaptiveLSH(
-            spotsigs.store, spotsigs.rule, seed=SEED, epsilon=epsilon
-        )
+        method = AdaptiveLSH(spotsigs.store, spotsigs.rule, config=AdaptiveConfig(seed=SEED, epsilon=epsilon))
         method.prepare()
         return (method,), {}
 
@@ -45,12 +44,8 @@ def test_design_sharpness_grows_with_epsilon(benchmark, spotsigs):
 
 def test_default_epsilon_accuracy(benchmark, spotsigs):
     def run():
-        tight = AdaptiveLSH(
-            spotsigs.store, spotsigs.rule, seed=SEED, epsilon=1e-3
-        ).run(10)
-        loose = AdaptiveLSH(
-            spotsigs.store, spotsigs.rule, seed=SEED, epsilon=1e-2
-        ).run(10)
+        tight = AdaptiveLSH(spotsigs.store, spotsigs.rule, config=AdaptiveConfig(seed=SEED, epsilon=1e-3)).run(10)
+        loose = AdaptiveLSH(spotsigs.store, spotsigs.rule, config=AdaptiveConfig(seed=SEED, epsilon=1e-2)).run(10)
         return tight, loose
 
     tight, loose = benchmark.pedantic(run, rounds=1, iterations=1)

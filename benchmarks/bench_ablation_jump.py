@@ -12,6 +12,7 @@ import pytest
 from repro.core import AdaptiveLSH, CostModel, exponential_budgets
 
 from .conftest import SEED
+from repro.core.config import AdaptiveConfig
 
 
 def _run(spotsigs, policy):
@@ -22,9 +23,7 @@ def _run(spotsigs, policy):
         model = CostModel.from_budgets(budgets, cost_per_hash=1e-12, cost_p=1e9)
     else:  # always-P
         model = CostModel.from_budgets(budgets, cost_per_hash=1e9, cost_p=1e-12)
-    method = AdaptiveLSH(
-        spotsigs.store, spotsigs.rule, budgets=budgets, seed=SEED, cost_model=model
-    )
+    method = AdaptiveLSH(spotsigs.store, spotsigs.rule, config=AdaptiveConfig(budgets=budgets, seed=SEED, cost_model=model))
     method.prepare()
     result = method.run(5)
     return result

@@ -18,6 +18,7 @@ from repro.records import RecordStore, Schema
 from repro.distance import CosineDistance, ThresholdRule
 
 from .conftest import SEED
+from repro.core.config import AdaptiveConfig
 
 BUDGETS = [20, 40, 80, 160, 320, 640, 1280, 2560]
 
@@ -39,10 +40,7 @@ def dense_blob():
 
 def run_policy(store, rule, policy, k=1):
     model = CostModel.from_budgets(BUDGETS, cost_p=10.0)
-    method = AdaptiveLSH(
-        store, rule, budgets=BUDGETS, seed=SEED, cost_model=model,
-        jump_policy=policy,
-    )
+    method = AdaptiveLSH(store, rule, config=AdaptiveConfig(budgets=BUDGETS, seed=SEED, cost_model=model, jump_policy=policy))
     method.prepare()
     return method.run(k)
 
@@ -73,12 +71,8 @@ def test_lookahead_saves_hashing_on_dense_blob(benchmark, dense_blob):
 
 def test_lookahead_harmless_on_spotsigs(benchmark, spotsigs):
     def run():
-        line5 = AdaptiveLSH(
-            spotsigs.store, spotsigs.rule, seed=SEED, jump_policy="line5"
-        ).run(5)
-        look = AdaptiveLSH(
-            spotsigs.store, spotsigs.rule, seed=SEED, jump_policy="lookahead"
-        ).run(5)
+        line5 = AdaptiveLSH(spotsigs.store, spotsigs.rule, config=AdaptiveConfig(seed=SEED, jump_policy="line5")).run(5)
+        look = AdaptiveLSH(spotsigs.store, spotsigs.rule, config=AdaptiveConfig(seed=SEED, jump_policy="lookahead")).run(5)
         return line5, look
 
     line5, look = benchmark.pedantic(run, rounds=1, iterations=1)

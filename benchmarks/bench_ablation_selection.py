@@ -10,6 +10,7 @@ import pytest
 from repro.core import AdaptiveLSH
 
 from .conftest import SEED
+from repro.core.config import AdaptiveConfig
 
 
 @pytest.mark.parametrize(
@@ -17,12 +18,7 @@ from .conftest import SEED
 )
 def test_selection_strategy_time(benchmark, spotsigs, selection):
     def setup():
-        method = AdaptiveLSH(
-            spotsigs.store,
-            spotsigs.rule,
-            seed=SEED,
-            selection=selection,
-        )
+        method = AdaptiveLSH(spotsigs.store, spotsigs.rule, config=AdaptiveConfig(seed=SEED, selection=selection))
         method.prepare()
         return (method,), {}
 
@@ -36,9 +32,7 @@ def test_largest_first_minimizes_work(benchmark, spotsigs):
     def run():
         work = {}
         for selection in ("largest", "smallest"):
-            method = AdaptiveLSH(
-                spotsigs.store, spotsigs.rule, seed=SEED, selection=selection
-            )
+            method = AdaptiveLSH(spotsigs.store, spotsigs.rule, config=AdaptiveConfig(seed=SEED, selection=selection))
             result = method.run(5)
             work[selection] = (
                 result.counters.hashes_computed,

@@ -13,11 +13,12 @@ from repro.core import AdaptiveLSH
 from repro.online import StreamingTopK
 
 from .conftest import SEED
+from repro.core.config import AdaptiveConfig
 
 
 def test_time_to_first_vs_full(benchmark, spotsigs):
     def run():
-        method = AdaptiveLSH(spotsigs.store, spotsigs.rule, seed=SEED)
+        method = AdaptiveLSH(spotsigs.store, spotsigs.rule, config=AdaptiveConfig(seed=SEED))
         method.prepare()
         started = time.perf_counter()
         gen = method.iter_clusters(20)
@@ -39,9 +40,7 @@ def test_time_to_first_vs_full(benchmark, spotsigs):
 
 def test_streaming_ingest_and_query(benchmark, spotsigs):
     def run():
-        stream = StreamingTopK(
-            spotsigs.store, spotsigs.rule, seed=SEED, cost_model="analytic"
-        )
+        stream = StreamingTopK(spotsigs.store, spotsigs.rule, config=AdaptiveConfig(seed=SEED, cost_model="analytic"))
         stream.insert_many(spotsigs.store.rids)
         return stream.top_k(5)
 
@@ -51,9 +50,7 @@ def test_streaming_ingest_and_query(benchmark, spotsigs):
 
 def test_streaming_warm_query_is_cheaper(benchmark, spotsigs):
     def run():
-        stream = StreamingTopK(
-            spotsigs.store, spotsigs.rule, seed=SEED, cost_model="analytic"
-        )
+        stream = StreamingTopK(spotsigs.store, spotsigs.rule, config=AdaptiveConfig(seed=SEED, cost_model="analytic"))
         stream.insert_many(spotsigs.store.rids)
         cold = stream.top_k(5)
         warm = stream.top_k(5)

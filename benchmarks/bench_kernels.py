@@ -1,0 +1,167 @@
+"""Kernel-backend bit-identity gate + micro-benchmarks.
+
+For each generator at the macro benchmark's scale (1000 records) this
+runs the two hot micro-kernels — minhash signature blocks and pairwise
+Jaccard verification — once per backend (``numpy`` reference oracle vs
+``packed``) and an end-to-end ``adaptive_filter`` per backend, then
+writes ``BENCH_kernels.json``.
+
+The **gate** (exit 1) is bit-identity: packed signatures, pairwise
+distances, rule verdicts, and final clusters must all equal the
+reference exactly.  Wall-clock speedups are archived in the JSON but
+never gated — CI machines are noisy; the committed numbers document
+the packed backend's wins (bitset-kind data like Cora shingle fields
+speeds up severalfold; huge-vocabulary data like SpotSigs lands at
+parity by design, see docs/PERFORMANCE.md "Kernel backends").
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro import AdaptiveConfig, adaptive_filter
+from repro.bench import emit_result
+from repro.datasets import generate_cora, generate_spotsigs
+from repro.distance.jaccard import JaccardDistance
+from repro.kernels import KERNEL_NAMES, use_kernels
+from repro.lsh.minhash import MinHashFamily
+
+#: Shingle field timed by the signature micro-kernel, per generator.
+SIG_FIELDS = {"cora": "title", "spotsigs": "signatures"}
+
+
+def _best_of(fn, repeats: int):
+    """(best wall seconds, last output) of ``repeats`` calls."""
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, out
+
+
+def bench_dataset(name, dataset, args, failures: list[str]) -> dict:
+    store, rule = dataset.store, dataset.rule
+    field = SIG_FIELDS[name]
+    rids = np.arange(len(store), dtype=np.int64)
+    rng = np.random.default_rng(args.seed)
+    pair_a = rng.integers(0, len(store), size=args.pairs).astype(np.int64)
+    pair_b = rng.integers(0, len(store), size=args.pairs).astype(np.int64)
+    dist = JaccardDistance(field)
+
+    entry: dict = {"records": len(store), "field": field}
+    sig_out: dict[str, np.ndarray] = {}
+    dist_out: dict[str, np.ndarray] = {}
+    verdict_out: dict[str, np.ndarray] = {}
+    cluster_out: dict[str, list] = {}
+
+    for backend in KERNEL_NAMES:
+        started = time.perf_counter()
+        family = MinHashFamily(store, field, seed=0, kernels=backend)
+        pack_s = time.perf_counter() - started
+        sig_s, sig = _best_of(
+            lambda: family.compute(rids, 0, args.hashes), args.repeats
+        )
+        sig_out[backend] = sig
+
+        with use_kernels(backend):
+            pairs_s, dists = _best_of(
+                lambda: dist.pairs(store, pair_a, pair_b), args.repeats
+            )
+            verdict_out[backend] = rule.match_pairs(store, pair_a, pair_b)
+        dist_out[backend] = dists
+
+        config = AdaptiveConfig(
+            seed=args.method_seed, cost_model="analytic", kernels=backend
+        )
+        e2e_started = time.perf_counter()
+        result = adaptive_filter(store, rule, args.k, config=config)
+        e2e_s = time.perf_counter() - e2e_started
+        cluster_out[backend] = [
+            tuple(int(r) for r in c.rids) for c in result.clusters
+        ]
+        entry[backend] = {
+            "pack_seconds": round(pack_s, 5),
+            "signature_seconds": round(sig_s, 5),
+            "pairwise_seconds": round(pairs_s, 5),
+            "end_to_end_seconds": round(e2e_s, 5),
+        }
+
+    ref, packed = KERNEL_NAMES[0], "packed"
+    if not np.array_equal(sig_out[ref], sig_out[packed]):
+        failures.append(f"{name}: packed signatures differ from reference")
+    if not np.array_equal(dist_out[ref], dist_out[packed]):
+        failures.append(f"{name}: packed distances differ from reference")
+    if not np.array_equal(verdict_out[ref], verdict_out[packed]):
+        failures.append(f"{name}: packed match verdicts differ from reference")
+    if cluster_out[ref] != cluster_out[packed]:
+        failures.append(f"{name}: packed final clusters differ from reference")
+
+    entry["speedup_signature"] = round(
+        entry[ref]["signature_seconds"] / entry[packed]["signature_seconds"], 3
+    )
+    entry["speedup_pairwise"] = round(
+        entry[ref]["pairwise_seconds"] / entry[packed]["pairwise_seconds"], 3
+    )
+    entry["identical"] = not any(f.startswith(name) for f in failures)
+    return entry
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_kernels.json")
+    parser.add_argument("--records", type=int, default=1000)
+    parser.add_argument("--hashes", type=int, default=128)
+    parser.add_argument("--pairs", type=int, default=65536)
+    parser.add_argument("--k", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--method-seed", type=int, default=3)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    started = time.perf_counter()
+    datasets = {
+        "cora": bench_dataset(
+            "cora", generate_cora(n_records=args.records, seed=args.seed),
+            args, failures,
+        ),
+        "spotsigs": bench_dataset(
+            "spotsigs",
+            generate_spotsigs(n_records=args.records, seed=args.seed),
+            args, failures,
+        ),
+    }
+    total_s = time.perf_counter() - started
+
+    emit_result(
+        args.out,
+        "bench_kernels",
+        config={
+            "records": args.records,
+            "hashes": args.hashes,
+            "pairs": args.pairs,
+            "k": args.k,
+            "seed": args.seed,
+            "method_seed": args.method_seed,
+            "repeats": args.repeats,
+        },
+        timings={"total_seconds": total_s},
+        payload={
+            "backends": list(KERNEL_NAMES),
+            "gated": ["signatures", "distances", "verdicts", "clusters"],
+            "datasets": datasets,
+            "failures": failures,
+        },
+    )
+    for failure in failures:
+        print(f"FATAL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

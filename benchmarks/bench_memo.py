@@ -16,11 +16,11 @@ than ``--min-reduction`` (default 30%) of the pair comparisons.
 from __future__ import annotations
 
 import argparse
-import json
 import time
 
 import numpy as np
 
+from repro.bench import emit_result
 from repro.core.config import AdaptiveConfig
 from repro.datasets import generate_cora
 from repro.online import StreamingTopK
@@ -76,22 +76,32 @@ def main(argv=None) -> int:
     baseline = off["pairs_compared_total"]
     reduction = 1.0 - on["pairs_compared_total"] / baseline if baseline else 0.0
 
-    payload = {
-        "scenario": (
-            f"StreamingTopK on cora({args.records}), "
-            f"{args.batches} insert+query rounds"
-        ),
-        "k": args.k,
-        "memo_off": off,
-        "memo_on": on,
-        "pairs_compared_reduction": round(reduction, 4),
-        "min_reduction": args.min_reduction,
-        "identical_outputs": identical,
-    }
-    with open(args.out, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
-    print(json.dumps(payload, indent=2))
+    emit_result(
+        args.out,
+        "bench_memo",
+        config={
+            "records": args.records,
+            "batches": args.batches,
+            "k": args.k,
+            "seed": args.seed,
+            "method_seed": args.method_seed,
+            "min_reduction": args.min_reduction,
+        },
+        timings={
+            "memo_off_seconds": off["seconds"],
+            "memo_on_seconds": on["seconds"],
+        },
+        payload={
+            "scenario": (
+                f"StreamingTopK on cora({args.records}), "
+                f"{args.batches} insert+query rounds"
+            ),
+            "memo_off": off,
+            "memo_on": on,
+            "pairs_compared_reduction": round(reduction, 4),
+            "identical_outputs": identical,
+        },
+    )
     if not identical:
         print("FATAL: memoized outputs differ from non-memoized outputs")
         return 1

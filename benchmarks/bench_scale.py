@@ -32,7 +32,6 @@ from __future__ import annotations
 
 import argparse
 import asyncio
-import json
 import os
 import resource
 import tempfile
@@ -40,6 +39,7 @@ import time
 
 import numpy as np
 
+from repro.bench import emit_result
 from repro.core.config import AdaptiveConfig, config_with
 from repro.datasets import build_cora_layout
 from repro.distance import CosineDistance, ThresholdRule
@@ -204,30 +204,37 @@ def main(argv=None) -> int:
             f"peak RSS {peak_mb:.0f} MiB exceeds ceiling {args.max_rss_mb} MiB"
         )
 
-    payload = {
-        "scenario": (
-            f"streamed cora({args.records}) -> mmap layout -> "
-            f"{args.shards}-shard top-{args.k}"
-        ),
-        "records": args.records,
-        "chunk_records": args.chunk,
-        "build_seconds": round(build_s, 3),
-        "layout_disk_bytes": disk_bytes,
-        "resolve_seconds": round(resolve_s, 3),
-        "resolvable": int(merged["resolvable"]),
-        "top_cluster_sizes": [len(c) for c in merged["clusters"]],
-        "hashes_computed": int(merged["hashes_computed"]),
-        "pairs_compared": int(merged["pairs_compared"]),
-        "peak_rss_mb": round(peak_mb, 1),
-        "max_rss_mb": args.max_rss_mb,
-        "identity_gate": identity,
-        "service_gate": service,
-        "failures": failures,
-    }
-    with open(args.out, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
-    print(json.dumps(payload, indent=2))
+    emit_result(
+        args.out,
+        "bench_scale",
+        config={
+            "records": args.records,
+            "chunk_records": args.chunk,
+            "shards": args.shards,
+            "k": args.k,
+            "seed": args.seed,
+            "max_rss_mb": args.max_rss_mb,
+        },
+        timings={
+            "build_seconds": build_s,
+            "resolve_seconds": resolve_s,
+        },
+        payload={
+            "scenario": (
+                f"streamed cora({args.records}) -> mmap layout -> "
+                f"{args.shards}-shard top-{args.k}"
+            ),
+            "layout_disk_bytes": disk_bytes,
+            "resolvable": int(merged["resolvable"]),
+            "top_cluster_sizes": [len(c) for c in merged["clusters"]],
+            "hashes_computed": int(merged["hashes_computed"]),
+            "pairs_compared": int(merged["pairs_compared"]),
+            "peak_rss_mb": round(peak_mb, 1),
+            "identity_gate": identity,
+            "service_gate": service,
+            "failures": failures,
+        },
+    )
     for failure in failures:
         print(f"FATAL: {failure}")
     return 1 if failures else 0

@@ -22,6 +22,7 @@ import argparse
 import json
 import time
 
+from repro.bench import emit_result
 from repro.core.adaptive import AdaptiveLSH
 from repro.core.config import AdaptiveConfig
 from repro.datasets import generate_cora, generate_spotsigs
@@ -87,20 +88,28 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     scenarios = run_scenarios(args.records, args.seed, args.method_seed, args.k)
-    payload = {
-        "data_seed": args.seed,
-        "method_seed": args.method_seed,
-        "gated_counters": list(GATED_COUNTERS),
-        "scenarios": scenarios,
-    }
-    with open(args.out, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
-    print(json.dumps(payload, indent=2))
+    document = emit_result(
+        args.out,
+        "bench_topk_macro",
+        config={
+            "records": args.records,
+            "k": args.k,
+            "data_seed": args.seed,
+            "method_seed": args.method_seed,
+        },
+        timings={
+            f"{name}_wall_seconds": entry["wall_seconds"]
+            for name, entry in scenarios.items()
+        },
+        payload={
+            "gated_counters": list(GATED_COUNTERS),
+            "scenarios": scenarios,
+        },
+    )
 
     if args.write_baseline:
         with open(args.write_baseline, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=2)
+            json.dump(document, fh, indent=2)
             fh.write("\n")
         print(f"baseline written to {args.write_baseline}")
     if args.check_baseline:

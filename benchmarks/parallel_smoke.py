@@ -11,11 +11,11 @@ consumers should gate expectations on the recorded core count.
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import time
 
 from repro.baselines import PairsBaseline
+from repro.bench import emit_result
 from repro.datasets import generate_spotsigs
 
 
@@ -45,20 +45,24 @@ def main(argv=None) -> int:
     parallel_s, parallel_clusters, stats = _run(dataset, args.k, args.n_jobs)
     identical = serial_clusters == parallel_clusters
 
-    payload = {
-        "scenario": f"Pairs baseline on spotsigs({args.records})",
-        "cpu_count": os.cpu_count(),
-        "n_jobs": args.n_jobs,
-        "serial_seconds": round(serial_s, 4),
-        "parallel_seconds": round(parallel_s, 4),
-        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
-        "identical_clusters": identical,
-        "pool": stats,
-    }
-    with open(args.out, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
-    print(json.dumps(payload, indent=2))
+    emit_result(
+        args.out,
+        "parallel_smoke",
+        config={
+            "records": args.records,
+            "k": args.k,
+            "n_jobs": args.n_jobs,
+            "seed": args.seed,
+        },
+        timings={"serial_seconds": serial_s, "parallel_seconds": parallel_s},
+        payload={
+            "scenario": f"Pairs baseline on spotsigs({args.records})",
+            "cpu_count": os.cpu_count(),
+            "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+            "identical_clusters": identical,
+            "pool": stats,
+        },
+    )
     if not identical:
         print("FATAL: parallel clusters differ from serial")
         return 1

@@ -15,12 +15,12 @@ prepare span fails the run.
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import tempfile
 import time
 
 from repro import AdaptiveConfig, AdaptiveLSH, RunObserver
+from repro.bench import emit_result
 from repro.datasets import generate_spotsigs
 from repro.serve import IndexSnapshot, ResolverSession
 
@@ -76,24 +76,27 @@ def main(argv=None) -> int:
     identical = _cluster_key(cold_result) == _cluster_key(warm_result)
     prepare_skipped = "adaLSH.prepare" not in warm_spans
 
-    payload = {
-        "scenario": f"adaLSH top-{args.k} on spotsigs({args.records})",
-        "cold_prepare_seconds": round(cold_prepare_s, 4),
-        "cold_run_seconds": round(cold_run_s, 4),
-        "snapshot_save_seconds": round(save_s, 4),
-        "snapshot_load_seconds": round(load_s, 4),
-        "snapshot_bytes": snapshot_bytes,
-        "warm_restore_seconds": round(restore_s, 4),
-        "warm_run_seconds": round(warm_run_s, 4),
-        "warm_hashes_computed": int(warm_result.counters.hashes_computed),
-        "identical_clusters": identical,
-        "prepare_skipped": prepare_skipped,
-        "warm_spans": warm_spans,
-    }
-    with open(args.out, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
-    print(json.dumps(payload, indent=2))
+    emit_result(
+        args.out,
+        "serve_smoke",
+        config={"records": args.records, "k": args.k, "seed": args.seed},
+        timings={
+            "cold_prepare_seconds": cold_prepare_s,
+            "cold_run_seconds": cold_run_s,
+            "snapshot_save_seconds": save_s,
+            "snapshot_load_seconds": load_s,
+            "warm_restore_seconds": restore_s,
+            "warm_run_seconds": warm_run_s,
+        },
+        payload={
+            "scenario": f"adaLSH top-{args.k} on spotsigs({args.records})",
+            "snapshot_bytes": snapshot_bytes,
+            "warm_hashes_computed": int(warm_result.counters.hashes_computed),
+            "identical_clusters": identical,
+            "prepare_skipped": prepare_skipped,
+            "warm_spans": warm_spans,
+        },
+    )
     if not identical:
         print("FATAL: warm-start clusters differ from the cold run")
         return 1

@@ -58,6 +58,7 @@ DOCUMENTED_INFO_KEYS = frozenset(
         "serving",
         "memoized_pairs",
         "store_backing",
+        "kernels",
     }
 )
 

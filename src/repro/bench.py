@@ -1,0 +1,98 @@
+"""Shared benchmark-result emission (``BENCH_*.json`` schema).
+
+Every benchmark under ``benchmarks/`` historically wrote its own ad-hoc
+JSON shape, which made cross-run tooling (nightly archives, perf
+dashboards, ``--check-baseline`` gates) parse five different envelopes.
+:func:`emit_result` is the one funnel: it stamps a common header —
+``schema_version``, the benchmark name, the current git revision, the
+benchmark's configuration plus a stable hash of it, and the caller's
+wall-clock timings — and keeps the benchmark-specific payload keys
+**top-level**, so existing consumers (``bench_topk_macro``'s baseline
+gate reads ``baseline["scenarios"]``) keep working unchanged.
+
+The header keys are reserved: a payload that collides with one raises
+instead of silently shadowing the envelope.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import sys
+from collections.abc import Mapping
+from typing import Any
+
+#: Bumped on any incompatible change to the emitted envelope.
+SCHEMA_VERSION = 1
+
+#: Envelope keys a payload may not shadow.
+RESERVED_KEYS = frozenset(
+    {"schema_version", "benchmark", "git_rev", "config", "config_hash", "timings"}
+)
+
+
+def git_rev() -> str | None:
+    """The current short git revision, or ``None`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except OSError:
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def config_hash(config: Mapping[str, Any]) -> str:
+    """Stable 12-hex-digit digest of a JSON-serializable config mapping.
+
+    Key order does not matter (canonical sorted-key JSON is hashed), so
+    two runs with the same parameters hash identically regardless of
+    how the dict was assembled.
+    """
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+def emit_result(
+    path: str | None,
+    name: str,
+    *,
+    config: Mapping[str, Any],
+    timings: Mapping[str, float],
+    payload: Mapping[str, Any],
+    echo: bool = True,
+) -> dict[str, Any]:
+    """Write one ``BENCH_*.json`` document and return it.
+
+    ``config`` is the benchmark's parameter set (records, seeds, k,
+    ...) and is stored verbatim next to its :func:`config_hash`;
+    ``timings`` maps stage names to seconds (rounded to 10 µs);
+    ``payload`` keys land top-level in the document.  ``path=None``
+    skips the file write (callers that gate without archiving).
+    """
+    clash = RESERVED_KEYS & set(payload)
+    if clash:
+        raise ValueError(f"payload keys shadow the envelope: {sorted(clash)}")
+    document: dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": name,
+        "git_rev": git_rev(),
+        "config": dict(config),
+        "config_hash": config_hash(config),
+        "timings": {k: round(float(v), 5) for k, v in timings.items()},
+    }
+    document.update(payload)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2)
+            fh.write("\n")
+    if echo:
+        json.dump(document, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    return document

@@ -20,7 +20,6 @@ largest — by Theorem 2 the time-to-k'-th-cluster is optimal for every
 
 from __future__ import annotations
 
-import warnings
 from collections.abc import Iterable, Iterator, Sequence
 from typing import Any
 
@@ -28,6 +27,7 @@ import numpy as np
 
 from ..distance.rules import MatchRule
 from ..errors import ConfigurationError, ResolvableExceededError, SnapshotError
+from ..kernels import resolve_kernels, use_kernels
 from ..lsh.design import DesignContext, SchemeDesign, design_sequence
 from ..lsh.families import SignaturePool
 from ..lsh.keycache import LevelKeyCache
@@ -39,7 +39,7 @@ from ..rngutil import SeedLike, make_rng
 from ..structures.bin_index import BinIndex
 from ..types import IntArray
 from .budget import exponential_budgets
-from .config import SELECTIONS, AdaptiveConfig, resolve_config
+from .config import SELECTIONS, AdaptiveConfig
 from .cost import CostModel
 from .pairmemo import (
     MATCH,
@@ -67,27 +67,28 @@ class AdaptiveLSH:
         An :class:`~repro.core.config.AdaptiveConfig` holding every
         tuning knob (budgets, epsilon, seed, cost model, selection,
         jump policy, parallelism, caching); defaults apply when
-        omitted.  The pre-config keyword arguments (``budgets=``,
-        ``seed=``, ...) still work through a ``DeprecationWarning``
-        shim, as does a bare budget sequence in this position.
+        omitted.  This is the only construction surface — the
+        pre-config keyword arguments were removed after a deprecation
+        cycle.
     observer:
         A :class:`~repro.obs.RunObserver` to collect spans, metrics and
         round events into.  After :meth:`run`, :attr:`last_report`
         holds the serializable :class:`~repro.obs.RunReport` of the
-        run.  (``trace=True`` is a deprecated alias for attaching a
-        private enabled observer.)
+        run.
 
     Notes
     -----
     ``config.n_jobs`` is the worker-process count for signature batches
     and blocked pairwise evaluation; ``None`` defers to the
-    ``REPRO_N_JOBS`` environment variable (default serial).  Results
-    are bit-identical to serial for every value.  Call :meth:`close`
-    (or use the instance as a context manager) to shut the worker pool
-    down.  ``config.signature_cache`` caches each record's packed
-    per-level bucket keys so repeated applications of the same sequence
-    function (re-runs, :meth:`refine`, incremental mode) skip the key
-    packing.
+    ``REPRO_N_JOBS`` environment variable (default serial).
+    ``config.kernels`` selects the signature/intersection kernel
+    backend the same way (``REPRO_KERNELS``, default ``"numpy"``).
+    Results are bit-identical for every value of either knob.  Call
+    :meth:`close` (or use the instance as a context manager) to shut
+    the worker pool down.  ``config.signature_cache`` caches each
+    record's packed per-level bucket keys so repeated applications of
+    the same sequence function (re-runs, :meth:`refine`, incremental
+    mode) skip the key packing.
 
     A prepared instance can be frozen to disk with
     :class:`~repro.serve.IndexSnapshot` and warm-started later through
@@ -107,23 +108,17 @@ class AdaptiveLSH:
         self,
         store: RecordStore,
         rule: MatchRule,
-        config: AdaptiveConfig | Sequence[int] | None = None,
+        config: AdaptiveConfig | None = None,
         observer: RunObserver | None = None,
-        **legacy: Any,
     ) -> None:
-        trace = bool(legacy.pop("trace", False))
-        if trace:
-            warnings.warn(
-                "trace=True is deprecated; pass "
-                "observer=RunObserver(enabled=True) instead",
-                DeprecationWarning,
-                stacklevel=2,
+        if config is None:
+            config = AdaptiveConfig()
+        elif not isinstance(config, AdaptiveConfig):
+            raise ConfigurationError(
+                "config must be an AdaptiveConfig (the legacy keyword "
+                f"arguments were removed), got {type(config).__name__}"
             )
-        if config is not None and not isinstance(config, AdaptiveConfig):
-            # Third-positional budgets from the pre-config signature.
-            legacy.setdefault("budgets", config)
-            config = None
-        cfg = resolve_config(config, legacy)
+        cfg = config
         #: The resolved :class:`AdaptiveConfig` this instance runs with.
         self.config = cfg
         self.store = store
@@ -139,6 +134,9 @@ class AdaptiveLSH:
         self._cost_model_spec = cfg.cost_model
         #: Resolved worker count; 1 means everything runs in-process.
         self.n_jobs = resolve_n_jobs(cfg.n_jobs)
+        #: Resolved kernel backend name, pinned at construction so the
+        #: whole run (families, verification, workers) uses one backend.
+        self.kernels = resolve_kernels(cfg.kernels)
         self._exec_pool: ExecutionPool | None = (
             ExecutionPool(store, self.n_jobs) if self.n_jobs > 1 else None
         )
@@ -155,6 +153,7 @@ class AdaptiveLSH:
             strategy=cfg.pairwise_strategy,
             pool=self._exec_pool,
             memo=self._pair_memo,
+            kernels=self.kernels,
         )
         self._key_cache: LevelKeyCache | None = (
             LevelKeyCache(len(store)) if cfg.signature_cache else None
@@ -166,15 +165,9 @@ class AdaptiveLSH:
         self.jump_policy = cfg.jump_policy
         self._lookahead_samples = cfg.lookahead_samples
         self._lookahead_density = cfg.lookahead_density
-        # Observability: a caller-supplied RunObserver wins; trace=True
-        # alone creates a private enabled observer; otherwise the shared
-        # no-op observer keeps the hot paths branch-only.
-        if observer is not None:
-            self.obs = observer
-        elif trace:
-            self.obs = RunObserver(enabled=True)
-        else:
-            self.obs = DISABLED
+        # Observability: a caller-supplied RunObserver wins; otherwise
+        # the shared no-op observer keeps the hot paths branch-only.
+        self.obs = observer if observer is not None else DISABLED
         #: :class:`~repro.obs.report.RunReport` of the latest
         #: :meth:`run`/:meth:`refine` (``None`` when observability is
         #: off or before the first run).
@@ -210,10 +203,18 @@ class AdaptiveLSH:
             self._prepare()
 
     def _prepare(self) -> None:
-        self._ctx, self._designs = design_sequence(
-            self.store, self.rule, self.budgets, epsilon=self.epsilon, seed=self._rng
-        )
-        self.cost_model = self._resolve_cost_model()
+        # Families pin their kernel backend at construction, so design
+        # (which builds them) and calibration run under this method's
+        # resolved selection.
+        with use_kernels(self.kernels):
+            self._ctx, self._designs = design_sequence(
+                self.store,
+                self.rule,
+                self.budgets,
+                epsilon=self.epsilon,
+                seed=self._rng,
+            )
+            self.cost_model = self._resolve_cost_model()
         self._install_prepared_state()
 
     def _resolve_cost_model(self) -> CostModel:
@@ -408,6 +409,7 @@ class AdaptiveLSH:
 
     def _add_execution_info(self, info: dict[str, Any]) -> None:
         """Attach pool/cache execution stats to a result info dict."""
+        info["kernels"] = self.kernels
         if self._exec_pool is not None:
             info["parallel"] = self._exec_pool.stats()
         if self._key_cache is not None:
@@ -536,22 +538,19 @@ class AdaptiveLSH:
             verdicts = memo.lookup(keys)
             unknown = np.nonzero(verdicts == UNKNOWN)[0]
             if unknown.size:
-                fresh = np.zeros(unknown.size, dtype=bool)
-                for n, idx in enumerate(unknown.tolist()):
-                    fresh[n] = self.rule.is_match(
-                        self.store, int(sampled_a[idx]), int(sampled_b[idx])
+                with use_kernels(self.kernels):
+                    fresh = self.rule.match_pairs(
+                        self.store, sampled_a[unknown], sampled_b[unknown]
                     )
                 memo.record(keys[unknown], fresh)
                 verdicts[unknown] = np.where(fresh, MATCH, NO_MATCH)
             hits = int(np.count_nonzero(verdicts == MATCH))
             counters.pairs_compared += int(unknown.size)
             return hits / total
-        hits = 0
-        for a, b in zip(sampled_a, sampled_b):
-            if self.rule.is_match(self.store, int(a), int(b)):
-                hits += 1
+        with use_kernels(self.kernels):
+            matched = self.rule.match_pairs(self.store, sampled_a, sampled_b)
         counters.pairs_compared += total
-        return hits / total
+        return int(np.count_nonzero(matched)) / total
 
     def _lookahead_says_jump(
         self, level: int, cluster: Cluster, counters: WorkCounters
@@ -681,12 +680,7 @@ def adaptive_filter(
     k: int,
     config: AdaptiveConfig | None = None,
     observer: RunObserver | None = None,
-    **legacy: Any,
 ) -> FilterResult:
-    """One-shot convenience wrapper around :class:`AdaptiveLSH`.
-
-    Prefer ``config=AdaptiveConfig(...)``; legacy keyword arguments
-    pass through the same deprecation shim as the constructor.
-    """
-    with AdaptiveLSH(store, rule, config=config, observer=observer, **legacy) as method:
+    """One-shot convenience wrapper around :class:`AdaptiveLSH`."""
+    with AdaptiveLSH(store, rule, config=config, observer=observer) as method:
         return method.run(k)

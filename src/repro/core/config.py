@@ -5,18 +5,16 @@ seed, cost model, noise, selection, jump policy, parallelism, caching);
 :class:`AdaptiveConfig` consolidates all of it into one immutable,
 comparable value that every entry point — ``AdaptiveLSH``,
 ``adaptive_filter``, ``TopKPipeline``, ``StreamingTopK``, the CLI, and
-index snapshots — constructs through.  The old keyword arguments keep
-working through :func:`resolve_config`, which emits a
-``DeprecationWarning`` and builds the equivalent config.
+index snapshots — constructs through.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, fields, replace
 from typing import Any
 
 from ..errors import ConfigurationError
+from ..kernels import KERNEL_NAMES
 from ..lsh.design import DEFAULT_EPSILON
 from ..rngutil import SeedLike
 from .cost import CostModel
@@ -50,6 +48,12 @@ class AdaptiveConfig:
     lookahead_samples: int = 32
     lookahead_density: float = 0.6
     n_jobs: int | None = None
+    #: Kernel backend for signatures and set intersections (``None``
+    #: defers to the ambient :func:`repro.kernels.use_kernels` selection
+    #: and the ``REPRO_KERNELS`` environment variable).  Backends are
+    #: bit-identical, so this is a performance knob exactly like
+    #: ``n_jobs`` and is likewise never serialized.
+    kernels: str | None = None
     signature_cache: bool = True
     #: Cross-round pair-verdict memoization (``None`` defers to the
     #: ``REPRO_PAIR_MEMO`` environment variable, default enabled).
@@ -78,6 +82,11 @@ class AdaptiveConfig:
                 f"cost_model must be 'calibrate', 'analytic', or a CostModel, "
                 f"got {self.cost_model!r}"
             )
+        if self.kernels is not None and self.kernels not in KERNEL_NAMES:
+            raise ConfigurationError(
+                f"kernels must be one of {KERNEL_NAMES} or None, "
+                f"got {self.kernels!r}"
+            )
         object.__setattr__(self, "lookahead_samples", int(self.lookahead_samples))
         object.__setattr__(self, "lookahead_density", float(self.lookahead_density))
         object.__setattr__(self, "pair_memo_bytes", int(self.pair_memo_bytes))
@@ -88,7 +97,8 @@ class AdaptiveConfig:
         ``seed`` and a concrete :class:`CostModel` are excluded — index
         snapshots carry RNG state and the cost model separately, in
         exact form; this dict covers everything rebuildable from plain
-        scalars.
+        scalars.  ``n_jobs`` and ``kernels`` are excluded too: they are
+        machine-local performance knobs that never change results.
         """
         return {
             "budgets": list(self.budgets) if self.budgets is not None else None,
@@ -120,42 +130,6 @@ class AdaptiveConfig:
         if budgets is not None:
             merged["budgets"] = tuple(int(b) for b in budgets)
         return cls(**merged)
-
-
-_LEGACY_KEYS = frozenset(f.name for f in fields(AdaptiveConfig))
-
-
-def resolve_config(
-    config: AdaptiveConfig | None,
-    legacy: dict[str, Any],
-    owner: str = "AdaptiveLSH",
-) -> AdaptiveConfig:
-    """Resolve a config from the new-style argument plus legacy kwargs.
-
-    ``legacy`` is the ``**kwargs`` dict of an entry point still being
-    called with pre-config keyword arguments.  Passing any emits a
-    ``DeprecationWarning``; mixing them with an explicit ``config`` is
-    an error (there is no sane precedence); unknown keys fail fast.
-    """
-    if not legacy:
-        return config if config is not None else AdaptiveConfig()
-    unknown = set(legacy) - _LEGACY_KEYS
-    if unknown:
-        raise ConfigurationError(
-            f"unknown {owner} argument(s): {sorted(unknown)}"
-        )
-    if config is not None:
-        raise ConfigurationError(
-            f"pass either config= or legacy keyword arguments to {owner}, "
-            f"not both (got config plus {sorted(legacy)})"
-        )
-    warnings.warn(
-        f"passing {sorted(legacy)} directly to {owner} is deprecated; "
-        f"use {owner}(..., config=AdaptiveConfig(...))",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    return AdaptiveConfig(**legacy)
 
 
 def config_with(config: AdaptiveConfig, **overrides: Any) -> AdaptiveConfig:

@@ -57,6 +57,23 @@ class FieldDistance(abc.ABC):
     ) -> FloatArray:
         """``(len(rids_a), len(rids_b))`` matrix of cross distances."""
 
+    def pairs(
+        self, store: RecordStore, rids_a: ArrayLike, rids_b: ArrayLike
+    ) -> FloatArray:
+        """Distances for the pair list ``zip(rids_a, rids_b)``.
+
+        The default evaluates :meth:`distance` per pair; metrics with a
+        vectorized kernel (e.g. Jaccard) override it.  Either way each
+        element equals the scalar :meth:`distance` bit for bit, so rules
+        built on this surface decide exactly as their per-pair forms.
+        """
+        rids_a = np.asarray(rids_a, dtype=np.int64)
+        rids_b = np.asarray(rids_b, dtype=np.int64)
+        out = np.empty(rids_a.size, dtype=np.float64)
+        for i in range(int(rids_a.size)):
+            out[i] = self.distance(store, int(rids_a[i]), int(rids_b[i]))
+        return out
+
     def collision_prob(self, x: ArrayLike) -> FloatArray:
         """``p(x)``: probability one hash function collides at distance ``x``.
 

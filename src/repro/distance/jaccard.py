@@ -10,22 +10,17 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..kernels import get_kernels
+from ..kernels.reference import jaccard_distance
 from ..records import FieldKind, RecordStore
 from ..rngutil import SeedLike
-from ..types import AnyArray, ArrayLike, FloatArray
+from ..types import ArrayLike, FloatArray
 from .base import FieldDistance
 
 if TYPE_CHECKING:
     from ..lsh.minhash import MinHashFamily
 
-
-def jaccard_distance(a: AnyArray, b: AnyArray) -> float:
-    """Jaccard distance of two sorted shingle-id arrays."""
-    if a.size == 0 and b.size == 0:
-        return 0.0
-    inter = np.intersect1d(a, b, assume_unique=True).size
-    union = a.size + b.size - inter
-    return 1.0 - inter / union
+__all__ = ["JaccardDistance", "jaccard_distance"]
 
 
 class JaccardDistance(FieldDistance):
@@ -50,70 +45,47 @@ class JaccardDistance(FieldDistance):
         sets = store.shingle_sets(self.field)
         return jaccard_distance(sets[r1], sets[r2])
 
-    #: Row-chunk height for ``pairwise``.  The full ``csr @ csr.T``
-    #: product densified all at once, so the transient matrices peaked
-    #: at several times the m×m output; evaluating block-style row
-    #: chunks bounds every intermediate to O(chunk · m) while the output
-    #: is written in place.  Intersection counts are exact integers, so
+    #: Row-chunk height for ``pairwise``: bounds every intermediate of
+    #: the backend's matrix product to O(chunk · m) while the output is
+    #: written in place.  Intersection counts are exact integers, so
     #: the chunked floats equal the one-shot ones bit for bit.
     _PAIRWISE_CHUNK = 256
 
     def pairwise(self, store: RecordStore, rids: ArrayLike) -> FloatArray:
-        rids = np.asarray(rids, dtype=np.int64)
-        m = int(rids.size)
-        csr = store.shingle_csr(self.field)[rids]
-        csr_t = csr.T
-        sizes = np.asarray(csr.sum(axis=1), dtype=np.float64).ravel()
-        dist = np.empty((m, m), dtype=np.float64)
-        for lo in range(0, m, self._PAIRWISE_CHUNK):
-            hi = min(lo + self._PAIRWISE_CHUNK, m)
-            inter = np.asarray((csr[lo:hi] @ csr_t).todense(), dtype=np.float64)
-            union = sizes[lo:hi, None] + sizes[None, :] - inter
-            with np.errstate(divide="ignore", invalid="ignore"):
-                sim = np.where(union > 0.0, inter / union, 1.0)
-            dist[lo:hi] = 1.0 - sim
-        np.fill_diagonal(dist, 0.0)
-        return dist
+        backend = get_kernels()
+        packed = backend.pack_sets(store, self.field)
+        return backend.jaccard_pairwise(
+            packed, np.asarray(rids, dtype=np.int64), self._PAIRWISE_CHUNK
+        )
 
     def one_to_many(self, store: RecordStore, rid: int, rids: ArrayLike) -> FloatArray:
-        # Merge-based intersection counts instead of CSR row slicing:
-        # slicing a scipy CSR materializes new matrices per call, which
-        # dominates the rowwise pairwise strategy (one call per record).
-        # Intersection counts are exact integers either way, so match
-        # decisions are unchanged.
-        rids = np.asarray(rids, dtype=np.int64)
-        sets = store.shingle_sets(self.field)
-        target = sets[rid]
-        sizes = store.set_sizes(self.field)
-        lengths = sizes[rids]
-        if rids.size == 0:
-            return np.zeros(0, dtype=np.float64)
-        if target.size and int(lengths.sum()):
-            flat = np.concatenate([sets[r] for r in rids.tolist()])
-            slots = np.searchsorted(target, flat)
-            hits = target[np.minimum(slots, target.size - 1)] == flat
-            csum = np.concatenate([[0], np.cumsum(hits)])
-            offsets = np.concatenate([[0], np.cumsum(lengths)[:-1]])
-            inter = (csum[offsets + lengths] - csum[offsets]).astype(np.float64)
-        else:
-            inter = np.zeros(rids.size, dtype=np.float64)
-        union = lengths + sizes[rid] - inter
-        with np.errstate(divide="ignore", invalid="ignore"):
-            sim = np.where(union > 0.0, inter / union, 1.0)
-        return np.asarray(1.0 - sim, dtype=np.float64)
+        backend = get_kernels()
+        packed = backend.pack_sets(store, self.field)
+        return backend.jaccard_one_to_many(
+            packed, int(rid), np.asarray(rids, dtype=np.int64)
+        )
+
+    def pairs(
+        self, store: RecordStore, rids_a: ArrayLike, rids_b: ArrayLike
+    ) -> FloatArray:
+        backend = get_kernels()
+        packed = backend.pack_sets(store, self.field)
+        return backend.jaccard_block(
+            packed,
+            np.asarray(rids_a, dtype=np.int64),
+            np.asarray(rids_b, dtype=np.int64),
+        )
 
     def block(
         self, store: RecordStore, rids_a: ArrayLike, rids_b: ArrayLike
     ) -> FloatArray:
-        rids_a = np.asarray(rids_a, dtype=np.int64)
-        rids_b = np.asarray(rids_b, dtype=np.int64)
-        csr = store.shingle_csr(self.field)
-        inter = np.asarray((csr[rids_a] @ csr[rids_b].T).todense(), dtype=np.float64)
-        sizes = store.set_sizes(self.field)
-        union = sizes[rids_a][:, None] + sizes[rids_b][None, :] - inter
-        with np.errstate(divide="ignore", invalid="ignore"):
-            sim = np.where(union > 0.0, inter / union, 1.0)
-        return np.asarray(1.0 - sim, dtype=np.float64)
+        backend = get_kernels()
+        packed = backend.pack_sets(store, self.field)
+        return backend.jaccard_block_matrix(
+            packed,
+            np.asarray(rids_a, dtype=np.int64),
+            np.asarray(rids_b, dtype=np.int64),
+        )
 
     def collision_prob(self, x: ArrayLike) -> FloatArray:
         arr = np.asarray(x, dtype=np.float64)

@@ -64,6 +64,23 @@ class MatchRule(abc.ABC):
     ) -> BoolArray:
         """Boolean cross-match matrix between ``rids_a`` and ``rids_b``."""
 
+    def match_pairs(
+        self, store: RecordStore, rids_a: ArrayLike, rids_b: ArrayLike
+    ) -> BoolArray:
+        """Match decisions for the pair list ``zip(rids_a, rids_b)``.
+
+        Decision-identical to calling :meth:`is_match` per pair — the
+        vectorized overrides reduce the same bit-identical distances
+        against the same thresholds — just without the per-pair Python
+        dispatch.
+        """
+        rids_a = np.asarray(rids_a, dtype=np.int64)
+        rids_b = np.asarray(rids_b, dtype=np.int64)
+        out = np.empty(rids_a.size, dtype=bool)
+        for i in range(int(rids_a.size)):
+            out[i] = self.is_match(store, int(rids_a[i]), int(rids_b[i]))
+        return out
+
     @abc.abstractmethod
     def field_distances(self) -> list[FieldDistance]:
         """All field distances referenced anywhere in the rule tree."""
@@ -96,6 +113,11 @@ class ThresholdRule(MatchRule):
         self, store: RecordStore, rids_a: ArrayLike, rids_b: ArrayLike
     ) -> BoolArray:
         return self.distance.block(store, rids_a, rids_b) <= self.threshold
+
+    def match_pairs(
+        self, store: RecordStore, rids_a: ArrayLike, rids_b: ArrayLike
+    ) -> BoolArray:
+        return self.distance.pairs(store, rids_a, rids_b) <= self.threshold
 
     def field_distances(self) -> list[FieldDistance]:
         return [self.distance]
@@ -168,6 +190,18 @@ class WeightedAverageRule(MatchRule):
         assert total is not None
         return total <= self.threshold
 
+    def match_pairs(
+        self, store: RecordStore, rids_a: ArrayLike, rids_b: ArrayLike
+    ) -> BoolArray:
+        # Accumulating 0 + w₀d₀ + w₁d₁ + … matches the scalar
+        # ``combined_distance`` sum exactly (IEEE ``0.0 + x == x``).
+        total: FloatArray | None = None
+        for w, d in zip(self.weights, self.distances):
+            part = w * d.pairs(store, rids_a, rids_b)
+            total = part if total is None else total + part
+        assert total is not None
+        return total <= self.threshold
+
     def field_distances(self) -> list[FieldDistance]:
         return list(self.distances)
 
@@ -235,6 +269,16 @@ class AndRule(_CompositeRule):
         assert out is not None
         return out
 
+    def match_pairs(
+        self, store: RecordStore, rids_a: ArrayLike, rids_b: ArrayLike
+    ) -> BoolArray:
+        out: BoolArray | None = None
+        for child in self.children:
+            part = child.match_pairs(store, rids_a, rids_b)
+            out = part if out is None else out & part
+        assert out is not None
+        return out
+
     def __repr__(self) -> str:
         return f"AndRule({self.children!r})"
 
@@ -269,6 +313,16 @@ class OrRule(_CompositeRule):
         out: BoolArray | None = None
         for child in self.children:
             part = child.match_block(store, rids_a, rids_b)
+            out = part if out is None else out | part
+        assert out is not None
+        return out
+
+    def match_pairs(
+        self, store: RecordStore, rids_a: ArrayLike, rids_b: ArrayLike
+    ) -> BoolArray:
+        out: BoolArray | None = None
+        for child in self.children:
+            part = child.match_pairs(store, rids_a, rids_b)
             out = part if out is None else out | part
         assert out is not None
         return out

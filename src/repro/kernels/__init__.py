@@ -1,0 +1,25 @@
+"""Selectable kernel backends for the two hot operations.
+
+See :mod:`repro.kernels.base` for the registry and the
+explicit → :func:`use_kernels` context → ``REPRO_KERNELS`` environment
+resolution funnel, :mod:`repro.kernels.reference` for the pure-NumPy
+oracle, and :mod:`repro.kernels.packed` for the bit-packed backend.
+"""
+
+from .base import (
+    KERNEL_NAMES,
+    KERNELS_ENV,
+    KernelBackend,
+    get_kernels,
+    resolve_kernels,
+    use_kernels,
+)
+
+__all__ = [
+    "KERNEL_NAMES",
+    "KERNELS_ENV",
+    "KernelBackend",
+    "get_kernels",
+    "resolve_kernels",
+    "use_kernels",
+]

@@ -1,0 +1,216 @@
+"""Kernel backend registry and the ``kernels`` resolution funnel.
+
+The two hot operations of the whole system — per-record minhash
+signature blocks and set-intersection verification — are isolated
+behind :class:`KernelBackend` so they can be swapped without touching
+any caller:
+
+``numpy``
+    The reference backend: the exact code the repo has always run
+    (per-row padding, ``intersect1d`` / CSR products).  It is the
+    bit-identity oracle every other backend is gated against.
+``packed``
+    Packs each shingle field once per store (dense uint64 bitset rows
+    for small vocabularies, sorted-code CSR otherwise) and evaluates
+    with vectorized integer ops: cached multiply-hash tables for
+    signatures, ``bitwise_and`` + popcount for intersections.
+
+Backends are *pure accelerators*: every operation must return results
+bit-identical to the reference backend (enforced by
+``tests/kernels/`` and ``benchmarks/bench_kernels.py``), so selection
+is a performance knob exactly like ``n_jobs`` — it is resolved through
+the same explicit → context → environment funnel and never recorded in
+snapshots.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from collections.abc import Iterator
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..types import AnyArray, FloatArray, IntArray
+
+if TYPE_CHECKING:
+    from ..records import RecordStore
+
+#: Environment variable consulted when ``kernels`` is not given
+#: explicitly; mirrors ``REPRO_N_JOBS`` so the knob reaches every
+#: component without threading a parameter through each call.
+KERNELS_ENV = "REPRO_KERNELS"
+
+#: Registered backend names, in documentation order.
+KERNEL_NAMES = ("numpy", "packed")
+
+#: Ambient backend selection installed by :func:`use_kernels`; consulted
+#: between an explicit argument and the environment variable.
+_ACTIVE_KERNELS: ContextVar[str | None] = ContextVar(
+    "repro_kernels", default=None
+)
+
+
+def resolve_kernels(kernels: str | None = None) -> str:
+    """Resolve a ``kernels`` knob to a concrete backend name.
+
+    ``None`` falls back to the ambient :func:`use_kernels` selection,
+    then to the ``REPRO_KERNELS`` environment variable, and finally to
+    ``"numpy"`` (the reference backend).  Unknown names are rejected.
+    """
+    if kernels is None:
+        kernels = _ACTIVE_KERNELS.get()
+    if kernels is None:
+        raw = os.environ.get(KERNELS_ENV, "").strip()
+        kernels = raw if raw else "numpy"
+    kernels = str(kernels)
+    if kernels not in KERNEL_NAMES:
+        raise ConfigurationError(
+            f"kernels must be one of {KERNEL_NAMES}, got {kernels!r}"
+        )
+    return kernels
+
+
+@contextmanager
+def use_kernels(kernels: str | None) -> Iterator[None]:
+    """Install ``kernels`` as the ambient backend for the ``with`` body.
+
+    Used by the non-generator entry points (``AdaptiveLSH`` internals,
+    ``PairwiseComputation.apply``) so that distance objects constructed
+    long before a config existed still evaluate on the configured
+    backend.  ``None`` re-resolves the environment default, which keeps
+    nesting semantics obvious: the innermost explicit selection wins.
+    """
+    token = _ACTIVE_KERNELS.set(resolve_kernels(kernels))
+    try:
+        yield
+    finally:
+        _ACTIVE_KERNELS.reset(token)
+
+
+class KernelBackend(ABC):
+    """One implementation of the two hot kernels (plus the derived
+    intersection shapes the distance layer needs).
+
+    ``pack_sets`` converts a store field into whatever representation
+    the backend evaluates on; the result is cached on the store under
+    ``(backend.name, field)`` so repeated families/distances over the
+    same field pay the packing cost once.  Packed representations are
+    derived data: worker processes rebuild (or inherit copy-on-write)
+    the store and re-pack deterministically, so nothing backend-specific
+    is ever pickled or snapshotted.
+    """
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+
+    def pack_sets(self, store: RecordStore, field: str) -> Any:
+        """Packed representation of ``field``, cached on ``store``."""
+        cache = store._packed_cache
+        key = (self.name, field)
+        packed = cache.get(key)
+        if packed is None:
+            packed = self._pack(store, field)
+            cache[key] = packed
+        return packed
+
+    @abstractmethod
+    def _pack(self, store: RecordStore, field: str) -> Any:
+        """Build the packed representation (uncached)."""
+
+    # ------------------------------------------------------------------
+    # hot kernel 1: minhash signature blocks
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def minhash_block(
+        self,
+        packed: Any,
+        rids: IntArray,
+        multipliers: AnyArray,
+        start: int,
+        stop: int,
+        bits: int | None,
+    ) -> AnyArray:
+        """Signature columns ``[start, stop)`` for ``rids``.
+
+        Returns a ``(len(rids), stop - start)`` uint32 array holding,
+        per record and multiplier, the high 32 bits of the minimum
+        multiply-hash over the record's scrambled shingle ids (empty
+        sets hash the scrambled ``EMPTY_SENTINEL``), masked to the low
+        ``bits`` bits when b-bit minhashing is enabled.
+        """
+
+    # ------------------------------------------------------------------
+    # hot kernel 2: pair-list Jaccard verification
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def jaccard_block(
+        self, packed: Any, rids_a: IntArray, rids_b: IntArray
+    ) -> FloatArray:
+        """Jaccard distances for the pair list ``zip(rids_a, rids_b)``."""
+
+    # ------------------------------------------------------------------
+    # derived shapes used by ``JaccardDistance``
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def jaccard_pairwise(
+        self, packed: Any, rids: IntArray, chunk: int = 256
+    ) -> FloatArray:
+        """Full ``(m, m)`` distance matrix with a zero diagonal.
+
+        ``chunk`` bounds the row-block height of intermediate products;
+        it affects peak memory only, never the float results.
+        """
+
+    @abstractmethod
+    def jaccard_one_to_many(
+        self, packed: Any, rid: int, rids: IntArray
+    ) -> FloatArray:
+        """Distances from ``rid`` to each record in ``rids``."""
+
+    @abstractmethod
+    def jaccard_block_matrix(
+        self, packed: Any, rids_a: IntArray, rids_b: IntArray
+    ) -> FloatArray:
+        """Rectangular ``(len(rids_a), len(rids_b))`` distance matrix."""
+
+
+def _finish_distances(inter: FloatArray, union: FloatArray) -> FloatArray:
+    """Shared float epilogue: exact integer counts to float distances.
+
+    Every backend produces *exact* integer intersection/union counts in
+    float64, so routing them all through this one expression makes the
+    float outputs bit-identical across backends (elementwise IEEE ops do
+    not depend on array shape or chunking).  An empty union (two empty
+    sets) is similarity 1 by convention, hence distance 0.
+    """
+    with np.errstate(divide="ignore", invalid="ignore"):
+        sim = np.where(union > 0.0, inter / union, 1.0)
+    return np.asarray(1.0 - sim, dtype=np.float64)
+
+
+_BACKENDS: dict[str, KernelBackend] = {}
+
+
+def get_kernels(kernels: str | None = None) -> KernelBackend:
+    """The backend singleton for ``kernels`` (resolved through
+    :func:`resolve_kernels`)."""
+    name = resolve_kernels(kernels)
+    backend = _BACKENDS.get(name)
+    if backend is None:
+        # Imported lazily to keep ``repro.kernels.base`` free of a
+        # dependency cycle with the concrete backend modules.
+        if name == "numpy":
+            from .reference import ReferenceKernels
+
+            backend = ReferenceKernels()
+        else:
+            from .packed import PackedKernels
+
+            backend = PackedKernels()
+        _BACKENDS[name] = backend
+    return backend

@@ -1,0 +1,258 @@
+"""The pure-NumPy reference backend: the bit-identity oracle.
+
+This module owns the *semantics* of both hot kernels — the scrambled
+minhash input convention (splitmix64 over ids, ``EMPTY_SENTINEL`` for
+empty sets) and the exact float epilogue of every Jaccard shape.  The
+implementations are the ones the repo has always run (padded
+multiply-hash batches, ``intersect1d`` pair loops, chunked CSR
+products); the ``packed`` backend must reproduce their outputs bit for
+bit and is tested against them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..types import AnyArray, FloatArray, IntArray
+from .base import KernelBackend, _finish_distances
+
+if TYPE_CHECKING:
+    from ..records import RecordStore, ShingleColumn
+
+#: Pseudo-element hashed for empty sets, so two empty sets (Jaccard
+#: distance 0 by convention) always collide.
+EMPTY_SENTINEL = np.uint64((1 << 63) - 59)
+
+#: Hash columns are materialized in chunks to bound temporary memory.
+_CHUNK = 128
+#: Records are processed in batches so the (batch, set, chunk) work
+#: array stays within a few tens of megabytes.
+_BATCH = 256
+
+
+def _splitmix64(x: AnyArray) -> AnyArray:
+    """The splitmix64 finalizer: a fixed bijective scrambler of uint64."""
+    with np.errstate(over="ignore"):
+        z = x + np.uint64(0x9E3779B97F4A7C15)
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        return z ^ (z >> np.uint64(31))
+
+
+def jaccard_distance(a: AnyArray, b: AnyArray) -> float:
+    """Jaccard distance of two sorted shingle-id arrays."""
+    if a.size == 0 and b.size == 0:
+        return 0.0
+    inter = np.intersect1d(a, b, assume_unique=True).size
+    union = a.size + b.size - inter
+    return 1.0 - inter / union
+
+
+class ReferencePacked:
+    """Per-field state of the reference backend.
+
+    ``sets_mixed`` is the minhash input: each row's ids scrambled once
+    through splitmix64 (raw shingle ids are often small arithmetic
+    progressions, on which a bare multiply hash is measurably
+    non-minwise; after mixing, ids look uniform in uint64 space and the
+    multiply ranking is unbiased in practice).  Empty rows scramble the
+    ``EMPTY_SENTINEL`` pseudo-element instead.  It is built lazily so
+    Jaccard-only callers never pay for it; the Jaccard shapes read the
+    store's own (cached) column/CSR/sizes views.
+    """
+
+    __slots__ = ("store", "field", "_sets_mixed")
+
+    def __init__(self, store: RecordStore, field: str) -> None:
+        self.store = store
+        self.field = field
+        self._sets_mixed: list[AnyArray] | None = None
+
+    @property
+    def sets_mixed(self) -> list[AnyArray]:
+        if self._sets_mixed is None:
+            self._sets_mixed = [
+                _splitmix64(np.asarray(s, dtype=np.uint64))
+                if s.size
+                else _splitmix64(np.array([EMPTY_SENTINEL], dtype=np.uint64))
+                for s in self.store.shingle_sets(self.field)
+            ]
+        return self._sets_mixed
+
+    @property
+    def sets(self) -> ShingleColumn:
+        return self.store.shingle_sets(self.field)
+
+    @property
+    def sizes(self) -> IntArray:
+        return self.store.set_sizes(self.field)
+
+
+def _padded_spans(
+    rows: list[AnyArray],
+) -> tuple[AnyArray, list[AnyArray]]:
+    """Rows as one padded ``(head, width)`` array plus the oversized tail.
+
+    Each head row is padded with its own first element — padding with a
+    member leaves multiply-hash minima unchanged.  The width is capped
+    at the batch's 95th-percentile row size so one huge set cannot
+    quadratically re-pad everything else; rows wider than the cap are
+    returned separately and hashed row-by-row.  ``rows`` arrive sorted
+    ascending by size, so the tail is a suffix.
+    """
+    sizes = np.array([r.size for r in rows], dtype=np.int64)
+    cut = max(1, -(-len(rows) * 95 // 100))  # ceil(0.95 * m)
+    width = int(sizes[cut - 1])
+    head_count = int(np.searchsorted(sizes, width, side="right"))
+    padded = np.empty((head_count, width), dtype=np.uint64)
+    for row, ids in enumerate(rows[:head_count]):
+        padded[row, : ids.size] = ids
+        padded[row, ids.size :] = ids[0]
+    return padded, rows[head_count:]
+
+
+class ReferenceKernels(KernelBackend):
+    """Reference implementations — exact, simple, and the oracle."""
+
+    name = "numpy"
+
+    def _pack(self, store: RecordStore, field: str) -> ReferencePacked:
+        return ReferencePacked(store, field)
+
+    # ------------------------------------------------------------------
+    # minhash
+    # ------------------------------------------------------------------
+    def minhash_block(
+        self,
+        packed: ReferencePacked,
+        rids: IntArray,
+        multipliers: AnyArray,
+        start: int,
+        stop: int,
+        bits: int | None,
+    ) -> AnyArray:
+        sets = packed.sets_mixed
+        rids = np.asarray(rids, dtype=np.int64)
+        out = np.empty((rids.size, stop - start), dtype=np.uint32)
+        # Process records in set-size order so each batch's padded width
+        # tracks its largest member instead of the global maximum.
+        order = np.argsort([sets[int(r)].size for r in rids], kind="stable")
+        for b_lo in range(0, rids.size, _BATCH):
+            batch = order[b_lo : b_lo + _BATCH]
+            rows = [sets[int(r)] for r in rids[batch]]
+            padded, tail = _padded_spans(rows)
+            head_count = padded.shape[0]
+            mins = np.empty((len(rows), _CHUNK), dtype=np.uint64)
+            for lo in range(start, stop, _CHUNK):
+                hi = min(lo + _CHUNK, stop)
+                a = multipliers[lo:hi]
+                with np.errstate(over="ignore"):
+                    hashed = padded[:, :, None] * a[None, None, :]
+                    mins[:head_count, : hi - lo] = hashed.min(axis=1)
+                    for pos, ids in enumerate(tail):
+                        mins[head_count + pos, : hi - lo] = (
+                            ids[:, None] * a[None, :]
+                        ).min(axis=0)
+                values = (
+                    mins[:, : hi - lo] >> np.uint64(32)
+                ).astype(np.uint32)
+                if bits is not None:
+                    values &= np.uint32((1 << bits) - 1)
+                out[batch, lo - start : hi - start] = values
+        return out
+
+    # ------------------------------------------------------------------
+    # pair-list verification
+    # ------------------------------------------------------------------
+    def jaccard_block(
+        self, packed: ReferencePacked, rids_a: IntArray, rids_b: IntArray
+    ) -> FloatArray:
+        sets = packed.sets
+        out = np.empty(len(rids_a), dtype=np.float64)
+        for i in range(len(rids_a)):
+            out[i] = jaccard_distance(
+                sets[int(rids_a[i])], sets[int(rids_b[i])]
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # matrix / one-to-many shapes
+    # ------------------------------------------------------------------
+    def jaccard_pairwise(
+        self, packed: ReferencePacked, rids: IntArray, chunk: int = 256
+    ) -> FloatArray:
+        return _csr_pairwise(packed.store, packed.field, rids, chunk)
+
+    def jaccard_one_to_many(
+        self, packed: ReferencePacked, rid: int, rids: IntArray
+    ) -> FloatArray:
+        # Merge-based intersection counts instead of CSR row slicing:
+        # slicing a scipy CSR materializes new matrices per call, which
+        # dominates the rowwise pairwise strategy (one call per record).
+        rids = np.asarray(rids, dtype=np.int64)
+        sets = packed.sets
+        target = sets[int(rid)]
+        sizes = packed.sizes
+        lengths = sizes[rids]
+        if rids.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        if target.size and int(lengths.sum()):
+            flat = np.concatenate([sets[int(r)] for r in rids.tolist()])
+            slots = np.searchsorted(target, flat)
+            hits = target[np.minimum(slots, target.size - 1)] == flat
+            csum = np.concatenate([[0], np.cumsum(hits)])
+            offsets = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+            inter = (csum[offsets + lengths] - csum[offsets]).astype(np.float64)
+        else:
+            inter = np.zeros(rids.size, dtype=np.float64)
+        union = lengths + sizes[int(rid)] - inter
+        return _finish_distances(inter, union)
+
+    def jaccard_block_matrix(
+        self, packed: ReferencePacked, rids_a: IntArray, rids_b: IntArray
+    ) -> FloatArray:
+        return _csr_block_matrix(packed.store, packed.field, rids_a, rids_b)
+
+
+def _csr_pairwise(
+    store: RecordStore, field: str, rids: IntArray, chunk: int
+) -> FloatArray:
+    """Row-chunked ``csr @ csr.T`` distance matrix (both backends).
+
+    The full product densified all at once, so transients peaked at
+    several times the m×m output; chunked rows bound every intermediate
+    to O(chunk · m).  Intersection counts are exact integers, so the
+    chunked floats equal the one-shot ones bit for bit — which is also
+    why the ``packed`` backend can share this path above its popcount
+    size cutoff without breaking bit-identity.
+    """
+    rids = np.asarray(rids, dtype=np.int64)
+    m = int(rids.size)
+    csr = store.shingle_csr(field)[rids]
+    csr_t = csr.T
+    sizes = np.asarray(csr.sum(axis=1), dtype=np.float64).ravel()
+    dist = np.empty((m, m), dtype=np.float64)
+    for lo in range(0, m, chunk):
+        hi = min(lo + chunk, m)
+        inter = np.asarray((csr[lo:hi] @ csr_t).todense(), dtype=np.float64)
+        union = sizes[lo:hi, None] + sizes[None, :] - inter
+        dist[lo:hi] = _finish_distances(inter, union)
+    np.fill_diagonal(dist, 0.0)
+    return dist
+
+
+def _csr_block_matrix(
+    store: RecordStore, field: str, rids_a: IntArray, rids_b: IntArray
+) -> FloatArray:
+    """Rectangular CSR-product distance matrix (both backends)."""
+    rids_a = np.asarray(rids_a, dtype=np.int64)
+    rids_b = np.asarray(rids_b, dtype=np.int64)
+    csr = store.shingle_csr(field)
+    inter = np.asarray(
+        (csr[rids_a] @ csr[rids_b].T).todense(), dtype=np.float64
+    )
+    sizes = store.set_sizes(field)
+    union = sizes[rids_a][:, None] + sizes[rids_b][None, :] - inter
+    return _finish_distances(inter, union)

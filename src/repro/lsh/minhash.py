@@ -24,29 +24,14 @@ from typing import Any
 import numpy as np
 
 from ..errors import ConfigurationError, SnapshotError
+from ..kernels import get_kernels, resolve_kernels
+from ..kernels.reference import EMPTY_SENTINEL, _splitmix64
 from ..records import RecordStore
 from ..rngutil import SeedLike, make_rng, rng_from_state, rng_state
 from ..types import AnyArray, ArrayLike, FloatArray, IntArray
 from .families import HashFamily
 
-#: Pseudo-element hashed for empty sets, so two empty sets (Jaccard
-#: distance 0 by convention) always collide.
-EMPTY_SENTINEL = np.uint64((1 << 63) - 59)
-
-
-def _splitmix64(x: AnyArray) -> AnyArray:
-    """The splitmix64 finalizer: a fixed bijective scrambler of uint64."""
-    with np.errstate(over="ignore"):
-        z = x + np.uint64(0x9E3779B97F4A7C15)
-        z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
-        z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
-        return z ^ (z >> np.uint64(31))
-
-#: Hash columns are materialized in chunks to bound temporary memory.
-_CHUNK = 128
-#: Records are processed in batches so the (batch, set, chunk) work
-#: array stays within a few tens of megabytes.
-_BATCH = 256
+__all__ = ["EMPTY_SENTINEL", "MinHashFamily", "_splitmix64"]
 
 
 class MinHashFamily(HashFamily):
@@ -58,6 +43,12 @@ class MinHashFamily(HashFamily):
     probability becomes ``(1 - x) + x * 2^-bits`` and the scheme
     designer accounts for it automatically through
     :meth:`collision_prob`.
+
+    ``kernels`` pins the signature kernel backend (resolved through the
+    explicit → :func:`repro.kernels.use_kernels` → ``REPRO_KERNELS``
+    funnel at construction, so an ambient selection taken when the
+    family is built stays in force for its whole life).  Backends are
+    bit-identical, so this is purely a performance knob.
     """
 
     dtype = np.dtype(np.uint32)
@@ -68,24 +59,20 @@ class MinHashFamily(HashFamily):
         field: str,
         seed: SeedLike = None,
         bits: int | None = None,
+        kernels: str | None = None,
     ) -> None:
         super().__init__(store, field)
         if bits is not None and not 1 <= int(bits) <= 32:
             raise ConfigurationError(f"bits must be in [1, 32], got {bits}")
         self.bits = int(bits) if bits is not None else None
+        self.kernels = resolve_kernels(kernels)
         self._rng = make_rng(seed)
         self._a: AnyArray = np.zeros(0, dtype=np.uint64)
-        # Ids are scrambled once through splitmix64: raw shingle ids are
-        # often small arithmetic progressions, on which a bare multiply
-        # hash is measurably non-minwise (the min favours lattice
-        # structure).  After mixing, ids look uniform in uint64 space
-        # and the multiply ranking is unbiased in practice.
-        self._sets: list[AnyArray] = [
-            _splitmix64(np.asarray(s, dtype=np.uint64))
-            if s.size
-            else _splitmix64(np.array([EMPTY_SENTINEL], dtype=np.uint64))
-            for s in store.shingle_sets(field)
-        ]
+        self._backend = get_kernels(self.kernels)
+        # The packed representation (splitmix64-scrambled ids plus
+        # whatever layout the backend evaluates on) is built once per
+        # store × field and cached on the store.
+        self._packed = self._backend.pack_sets(store, field)
 
     def _ensure_params(self, count: int) -> None:
         have = self._a.size
@@ -96,44 +83,18 @@ class MinHashFamily(HashFamily):
         a = self._rng.integers(0, 1 << 63, size=extra, dtype=np.uint64) * 2 + 1
         self._a = np.concatenate([self._a, a])
 
-    def _padded(self, rids: IntArray) -> AnyArray:
-        """Sets of ``rids`` as one (m, L) array, each row padded with its
-        own first element — padding with a member leaves mins unchanged."""
-        sets = [self._sets[int(r)] for r in rids]
-        width = max(s.size for s in sets)
-        padded = np.empty((len(sets), width), dtype=np.uint64)
-        for row, ids in enumerate(sets):
-            padded[row, : ids.size] = ids
-            padded[row, ids.size :] = ids[0]
-        return padded
-
     def compute(self, rids: IntArray, start: int, stop: int) -> AnyArray:
         self._ensure_params(stop)
-        rids = np.asarray(rids, dtype=np.int64)
-        out = np.empty((rids.size, stop - start), dtype=np.uint32)
-        # Process records in set-size order so each batch's padded width
-        # tracks its largest member instead of the global maximum.
-        order = np.argsort([self._sets[int(r)].size for r in rids], kind="stable")
-        for b_lo in range(0, rids.size, _BATCH):
-            batch = order[b_lo : b_lo + _BATCH]
-            padded = self._padded(rids[batch])
-            for lo in range(start, stop, _CHUNK):
-                hi = min(lo + _CHUNK, stop)
-                with np.errstate(over="ignore"):
-                    hashed = padded[:, :, None] * self._a[None, None, lo:hi]
-                mins = hashed.min(axis=1)
-                values = (mins >> np.uint64(32)).astype(np.uint32)
-                if self.bits is not None:
-                    values &= np.uint32((1 << self.bits) - 1)
-                out[batch, lo - start : hi - start] = values
-        return out
+        return self._backend.minhash_block(
+            self._packed, rids, self._a, start, stop, self.bits
+        )
 
     def parallel_payload(self, count: int) -> dict[str, Any] | None:
         self._ensure_params(count)
         return {
             "kind": "minhash",
             "field": self.field,
-            "options": {"bits": self.bits},
+            "options": {"bits": self.bits, "kernels": self.kernels},
             "params": {"a": self._a[:count].copy()},
         }
 

@@ -22,8 +22,6 @@ from storage layout without changing any algorithmic property.
 
 from __future__ import annotations
 
-from typing import Any
-
 import numpy as np
 
 from ..core.adaptive import AdaptiveLSH
@@ -45,8 +43,7 @@ class StreamingTopK:
     adaptive method is built — or with ``method=`` to wrap an existing
     (possibly snapshot-restored) :class:`AdaptiveLSH` instance, which
     is how :class:`~repro.serve.ResolverSession` reuses warm pools
-    after a store extension.  Pre-config keyword arguments still pass
-    through the :class:`AdaptiveLSH` deprecation shim.
+    after a store extension.
     """
 
     _h1: TransitiveHashingFunction
@@ -58,13 +55,11 @@ class StreamingTopK:
         config: AdaptiveConfig | None = None,
         observer: RunObserver | None = None,
         method: AdaptiveLSH | None = None,
-        **legacy: Any,
     ) -> None:
         if method is not None:
-            if config is not None or legacy:
+            if config is not None:
                 raise ConfigurationError(
-                    "pass either method= or config/keyword arguments to "
-                    "StreamingTopK, not both"
+                    "pass either method= or config= to StreamingTopK, not both"
                 )
             if method.store is not store:
                 raise ConfigurationError(
@@ -77,7 +72,7 @@ class StreamingTopK:
                     "StreamingTopK needs a rule (or a prepared method=)"
                 )
             self._adaptive = AdaptiveLSH(
-                store, rule, config=config, observer=observer, **legacy
+                store, rule, config=config, observer=observer
             )
         self.store = store
         self._uf = UnionFind(len(store))

@@ -267,7 +267,11 @@ class ExecutionPool:
         return np.vstack(parts)
 
     def pairwise_block_edges(
-        self, rule: MatchRule, rids: IntArray, block_size: int
+        self,
+        rule: MatchRule,
+        rids: IntArray,
+        block_size: int,
+        kernels: str | None = None,
     ) -> list[tuple[int, IntArray, IntArray, IntArray, IntArray]] | None:
         """Match every row-block of ``rids`` against itself and all
         earlier rows, fanned across workers.
@@ -291,7 +295,7 @@ class ExecutionPool:
                 (
                     block_start,
                     executor.submit(
-                        worker.pairwise_block_task, rule, block, earlier
+                        worker.pairwise_block_task, rule, block, earlier, kernels
                     ),
                 )
             )
@@ -310,6 +314,7 @@ class ExecutionPool:
         jobs: list[tuple[IntArray, list[tuple[IntArray, IntArray]]]],
         total_rows: int,
         block_size: int,
+        kernels: str | None = None,
     ) -> (
         list[tuple[IntArray, IntArray, list[tuple[IntArray, IntArray]]]] | None
     ):
@@ -332,7 +337,9 @@ class ExecutionPool:
             return None
         executor = self._ensure_executor()
         futures = [
-            executor.submit(worker.pairwise_jobs_task, rule, pair_rids, rects)
+            executor.submit(
+                worker.pairwise_jobs_task, rule, pair_rids, rects, kernels
+            )
             for pair_rids, rects in jobs
         ]
         bundles: list[

@@ -42,6 +42,7 @@ from ..io import (
     rule_to_spec,
     unpack_json_header,
 )
+from ..kernels import use_kernels
 from ..lsh.design import (
     build_design_context,
     scheme_design_from_spec,
@@ -191,6 +192,7 @@ class IndexSnapshot:
         n_jobs: int | None = None,
         observer: RunObserver | None = None,
         strict: bool = True,
+        kernels: str | None = None,
     ) -> AdaptiveLSH:
         """Rebuild a warm-started :class:`AdaptiveLSH` over ``store``.
 
@@ -200,8 +202,10 @@ class IndexSnapshot:
         restored pool columns cover the prefix and new records hash
         lazily — the snapshot-then-extend serving path.
 
-        ``n_jobs`` overrides the worker count (parallelism is an
-        execution detail: results are bit-identical either way).
+        ``n_jobs`` overrides the worker count and ``kernels`` the
+        kernel backend; both are execution details (results are
+        bit-identical either way) and are therefore never captured in
+        the snapshot itself.
         """
         header = self.header
         schema_spec = [
@@ -229,13 +233,19 @@ class IndexSnapshot:
         rule = rule_from_spec(header["rule"])
         cost_model = CostModel.from_dict(header["cost_model"])
         config = AdaptiveConfig.from_dict(
-            header["config"], cost_model=cost_model, n_jobs=n_jobs
+            header["config"],
+            cost_model=cost_model,
+            n_jobs=n_jobs,
+            kernels=kernels,
         )
         method = AdaptiveLSH(store, rule, config=config, observer=observer)
         # Rebuilding the context draws nothing: families are constructed
         # with empty parameter arrays, then overwritten from the
-        # snapshot (parameters + exact RNG stream positions).
-        ctx = build_design_context(store, rule, seed=0)
+        # snapshot (parameters + exact RNG stream positions).  Built
+        # under the method's kernel selection so the rebuilt families
+        # pin the same backend.
+        with use_kernels(method.kernels):
+            ctx = build_design_context(store, rule, seed=0)
         leaves = [comp for branch in ctx.branches for comp in branch]
         pools_meta = header["pools"]
         if len(leaves) != len(pools_meta):

@@ -10,6 +10,7 @@ from repro.core import AdaptiveLSH, CostModel
 from repro.errors import ConfigurationError
 from tests.conftest import make_vector_store
 from repro.distance import CosineDistance, ThresholdRule
+from repro.core.config import AdaptiveConfig
 
 
 @pytest.fixture(scope="module")
@@ -28,7 +29,7 @@ def truth_clusters(store, rule, k):
 class TestCorrectness:
     def test_matches_pairs_output(self, setup):
         store, rule, _ = setup
-        ada = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
+        ada = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=5, cost_model="analytic"))
         result = ada.run(3)
         expected = truth_clusters(store, rule, 3)
         got = [sorted(c.rids.tolist()) for c in result.clusters]
@@ -36,14 +37,14 @@ class TestCorrectness:
 
     def test_all_final_clusters(self, setup):
         store, rule, _ = setup
-        ada = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
+        ada = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=5, cost_model="analytic"))
         result = ada.run(3)
         for cluster in result.clusters:
             assert cluster.is_final(ada.last_level)
 
     def test_sizes_descending(self, setup):
         store, rule, _ = setup
-        result = AdaptiveLSH(store, rule, seed=5, cost_model="analytic").run(4)
+        result = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=5, cost_model="analytic")).run(4)
         sizes = [c.size for c in result.clusters]
         assert sizes == sorted(sizes, reverse=True)
 
@@ -53,7 +54,7 @@ class TestCorrectness:
         the largest k that would succeed."""
         store, rule, _ = setup
         small_store = store.take(np.arange(6))
-        ada = AdaptiveLSH(small_store, rule, seed=5, cost_model="analytic")
+        ada = AdaptiveLSH(small_store, rule, config=AdaptiveConfig(seed=5, cost_model="analytic"))
         with pytest.raises(ConfigurationError, match="resolvable clusters") as exc:
             ada.run(100)
         # The advertised bound works.
@@ -63,13 +64,13 @@ class TestCorrectness:
 
     def test_k_one(self, setup):
         store, rule, _ = setup
-        result = AdaptiveLSH(store, rule, seed=5, cost_model="analytic").run(1)
+        result = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=5, cost_model="analytic")).run(1)
         assert result.k == 1
         assert result.clusters[0].size == 30
 
     def test_k_must_be_positive(self, setup):
         store, rule, _ = setup
-        ada = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
+        ada = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=5, cost_model="analytic"))
         with pytest.raises(ConfigurationError):
             ada.run(0)
 
@@ -77,10 +78,10 @@ class TestCorrectness:
         """Reusing one instance across k values (pool reuse) gives the
         same answer as fresh instances."""
         store, rule, _ = setup
-        ada = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
+        ada = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=5, cost_model="analytic"))
         first = [c.size for c in ada.run(2).clusters]
         second = [c.size for c in ada.run(4).clusters]
-        fresh = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
+        fresh = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=5, cost_model="analytic"))
         assert [c.size for c in fresh.run(4).clusters] == second
         assert second[:2] == first
 
@@ -91,10 +92,8 @@ class TestSelectionStrategies:
         """All selection strategies terminate with the same top-k (they
         differ only in cost), on the same execution instance."""
         store, rule, _ = setup
-        base = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
-        alt = AdaptiveLSH(
-            store, rule, seed=5, cost_model="analytic", selection=selection
-        )
+        base = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=5, cost_model="analytic"))
+        alt = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=5, cost_model="analytic", selection=selection))
         base_sizes = sorted((c.size for c in base.run(3).clusters), reverse=True)
         alt_sizes = sorted((c.size for c in alt.run(3).clusters), reverse=True)
         assert base_sizes == alt_sizes
@@ -103,10 +102,8 @@ class TestSelectionStrategies:
         """Largest-First optimality in practice: strictly fewer or equal
         hashes than smallest-first on a clustered dataset."""
         store, rule, _ = setup
-        largest = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
-        smallest = AdaptiveLSH(
-            store, rule, seed=5, cost_model="analytic", selection="smallest"
-        )
+        largest = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=5, cost_model="analytic"))
+        smallest = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=5, cost_model="analytic", selection="smallest"))
         h_largest = largest.run(2).counters.hashes_computed
         h_smallest = smallest.run(2).counters.hashes_computed
         assert h_largest <= h_smallest
@@ -114,7 +111,7 @@ class TestSelectionStrategies:
     def test_invalid_selection(self, setup):
         store, rule, _ = setup
         with pytest.raises(ConfigurationError):
-            AdaptiveLSH(store, rule, selection="bogus")
+            AdaptiveLSH(store, rule, config=AdaptiveConfig(selection="bogus"))
 
 
 class TestIncrementalMode:
@@ -122,9 +119,9 @@ class TestIncrementalMode:
         """Incremental mode yields clusters largest-first, matching the
         batch output."""
         store, rule, _ = setup
-        ada = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
+        ada = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=5, cost_model="analytic"))
         batch = [c.size for c in ada.run(3).clusters]
-        fresh = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
+        fresh = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=5, cost_model="analytic"))
         incremental = [c.size for c in fresh.iter_clusters(3)]
         assert incremental == batch
 
@@ -132,7 +129,7 @@ class TestIncrementalMode:
         """Stopping after the first cluster is allowed (Theorem 2's
         point: top-1 is ready before the rest)."""
         store, rule, _ = setup
-        ada = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
+        ada = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=5, cost_model="analytic"))
         gen = ada.iter_clusters(3)
         first = next(gen)
         assert first.size == 30
@@ -146,7 +143,7 @@ class TestCostModelInteraction:
         store, rule, _ = setup
         budgets = [20, 40, 80]
         model = CostModel.from_budgets(budgets, cost_per_hash=1e9, cost_p=1e-9)
-        ada = AdaptiveLSH(store, rule, budgets=budgets, seed=5, cost_model=model)
+        ada = AdaptiveLSH(store, rule, config=AdaptiveConfig(budgets=budgets, seed=5, cost_model=model))
         result = ada.run(2)
         expected = truth_clusters(store, rule, 2)
         assert [sorted(c.rids.tolist()) for c in result.clusters] == [
@@ -159,16 +156,14 @@ class TestCostModelInteraction:
         store, rule, _ = setup
         budgets = [20, 40, 80, 160, 320, 640]
         model = CostModel.from_budgets(budgets, cost_per_hash=1e-12, cost_p=1e9)
-        ada = AdaptiveLSH(store, rule, budgets=budgets, seed=5, cost_model=model)
+        ada = AdaptiveLSH(store, rule, config=AdaptiveConfig(budgets=budgets, seed=5, cost_model=model))
         result = ada.run(2)
         assert [c.size for c in result.clusters] == [30, 18]
 
     def test_noise_factor_changes_work_profile(self, setup):
         store, rule, _ = setup
-        clean = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
-        noisy = AdaptiveLSH(
-            store, rule, seed=5, cost_model="analytic", noise_factor=0.01
-        )
+        clean = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=5, cost_model="analytic"))
+        noisy = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=5, cost_model="analytic", noise_factor=0.01))
         r_clean = clean.run(2)
         r_noisy = noisy.run(2)
         # Heavy under-estimation of P -> P applied sooner -> more pairs.
@@ -176,7 +171,7 @@ class TestCostModelInteraction:
 
     def test_records_per_level_histogram(self, setup):
         store, rule, _ = setup
-        ada = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
+        ada = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=5, cost_model="analytic"))
         result = ada.run(2)
         hist = result.info["records_per_level"]
         assert sum(hist.values()) == len(store)
@@ -188,9 +183,9 @@ class TestRefine:
     def test_refine_from_h1_clusters(self, setup):
         """refine() over H_1 output equals a full run."""
         store, rule, _ = setup
-        ada = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
+        ada = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=5, cost_model="analytic"))
         full = ada.run(3)
-        fresh = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
+        fresh = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=5, cost_model="analytic"))
         fresh.prepare()
         h1_clusters = fresh._functions[0].apply(store.rids)
         refined = fresh.refine([(c, 1) for c in h1_clusters], 3)
@@ -200,7 +195,7 @@ class TestRefine:
 
     def test_refine_counts_k(self, setup):
         store, rule, _ = setup
-        ada = AdaptiveLSH(store, rule, seed=5, cost_model="analytic")
+        ada = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=5, cost_model="analytic"))
         ada.prepare()
         refined = ada.refine([(store.rids, 1)], 2)
         assert refined.k == 2

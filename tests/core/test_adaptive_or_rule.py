@@ -14,6 +14,7 @@ from repro.distance import (
     ThresholdRule,
 )
 from repro.records import FieldKind, FieldSpec, RecordStore, Schema
+from repro.core.config import AdaptiveConfig
 
 SCHEMA = Schema(
     (
@@ -57,7 +58,7 @@ def or_dataset():
 class TestOrRuleEndToEnd:
     def test_matches_pairs(self, or_dataset):
         store, rule = or_dataset
-        ada = AdaptiveLSH(store, rule, seed=1, cost_model="analytic").run(2)
+        ada = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=1, cost_model="analytic")).run(2)
         pairs = PairsBaseline(store, rule).run(2)
         assert [sorted(c.rids.tolist()) for c in ada.clusters] == [
             sorted(c.rids.tolist()) for c in pairs.clusters
@@ -65,19 +66,19 @@ class TestOrRuleEndToEnd:
 
     def test_finds_both_entity_types(self, or_dataset):
         store, rule = or_dataset
-        result = AdaptiveLSH(store, rule, seed=1, cost_model="analytic").run(2)
+        result = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=1, cost_model="analytic")).run(2)
         assert result.clusters[0].size >= 20
         assert result.clusters[1].size >= 12
 
     def test_design_has_two_branches(self, or_dataset):
         store, rule = or_dataset
-        ada = AdaptiveLSH(store, rule, seed=1, cost_model="analytic")
+        ada = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=1, cost_model="analytic"))
         ada.prepare()
         for design in ada._designs:
             assert len(design.groups) == 2
 
     def test_two_pools_live(self, or_dataset):
         store, rule = or_dataset
-        ada = AdaptiveLSH(store, rule, seed=1, cost_model="analytic")
+        ada = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=1, cost_model="analytic"))
         ada.prepare()
         assert len(ada._pools) == 2

@@ -17,6 +17,7 @@ from repro.baselines import PairsBaseline
 from repro.core import AdaptiveLSH
 from repro.distance import JaccardDistance, ThresholdRule
 from repro.records import RecordStore, Schema
+from repro.core.config import AdaptiveConfig
 
 
 @st.composite
@@ -53,7 +54,7 @@ def clustered_shingle_dataset(draw):
 def test_adaptive_matches_pairs(data):
     store, k, seed = data
     rule = ThresholdRule(JaccardDistance("shingles"), 0.6)
-    ada = AdaptiveLSH(store, rule, seed=seed % 1000, cost_model="analytic")
+    ada = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=seed % 1000, cost_model="analytic"))
     got = ada.run(k)
     expected = PairsBaseline(store, rule).run(k)
     got_sizes = [c.size for c in got.clusters]
@@ -79,10 +80,8 @@ def test_selection_strategies_agree(data, selection):
     """Alternative cluster-selection orders change cost, never output."""
     store, k, seed = data
     rule = ThresholdRule(JaccardDistance("shingles"), 0.6)
-    largest = AdaptiveLSH(store, rule, seed=seed % 1000, cost_model="analytic")
-    other = AdaptiveLSH(
-        store, rule, seed=seed % 1000, cost_model="analytic", selection=selection
-    )
+    largest = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=seed % 1000, cost_model="analytic"))
+    other = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=seed % 1000, cost_model="analytic", selection=selection))
     assert [c.size for c in largest.run(k).clusters] == [
         c.size for c in other.run(k).clusters
     ]

@@ -1,11 +1,11 @@
-"""AdaptiveConfig: validation, serialization, and the legacy-kwargs shim."""
+"""AdaptiveConfig: validation, serialization, the config-only surface."""
 
 import dataclasses
 
 import pytest
 
 from repro import AdaptiveConfig, AdaptiveLSH, StreamingTopK, adaptive_filter
-from repro.core.config import config_with, resolve_config
+from repro.core.config import config_with
 from repro.errors import ConfigurationError
 
 
@@ -31,6 +31,10 @@ class TestValidation:
         with pytest.raises(ConfigurationError, match="cost_model"):
             AdaptiveConfig(cost_model="tea-leaves")
 
+    def test_bad_kernels(self):
+        with pytest.raises(ConfigurationError, match="kernels"):
+            AdaptiveConfig(kernels="gpu")
+
     def test_config_with(self):
         base = AdaptiveConfig(seed=1)
         tweaked = config_with(base, seed=2, selection="random")
@@ -50,8 +54,10 @@ class TestSerialization:
         )
 
     def test_to_dict_excludes_non_portable_fields(self):
-        data = AdaptiveConfig(seed=7, n_jobs=4).to_dict()
-        assert "seed" not in data and "n_jobs" not in data
+        data = AdaptiveConfig(seed=7, n_jobs=4, kernels="packed").to_dict()
+        assert "seed" not in data
+        assert "n_jobs" not in data
+        assert "kernels" not in data
 
     def test_from_dict_rejects_unknown_keys(self):
         with pytest.raises(ConfigurationError, match="unknown"):
@@ -62,41 +68,35 @@ class TestSerialization:
         assert config.epsilon == 0.3
 
 
-class TestLegacyShim:
-    def test_legacy_kwargs_warn_and_work(self, tiny_spotsigs):
-        with pytest.warns(DeprecationWarning, match="AdaptiveConfig"):
-            method = AdaptiveLSH(
+class TestConfigOnlySurface:
+    def test_legacy_kwargs_removed(self, tiny_spotsigs):
+        with pytest.raises(TypeError):
+            AdaptiveLSH(
                 tiny_spotsigs.store, tiny_spotsigs.rule, seed=0,
                 cost_model="analytic",
             )
-        assert method.config.seed == 0
-        assert method.config.cost_model == "analytic"
 
-    def test_positional_budgets_still_work(self, tiny_spotsigs):
-        with pytest.warns(DeprecationWarning):
-            method = AdaptiveLSH(
-                tiny_spotsigs.store, tiny_spotsigs.rule, [16, 64, 256]
-            )
-        assert method.budgets == [16, 64, 256]
+    def test_non_config_positional_rejected(self, tiny_spotsigs):
+        with pytest.raises(ConfigurationError, match="AdaptiveConfig"):
+            AdaptiveLSH(tiny_spotsigs.store, tiny_spotsigs.rule, [16, 64, 256])
 
-    def test_config_plus_legacy_kwargs_rejected(self, tiny_spotsigs):
-        with pytest.raises(ConfigurationError, match="not both"):
+    def test_trace_kwarg_removed(self, tiny_spotsigs):
+        with pytest.raises(TypeError):
             AdaptiveLSH(
-                tiny_spotsigs.store, tiny_spotsigs.rule,
-                config=AdaptiveConfig(), seed=0,
-            )
-
-    def test_unknown_kwarg_rejected(self, tiny_spotsigs):
-        with pytest.raises(ConfigurationError, match="unknown"):
-            AdaptiveLSH(tiny_spotsigs.store, tiny_spotsigs.rule, wibble=1)
-
-    def test_trace_deprecated(self, tiny_spotsigs):
-        with pytest.warns(DeprecationWarning, match="trace"):
-            method = AdaptiveLSH(
                 tiny_spotsigs.store, tiny_spotsigs.rule,
                 config=AdaptiveConfig(seed=0), trace=True,
             )
-        assert method.obs.enabled
+
+    def test_streaming_legacy_kwargs_removed(self, tiny_spotsigs):
+        with pytest.raises(TypeError):
+            StreamingTopK(tiny_spotsigs.store, tiny_spotsigs.rule, seed=3)
+
+    def test_adaptive_filter_legacy_kwargs_removed(self, tiny_spotsigs):
+        with pytest.raises(TypeError):
+            adaptive_filter(
+                tiny_spotsigs.store, tiny_spotsigs.rule, 3, seed=4,
+                cost_model="analytic",
+            )
 
     def test_config_path_is_warning_free(self, tiny_spotsigs, recwarn):
         import warnings
@@ -112,32 +112,8 @@ class TestLegacyShim:
                 config=AdaptiveConfig(seed=0),
             )
 
-    def test_resolve_config_default(self):
-        assert resolve_config(None, {}) == AdaptiveConfig()
-
-    def test_streaming_legacy_kwargs_warn(self, tiny_spotsigs):
-        with pytest.warns(DeprecationWarning, match="AdaptiveConfig"):
-            stream = StreamingTopK(
-                tiny_spotsigs.store, tiny_spotsigs.rule, seed=3
-            )
-        assert stream.method.config.seed == 3
-
 
 class TestConfigEquivalence:
-    def test_config_equals_legacy_output(self, tiny_spotsigs):
-        with pytest.warns(DeprecationWarning):
-            legacy = AdaptiveLSH(
-                tiny_spotsigs.store, tiny_spotsigs.rule, seed=4,
-                cost_model="analytic",
-            ).run(3)
-        modern = AdaptiveLSH(
-            tiny_spotsigs.store, tiny_spotsigs.rule,
-            config=AdaptiveConfig(seed=4, cost_model="analytic"),
-        ).run(3)
-        assert [c.rids.tolist() for c in modern.clusters] == [
-            c.rids.tolist() for c in legacy.clusters
-        ]
-
     def test_adaptive_filter_takes_config(self, tiny_spotsigs):
         result = adaptive_filter(
             tiny_spotsigs.store, tiny_spotsigs.rule, 3,

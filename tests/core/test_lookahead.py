@@ -8,6 +8,7 @@ from repro.core import AdaptiveLSH, CostModel
 from repro.errors import ConfigurationError
 from tests.conftest import make_vector_store
 from repro.distance import CosineDistance, ThresholdRule
+from repro.core.config import AdaptiveConfig
 
 RULE = ThresholdRule(CosineDistance("vec"), 10 / 180.0)
 BUDGETS = [20, 40, 80, 160, 320, 640, 1280]
@@ -17,14 +18,7 @@ def make_method(store, policy, cost_p=2000.0):
     # An expensive-P model keeps Line 5 quiet so the lookahead probe is
     # what decides (the interesting regime for D.2).
     model = CostModel.from_budgets(BUDGETS, cost_p=cost_p)
-    return AdaptiveLSH(
-        store,
-        RULE,
-        budgets=BUDGETS,
-        seed=3,
-        cost_model=model,
-        jump_policy=policy,
-    )
+    return AdaptiveLSH(store, RULE, config=AdaptiveConfig(budgets=BUDGETS, seed=3, cost_model=model, jump_policy=policy))
 
 
 class TestCorrectness:
@@ -45,7 +39,7 @@ class TestCorrectness:
     def test_invalid_policy_rejected(self):
         store, _ = make_vector_store(seed=55)
         with pytest.raises(ConfigurationError):
-            AdaptiveLSH(store, RULE, jump_policy="psychic")
+            AdaptiveLSH(store, RULE, config=AdaptiveConfig(jump_policy="psychic"))
 
 
 class TestWorkProfile:

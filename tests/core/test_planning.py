@@ -8,6 +8,7 @@ from repro.core.planning import predict_filter_work
 from repro.errors import ConfigurationError
 from tests.conftest import make_vector_store
 from repro.distance import CosineDistance, ThresholdRule
+from repro.core.config import AdaptiveConfig
 
 BUDGETS = [20, 40, 80, 160, 320, 640]
 
@@ -81,7 +82,7 @@ class TestAgainstRealRun:
         rule = ThresholdRule(CosineDistance("vec"), 8 / 180.0)
         budgets = BUDGETS
         cm = CostModel.from_budgets(budgets, cost_p=20.0)
-        ada = AdaptiveLSH(store, rule, budgets=budgets, seed=0, cost_model=cm)
+        ada = AdaptiveLSH(store, rule, config=AdaptiveConfig(budgets=budgets, seed=0, cost_model=cm))
         result = ada.run(2)
         entity_sizes = list(sizes) + [1] * 80
         est = predict_filter_work(

@@ -3,15 +3,22 @@
 import pytest
 
 from repro.core import AdaptiveLSH
+from repro.obs import RunObserver
 from tests.conftest import make_vector_store
 from repro.distance import CosineDistance, ThresholdRule
+from repro.core.config import AdaptiveConfig
 
 
 @pytest.fixture(scope="module")
 def traced_run():
     store, _ = make_vector_store(seed=77)
     rule = ThresholdRule(CosineDistance("vec"), 10 / 180.0)
-    method = AdaptiveLSH(store, rule, seed=1, cost_model="analytic", trace=True)
+    method = AdaptiveLSH(
+        store,
+        rule,
+        config=AdaptiveConfig(seed=1, cost_model="analytic"),
+        observer=RunObserver(),
+    )
     result = method.run(3)
     return method, result
 
@@ -20,7 +27,7 @@ class TestTrace:
     def test_disabled_by_default(self):
         store, _ = make_vector_store(seed=77)
         rule = ThresholdRule(CosineDistance("vec"), 10 / 180.0)
-        method = AdaptiveLSH(store, rule, seed=1, cost_model="analytic")
+        method = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=1, cost_model="analytic"))
         method.run(2)
         assert method.trace == []
 

@@ -7,6 +7,7 @@ from repro.baselines import PairsBaseline
 from repro.core import AdaptiveLSH
 from repro.datasets import generate_querylog
 from repro.datasets.querylog import querylog_rule
+from repro.core.config import AdaptiveConfig
 
 
 @pytest.fixture(scope="module")
@@ -65,9 +66,7 @@ class TestSimilarityRegime:
 
 class TestEndToEnd:
     def test_adaptive_matches_pairs(self, querylog):
-        ada = AdaptiveLSH(
-            querylog.store, querylog.rule, seed=3, cost_model="analytic"
-        ).run(3)
+        ada = AdaptiveLSH(querylog.store, querylog.rule, config=AdaptiveConfig(seed=3, cost_model="analytic")).run(3)
         pairs = PairsBaseline(querylog.store, querylog.rule).run(3)
         assert [c.size for c in ada.clusters] == [c.size for c in pairs.clusters]
 

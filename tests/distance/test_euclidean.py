@@ -8,6 +8,7 @@ from repro.distance.euclidean import pstable_collision_prob
 from repro.errors import ConfigurationError
 from repro.lsh.pstable import PStableFamily
 from repro.records import RecordStore, Schema
+from repro.core.config import AdaptiveConfig
 
 
 def store_from(rows):
@@ -129,7 +130,7 @@ class TestEndToEnd:
         rule = ThresholdRule(
             EuclideanDistance("vec", scale=5.0, bucket_width=0.2), 0.1
         )
-        ada = AdaptiveLSH(store, rule, seed=0, cost_model="analytic").run(2)
+        ada = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=0, cost_model="analytic")).run(2)
         pairs = PairsBaseline(store, rule).run(2)
         assert [c.size for c in ada.clusters] == [c.size for c in pairs.clusters]
         assert [c.size for c in ada.clusters] == expected_sizes

@@ -6,12 +6,13 @@ import pytest
 from repro.core import AdaptiveLSH
 from repro.er import TopKPipeline
 from repro.errors import ConfigurationError
+from repro.core.config import AdaptiveConfig
 
 
 @pytest.fixture(scope="module")
 def pipeline_setup(tiny_spotsigs):
     ds = tiny_spotsigs
-    method = AdaptiveLSH(ds.store, ds.rule, seed=1, cost_model="analytic")
+    method = AdaptiveLSH(ds.store, ds.rule, config=AdaptiveConfig(seed=1, cost_model="analytic"))
     return ds, method
 
 

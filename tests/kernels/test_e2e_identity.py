@@ -1,0 +1,79 @@
+"""End-to-end identity: final clusters are bit-identical for every
+kernel backend × worker count, and across snapshot restore."""
+
+import numpy as np
+import pytest
+
+from repro import AdaptiveConfig, AdaptiveLSH
+from repro.datasets import generate_cora, generate_spotsigs
+from repro.serve import IndexSnapshot
+
+
+def _clusters(result):
+    return [tuple(int(r) for r in c.rids) for c in result.clusters]
+
+
+def _run(dataset, kernels, n_jobs=None, k=3):
+    config = AdaptiveConfig(
+        seed=7, cost_model="analytic", kernels=kernels, n_jobs=n_jobs
+    )
+    with AdaptiveLSH(dataset.store, dataset.rule, config=config) as method:
+        result = method.run(k)
+    return result
+
+
+@pytest.mark.parametrize("generate", [generate_cora, generate_spotsigs])
+def test_backends_produce_identical_clusters(generate):
+    dataset = generate(n_records=300, seed=1)
+    ref = _run(dataset, "numpy")
+    fast = _run(dataset, "packed")
+    assert _clusters(ref) == _clusters(fast)
+    assert ref.counters.pairs_compared == fast.counters.pairs_compared
+    assert ref.counters.hashes_computed == fast.counters.hashes_computed
+    assert ref.info["kernels"] == "numpy"
+    assert fast.info["kernels"] == "packed"
+
+
+@pytest.mark.parametrize("kernels", ["numpy", "packed"])
+def test_parallel_matches_serial_per_backend(kernels):
+    dataset = generate_spotsigs(n_records=300, seed=2)
+    serial = _run(dataset, kernels, n_jobs=1)
+    parallel = _run(dataset, kernels, n_jobs=2)
+    assert _clusters(serial) == _clusters(parallel)
+
+
+def test_snapshot_restore_honours_kernel_override():
+    dataset = generate_spotsigs(n_records=250, seed=3)
+    config = AdaptiveConfig(seed=4, cost_model="analytic", kernels="numpy")
+    with AdaptiveLSH(dataset.store, dataset.rule, config=config) as cold:
+        cold_result = cold.run(3)
+        snapshot = IndexSnapshot.capture(cold)
+    warm = snapshot.restore(dataset.store, kernels="packed")
+    try:
+        assert warm.kernels == "packed"
+        warm_result = warm.run(3)
+    finally:
+        warm.close()
+    assert _clusters(cold_result) == _clusters(warm_result)
+
+
+def test_streaming_identical_across_backends():
+    from repro.online import StreamingTopK
+
+    dataset = generate_cora(n_records=240, seed=5)
+    rids = np.arange(len(dataset.store), dtype=np.int64)
+    outputs = []
+    for kernels in ("numpy", "packed"):
+        config = AdaptiveConfig(
+            seed=6, cost_model="analytic", kernels=kernels
+        )
+        stream = StreamingTopK(dataset.store, dataset.rule, config=config)
+        try:
+            per_query = []
+            for batch in np.array_split(rids, 3):
+                stream.insert_many(batch)
+                per_query.append(_clusters(stream.top_k(3)))
+        finally:
+            stream.method.close()
+        outputs.append(per_query)
+    assert outputs[0] == outputs[1]

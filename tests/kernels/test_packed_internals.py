@@ -1,0 +1,62 @@
+"""Packed-backend internals: popcount fallback and layout selection."""
+
+import numpy as np
+
+from repro.kernels import packed as packed_mod
+from repro.kernels.packed import (
+    _BITSET_VOCAB_LIMIT,
+    PackedField,
+    _popcount_rows,
+)
+from repro.records import RecordStore, Schema
+
+
+def _store(sets):
+    arrays = [np.asarray(s, dtype=np.int64) for s in sets]
+    return RecordStore(Schema.single_shingles(), {"shingles": arrays})
+
+
+class TestPopcount:
+    def test_lut_fallback_matches_bitwise_count(self, monkeypatch):
+        rng = np.random.default_rng(0)
+        words = rng.integers(0, 2**63, size=(37, 5), dtype=np.int64).astype(
+            np.uint64
+        )
+        native = _popcount_rows(words)
+        monkeypatch.setattr(packed_mod, "_HAS_BITWISE_COUNT", False)
+        assert np.array_equal(_popcount_rows(words), native)
+
+    def test_counts_are_exact(self, monkeypatch):
+        words = np.array(
+            [[0], [1], [2**64 - 1], [2**63]], dtype=np.uint64
+        )
+        for has_native in (True, False):
+            monkeypatch.setattr(
+                packed_mod, "_HAS_BITWISE_COUNT", has_native
+            )
+            assert _popcount_rows(words).tolist() == [0, 1, 64, 1]
+
+
+class TestPackedLayout:
+    def test_small_vocab_gets_bitset(self):
+        field = PackedField(_store([[1, 2, 3], [2, 3, 4], []]), "shingles")
+        assert field.vocab.size <= _BITSET_VOCAB_LIMIT
+        assert field.bitset is not None
+
+    def test_large_vocab_skips_bitset(self):
+        rng = np.random.default_rng(1)
+        sets = [
+            np.unique(rng.integers(0, 2**40, size=8)) for _ in range(600)
+        ]
+        field = PackedField(_store(sets), "shingles")
+        if field.vocab.size > _BITSET_VOCAB_LIMIT:
+            assert field.bitset is None
+
+    def test_vocab_always_contains_sentinel(self):
+        from repro.kernels.reference import EMPTY_SENTINEL, _splitmix64
+
+        field = PackedField(_store([[5], []]), "shingles")
+        scrambled = _splitmix64(
+            np.array([EMPTY_SENTINEL], dtype=np.uint64)
+        )[0]
+        assert scrambled in field.vocab

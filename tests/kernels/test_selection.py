@@ -1,0 +1,111 @@
+"""The kernel-selection funnel and its configuration surface."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AdaptiveConfig
+from repro.errors import ConfigurationError
+from repro.kernels import (
+    KERNEL_NAMES,
+    KERNELS_ENV,
+    get_kernels,
+    resolve_kernels,
+    use_kernels,
+)
+
+
+class TestResolveKernels:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(KERNELS_ENV, raising=False)
+        assert resolve_kernels(None) == "numpy"
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "numpy")
+        assert resolve_kernels("packed") == "packed"
+
+    def test_env_funnel(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "packed")
+        assert resolve_kernels(None) == "packed"
+
+    def test_context_beats_env(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "numpy")
+        with use_kernels("packed"):
+            assert resolve_kernels(None) == "packed"
+        assert resolve_kernels(None) == "numpy"
+
+    def test_context_none_is_transparent(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "packed")
+        with use_kernels(None):
+            assert resolve_kernels(None) == "packed"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="kernels"):
+            resolve_kernels("gpu")
+
+    def test_unknown_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "warp")
+        with pytest.raises(ConfigurationError, match="kernels"):
+            resolve_kernels(None)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert KERNEL_NAMES == ("numpy", "packed")
+
+    def test_get_kernels_singletons(self):
+        for name in KERNEL_NAMES:
+            backend = get_kernels(name)
+            assert backend.name == name
+            assert get_kernels(name) is backend
+
+
+class TestConfigSurface:
+    def test_config_validates_kernels(self):
+        with pytest.raises(ConfigurationError, match="kernels"):
+            AdaptiveConfig(kernels="gpu")
+
+    def test_kernels_excluded_from_to_dict(self):
+        assert "kernels" not in AdaptiveConfig(kernels="packed").to_dict()
+
+    def test_info_reports_resolved_backend(self, tiny_spotsigs):
+        from repro import AdaptiveLSH
+
+        for name in KERNEL_NAMES:
+            config = AdaptiveConfig(
+                seed=0, cost_model="analytic", kernels=name
+            )
+            with AdaptiveLSH(
+                tiny_spotsigs.store, tiny_spotsigs.rule, config=config
+            ) as method:
+                result = method.run(2)
+            assert result.info["kernels"] == name
+
+    def test_pack_cache_lives_on_store(self, tiny_spotsigs):
+        store = tiny_spotsigs.store
+        backend = get_kernels("packed")
+        packed = backend.pack_sets(store, "signatures")
+        assert backend.pack_sets(store, "signatures") is packed
+        ref = get_kernels("numpy")
+        # Different backends cache under different keys.
+        assert ref.pack_sets(store, "signatures") is not packed
+
+    def test_parallel_payload_carries_kernels(self, tiny_spotsigs):
+        from repro.lsh.minhash import MinHashFamily
+
+        family = MinHashFamily(
+            tiny_spotsigs.store, "signatures", seed=0, kernels="packed"
+        )
+        spec = family.parallel_payload(8)
+        assert spec["options"]["kernels"] == "packed"
+        rebuilt = MinHashFamily(
+            tiny_spotsigs.store,
+            spec["field"],
+            seed=0,
+            bits=spec["options"]["bits"],
+            kernels=spec["options"]["kernels"],
+        )
+        rebuilt.adopt_params(spec["params"])
+        rids = np.arange(4, dtype=np.int64)
+        assert np.array_equal(
+            family.compute(rids, 0, 8), rebuilt.compute(rids, 0, 8)
+        )

@@ -7,6 +7,7 @@ from repro.distance import JaccardDistance
 from repro.errors import ConfigurationError
 from repro.lsh.minhash import MinHashFamily
 from repro.records import RecordStore, Schema
+from repro.core.config import AdaptiveConfig
 
 
 def store_with_jaccard(sim: float, base: int = 150):
@@ -84,6 +85,6 @@ class TestDistanceIntegration:
             JaccardDistance("signatures", minhash_bits=4), 0.6
         )
         ds = replace(tiny_spotsigs, rule=rule)
-        ada = AdaptiveLSH(ds.store, ds.rule, seed=1, cost_model="analytic").run(3)
+        ada = AdaptiveLSH(ds.store, ds.rule, config=AdaptiveConfig(seed=1, cost_model="analytic")).run(3)
         pairs = PairsBaseline(ds.store, ds.rule).run(3)
         assert [c.size for c in ada.clusters] == [c.size for c in pairs.clusters]

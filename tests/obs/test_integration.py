@@ -6,6 +6,7 @@ from repro.core import AdaptiveLSH
 from repro.obs import DISABLED, RunObserver, RunReport
 from repro.distance import CosineDistance, ThresholdRule
 from tests.conftest import make_vector_store
+from repro.core.config import AdaptiveConfig
 
 
 @pytest.fixture(scope="module")
@@ -13,9 +14,7 @@ def observed_run():
     store, _ = make_vector_store(seed=21)
     rule = ThresholdRule(CosineDistance("vec"), 10 / 180.0)
     obs = RunObserver()
-    method = AdaptiveLSH(
-        store, rule, seed=1, cost_model="analytic", observer=obs
-    )
+    method = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=1, cost_model="analytic"), observer=obs)
     result = method.run(3)
     return method, result, obs
 
@@ -83,11 +82,16 @@ class TestObservedRun:
             )
 
 
-class TestTraceOnlyMode:
-    def test_trace_flag_creates_private_observer(self):
+class TestTraceViaObserver:
+    def test_observer_populates_trace_view(self):
         store, _ = make_vector_store(seed=22)
         rule = ThresholdRule(CosineDistance("vec"), 10 / 180.0)
-        method = AdaptiveLSH(store, rule, seed=1, cost_model="analytic", trace=True)
+        method = AdaptiveLSH(
+            store,
+            rule,
+            config=AdaptiveConfig(seed=1, cost_model="analytic"),
+            observer=RunObserver(),
+        )
         result = method.run(2)
         assert method.obs is not DISABLED
         assert len(method.trace) == result.counters.rounds
@@ -98,7 +102,7 @@ class TestDisabledMode:
     def test_default_uses_shared_disabled_observer(self):
         store, _ = make_vector_store(seed=23)
         rule = ThresholdRule(CosineDistance("vec"), 10 / 180.0)
-        method = AdaptiveLSH(store, rule, seed=1, cost_model="analytic")
+        method = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=1, cost_model="analytic"))
         method.run(2)
         assert method.obs is DISABLED
         assert method.trace == []
@@ -113,10 +117,8 @@ class TestDisabledMode:
         """Observability must not alter the algorithm's output."""
         store, _ = make_vector_store(seed=24)
         rule = ThresholdRule(CosineDistance("vec"), 10 / 180.0)
-        plain = AdaptiveLSH(store, rule, seed=5, cost_model="analytic").run(3)
-        observed = AdaptiveLSH(
-            store, rule, seed=5, cost_model="analytic", observer=RunObserver()
-        ).run(3)
+        plain = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=5, cost_model="analytic")).run(3)
+        observed = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=5, cost_model="analytic"), observer=RunObserver()).run(3)
         assert [c.size for c in plain.clusters] == [
             c.size for c in observed.clusters
         ]

@@ -6,16 +6,12 @@ import pytest
 from repro.core import AdaptiveLSH
 from repro.errors import ConfigurationError
 from repro.online import StreamingTopK
+from repro.core.config import AdaptiveConfig
 
 
 @pytest.fixture()
 def stream(tiny_spotsigs):
-    return StreamingTopK(
-        tiny_spotsigs.store,
-        tiny_spotsigs.rule,
-        seed=2,
-        cost_model="analytic",
-    )
+    return StreamingTopK(tiny_spotsigs.store, tiny_spotsigs.rule, config=AdaptiveConfig(seed=2, cost_model="analytic"))
 
 
 class TestIngest:
@@ -45,20 +41,14 @@ class TestIngest:
 
 class TestQueries:
     def test_full_stream_matches_batch(self, tiny_spotsigs):
-        stream = StreamingTopK(
-            tiny_spotsigs.store, tiny_spotsigs.rule, seed=2, cost_model="analytic"
-        )
+        stream = StreamingTopK(tiny_spotsigs.store, tiny_spotsigs.rule, config=AdaptiveConfig(seed=2, cost_model="analytic"))
         stream.insert_many(tiny_spotsigs.store.rids)
         streamed = [c.size for c in stream.top_k(3).clusters]
-        batch = AdaptiveLSH(
-            tiny_spotsigs.store, tiny_spotsigs.rule, seed=2, cost_model="analytic"
-        ).run(3)
+        batch = AdaptiveLSH(tiny_spotsigs.store, tiny_spotsigs.rule, config=AdaptiveConfig(seed=2, cost_model="analytic")).run(3)
         assert streamed == [c.size for c in batch.clusters]
 
     def test_results_grow_with_stream(self, tiny_spotsigs):
-        stream = StreamingTopK(
-            tiny_spotsigs.store, tiny_spotsigs.rule, seed=2, cost_model="analytic"
-        )
+        stream = StreamingTopK(tiny_spotsigs.store, tiny_spotsigs.rule, config=AdaptiveConfig(seed=2, cost_model="analytic"))
         rng = np.random.default_rng(0)
         order = rng.permutation(len(tiny_spotsigs))
         stream.insert_many(order[:150])
@@ -68,9 +58,7 @@ class TestQueries:
         assert late >= early
 
     def test_repeated_queries_get_cheaper(self, tiny_spotsigs):
-        stream = StreamingTopK(
-            tiny_spotsigs.store, tiny_spotsigs.rule, seed=2, cost_model="analytic"
-        )
+        stream = StreamingTopK(tiny_spotsigs.store, tiny_spotsigs.rule, config=AdaptiveConfig(seed=2, cost_model="analytic"))
         stream.insert_many(tiny_spotsigs.store.rids)
         first = stream.top_k(3)
         second = stream.top_k(3)
@@ -79,9 +67,7 @@ class TestQueries:
         )
 
     def test_current_clusters_partition_seen(self, tiny_spotsigs):
-        stream = StreamingTopK(
-            tiny_spotsigs.store, tiny_spotsigs.rule, seed=2, cost_model="analytic"
-        )
+        stream = StreamingTopK(tiny_spotsigs.store, tiny_spotsigs.rule, config=AdaptiveConfig(seed=2, cost_model="analytic"))
         stream.insert_many(np.arange(100))
         clusters = stream.current_clusters()
         merged = np.sort(np.concatenate(clusters))

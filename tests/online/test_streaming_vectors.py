@@ -7,6 +7,7 @@ from repro.core import AdaptiveLSH
 from repro.online import StreamingTopK
 from tests.conftest import make_vector_store
 from repro.distance import CosineDistance, ThresholdRule
+from repro.core.config import AdaptiveConfig
 
 
 @pytest.fixture(scope="module")
@@ -20,19 +21,19 @@ def vector_setup():
 
 def test_streamed_matches_batch(vector_setup):
     store, rule = vector_setup
-    stream = StreamingTopK(store, rule, seed=4, cost_model="analytic")
+    stream = StreamingTopK(store, rule, config=AdaptiveConfig(seed=4, cost_model="analytic"))
     stream.insert_many(store.rids)
     streamed = [c.size for c in stream.top_k(3).clusters]
-    batch = AdaptiveLSH(store, rule, seed=4, cost_model="analytic").run(3)
+    batch = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=4, cost_model="analytic")).run(3)
     assert streamed == [c.size for c in batch.clusters]
 
 
 def test_out_of_order_arrival_same_answer(vector_setup):
     store, rule = vector_setup
     order = np.random.default_rng(1).permutation(len(store))
-    shuffled = StreamingTopK(store, rule, seed=4, cost_model="analytic")
+    shuffled = StreamingTopK(store, rule, config=AdaptiveConfig(seed=4, cost_model="analytic"))
     shuffled.insert_many(order)
-    sequential = StreamingTopK(store, rule, seed=4, cost_model="analytic")
+    sequential = StreamingTopK(store, rule, config=AdaptiveConfig(seed=4, cost_model="analytic"))
     sequential.insert_many(store.rids)
     assert [c.size for c in shuffled.top_k(3).clusters] == [
         c.size for c in sequential.top_k(3).clusters
@@ -41,7 +42,7 @@ def test_out_of_order_arrival_same_answer(vector_setup):
 
 def test_partial_stream_respects_seen_records(vector_setup):
     store, rule = vector_setup
-    stream = StreamingTopK(store, rule, seed=4, cost_model="analytic")
+    stream = StreamingTopK(store, rule, config=AdaptiveConfig(seed=4, cost_model="analytic"))
     stream.insert_many(np.arange(40))
     result = stream.top_k(2)
     assert result.output_rids.max() < 40

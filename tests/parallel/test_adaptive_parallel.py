@@ -6,6 +6,7 @@ import numpy as np
 from repro.core import AdaptiveLSH
 from repro.distance import JaccardDistance, ThresholdRule
 from tests.conftest import make_shingle_store
+from repro.core.config import AdaptiveConfig
 
 
 def _clusters(result):
@@ -21,10 +22,8 @@ def _setup():
 
 def test_n_jobs_run_is_bit_identical():
     store, rule = _setup()
-    serial = AdaptiveLSH(store, rule, seed=2, cost_model="analytic").run(5)
-    with AdaptiveLSH(
-        store, rule, seed=2, cost_model="analytic", n_jobs=2
-    ) as method:
+    serial = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=2, cost_model="analytic")).run(5)
+    with AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=2, cost_model="analytic", n_jobs=2)) as method:
         # Drop the size thresholds so this test-size store actually
         # dispatches instead of falling back to serial.
         assert method._exec_pool is not None
@@ -42,16 +41,14 @@ def test_n_jobs_run_is_bit_identical():
 
 def test_key_cache_hits_on_rerun_and_preserves_output():
     store, rule = _setup()
-    method = AdaptiveLSH(store, rule, seed=2, cost_model="analytic")
+    method = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=2, cost_model="analytic"))
     first = method.run(5)
     assert first.info["signature_cache"]["misses"] > 0
     second = method.run(5)
     assert second.info["signature_cache"]["hits"] > 0
     assert _clusters(first) == _clusters(second)
 
-    uncached = AdaptiveLSH(
-        store, rule, seed=2, cost_model="analytic", signature_cache=False
-    ).run(5)
+    uncached = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=2, cost_model="analytic", signature_cache=False)).run(5)
     assert "signature_cache" not in uncached.info
     assert _clusters(first) == _clusters(uncached)
 
@@ -61,21 +58,21 @@ def test_env_knob_reaches_adaptive(monkeypatch):
 
     store, rule = _setup()
     monkeypatch.setenv(N_JOBS_ENV, "2")
-    method = AdaptiveLSH(store, rule, seed=2, cost_model="analytic")
+    method = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=2, cost_model="analytic"))
     try:
         assert method.n_jobs == 2
         assert method._exec_pool is not None
     finally:
         method.close()
     monkeypatch.delenv(N_JOBS_ENV)
-    serial = AdaptiveLSH(store, rule, seed=2, cost_model="analytic")
+    serial = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=2, cost_model="analytic"))
     assert serial.n_jobs == 1
     assert serial._exec_pool is None
 
 
 def test_incremental_refine_reuses_cache():
     store, rule = _setup()
-    method = AdaptiveLSH(store, rule, seed=2, cost_model="analytic")
+    method = AdaptiveLSH(store, rule, config=AdaptiveConfig(seed=2, cost_model="analytic"))
     result = method.run(5)
     refined = method.refine(
         [(c.rids, int(np.int64(1))) for c in result.clusters], 3

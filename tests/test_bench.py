@@ -1,0 +1,62 @@
+"""The shared BENCH_*.json emission envelope."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    RESERVED_KEYS,
+    SCHEMA_VERSION,
+    config_hash,
+    emit_result,
+)
+
+
+def test_envelope_and_payload_topology(tmp_path):
+    out = tmp_path / "BENCH_example.json"
+    document = emit_result(
+        str(out),
+        "example",
+        config={"records": 10, "seed": 0},
+        timings={"total_seconds": 1.23456789},
+        payload={"scenarios": {"a": 1}, "failures": []},
+        echo=False,
+    )
+    on_disk = json.loads(out.read_text())
+    assert on_disk == document
+    assert document["schema_version"] == SCHEMA_VERSION
+    assert document["benchmark"] == "example"
+    assert document["config_hash"] == config_hash({"records": 10, "seed": 0})
+    assert document["timings"] == {"total_seconds": 1.23457}
+    # Payload keys stay top-level (baseline gates read them directly).
+    assert document["scenarios"] == {"a": 1}
+
+
+def test_config_hash_is_order_independent():
+    assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+    assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+
+def test_payload_may_not_shadow_envelope():
+    bad = dict.fromkeys(RESERVED_KEYS, 0)
+    with pytest.raises(ValueError, match="shadow"):
+        emit_result(
+            None,
+            "example",
+            config={},
+            timings={},
+            payload=bad,
+            echo=False,
+        )
+
+
+def test_path_none_skips_write(capsys):
+    document = emit_result(
+        None,
+        "example",
+        config={"x": 1},
+        timings={"t": 0.5},
+        payload={"ok": True},
+    )
+    assert document["ok"] is True
+    assert json.loads(capsys.readouterr().out)["ok"] is True

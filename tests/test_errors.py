@@ -10,6 +10,7 @@ from repro.errors import (
     ReproError,
     SchemaError,
 )
+from repro.core.config import AdaptiveConfig
 
 
 @pytest.mark.parametrize(
@@ -26,4 +27,4 @@ def test_public_api_raises_catchable_errors(tiny_spotsigs):
     from repro import AdaptiveLSH
 
     with pytest.raises(ReproError):
-        AdaptiveLSH(tiny_spotsigs.store, tiny_spotsigs.rule, selection="nope")
+        AdaptiveLSH(tiny_spotsigs.store, tiny_spotsigs.rule, config=AdaptiveConfig(selection="nope"))

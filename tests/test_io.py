@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro import (
+    AdaptiveConfig,
     AndRule,
     CosineDistance,
     EuclideanDistance,
@@ -176,12 +177,8 @@ class TestDatasetRoundtrip:
         path = tmp_path / "ds.npz"
         save_dataset(tiny_spotsigs, path)
         loaded = load_dataset(path)
-        before = AdaptiveLSH(
-            tiny_spotsigs.store, tiny_spotsigs.rule, seed=4, cost_model="analytic"
-        ).run(3)
-        after = AdaptiveLSH(
-            loaded.store, loaded.rule, seed=4, cost_model="analytic"
-        ).run(3)
+        before = AdaptiveLSH(tiny_spotsigs.store, tiny_spotsigs.rule, config=AdaptiveConfig(seed=4, cost_model="analytic")).run(3)
+        after = AdaptiveLSH(loaded.store, loaded.rule, config=AdaptiveConfig(seed=4, cost_model="analytic")).run(3)
         assert [c.size for c in before.clusters] == [
             c.size for c in after.clusters
         ]

@@ -16,18 +16,14 @@ def test_version():
 
 def test_quickstart_flow(tiny_spotsigs):
     """The README quickstart, verbatim in spirit."""
-    result = repro.AdaptiveLSH(
-        tiny_spotsigs.store, tiny_spotsigs.rule, seed=0
-    ).run(k=3)
+    result = repro.AdaptiveLSH(tiny_spotsigs.store, tiny_spotsigs.rule, config=repro.AdaptiveConfig(seed=0)).run(k=3)
     assert result.k == 3
     sizes = [c.size for c in result.clusters]
     assert sizes == sorted(sizes, reverse=True)
 
 
 def test_adaptive_filter_helper(tiny_spotsigs):
-    result = repro.adaptive_filter(
-        tiny_spotsigs.store, tiny_spotsigs.rule, 2, seed=0, cost_model="analytic"
-    )
+    result = repro.adaptive_filter(tiny_spotsigs.store, tiny_spotsigs.rule, 2, config=repro.AdaptiveConfig(seed=0, cost_model="analytic"))
     assert result.k == 2
 
 
