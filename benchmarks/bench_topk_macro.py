@@ -14,6 +14,13 @@ regressions the way ``analysis_baseline.json`` gates lint findings:
 
 Improvements ratchet the baseline down: re-run ``--write-baseline``
 and commit the smaller numbers.
+
+The baseline additionally archives a per-scenario ``wall_seconds_history``
+(the last :data:`HISTORY_LIMIT` measurements, appended by every
+``--write-baseline``).  ``--check-baseline`` prints each scenario's
+trend line next to the current measurement so wall-clock drift is
+visible in the ``make perf-gate`` output — reported, never gated,
+because CI machines are noisy.
 """
 
 from __future__ import annotations
@@ -30,6 +37,9 @@ from repro.datasets import generate_cora, generate_spotsigs
 #: Gated counters (deterministic); ``wall_seconds`` rides along
 #: uncompared.
 GATED_COUNTERS = ("pairs_compared", "hashes_computed")
+
+#: Archived ``wall_seconds_history`` entries kept per scenario.
+HISTORY_LIMIT = 20
 
 
 def _scenarios(records: int, seed: int):
@@ -76,6 +86,42 @@ def check_baseline(scenarios: dict, baseline: dict) -> list[str]:
     return failures
 
 
+def wall_trend_lines(scenarios: dict, baseline: dict) -> list[str]:
+    """Per-scenario wall-clock trend lines (reported, never gated)."""
+    lines = []
+    for name, expected in baseline.get("scenarios", {}).items():
+        actual = scenarios.get(name)
+        if actual is None:
+            continue
+        history = expected.get("wall_seconds_history") or [
+            expected["wall_seconds"]
+        ]
+        trend = " -> ".join(f"{w:.4f}" for w in history)
+        lines.append(
+            f"wall-clock trend [{name}]: {trend} | now {actual['wall_seconds']:.4f}s"
+            " (archived, never gated)"
+        )
+    return lines
+
+
+def merge_baseline_history(scenarios: dict, previous: dict) -> dict:
+    """Scenario entries with ``wall_seconds_history`` carried forward.
+
+    Each ``--write-baseline`` appends the current measurement to the
+    prior baseline's history (trimmed to the last ``HISTORY_LIMIT``),
+    so the committed file accumulates a wall-clock trend alongside the
+    ratcheted counters.
+    """
+    merged = {}
+    for name, entry in scenarios.items():
+        prior = previous.get("scenarios", {}).get(name, {})
+        history = list(prior.get("wall_seconds_history") or [])
+        history.append(entry["wall_seconds"])
+        merged[name] = dict(entry)
+        merged[name]["wall_seconds_history"] = history[-HISTORY_LIMIT:]
+    return merged
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="BENCH_topk.json")
@@ -108,6 +154,13 @@ def main(argv=None) -> int:
     )
 
     if args.write_baseline:
+        previous: dict = {}
+        try:
+            with open(args.write_baseline, encoding="utf-8") as fh:
+                previous = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            pass
+        document["scenarios"] = merge_baseline_history(scenarios, previous)
         with open(args.write_baseline, "w", encoding="utf-8") as fh:
             json.dump(document, fh, indent=2)
             fh.write("\n")
@@ -121,6 +174,8 @@ def main(argv=None) -> int:
                 print(f"PERF REGRESSION: {failure}")
             return 1
         print(f"perf gate OK against {args.check_baseline}")
+        for line in wall_trend_lines(scenarios, baseline):
+            print(line)
     return 0
 
 

@@ -59,6 +59,7 @@ DOCUMENTED_INFO_KEYS = frozenset(
         "memoized_pairs",
         "store_backing",
         "kernels",
+        "bin_index",
     }
 )
 

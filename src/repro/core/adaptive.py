@@ -28,6 +28,7 @@ import numpy as np
 from ..distance.rules import MatchRule
 from ..errors import ConfigurationError, ResolvableExceededError, SnapshotError
 from ..kernels import resolve_kernels, use_kernels
+from ..lsh.binindex import SchemeBinIndex, resolve_bin_index
 from ..lsh.design import DesignContext, SchemeDesign, design_sequence
 from ..lsh.families import SignaturePool
 from ..lsh.keycache import LevelKeyCache
@@ -158,6 +159,13 @@ class AdaptiveLSH:
         self._key_cache: LevelKeyCache | None = (
             LevelKeyCache(len(store)) if cfg.signature_cache else None
         )
+        #: Persistent fingerprint bin index (CSR collision groups and
+        #: streaming delta candidates); ``None`` when disabled.
+        self._bin_index: SchemeBinIndex | None = (
+            SchemeBinIndex(len(store), max_bytes=cfg.bin_index_bytes)
+            if resolve_bin_index(cfg.bin_index)
+            else None
+        )
         self._prepared = False
         #: True when prepared state was adopted from a snapshot instead
         #: of being designed/calibrated by this instance.
@@ -268,6 +276,10 @@ class AdaptiveLSH:
             self._key_cache.observer = self.obs
             for fn in self._functions:
                 fn.key_cache = self._key_cache.entry(fn.level)
+        if self._bin_index is not None:
+            self._bin_index.observer = self.obs
+            for fn in self._functions:
+                fn.bin_index = self._bin_index.level(fn.level)
         if self._pair_memo is not None:
             self._pair_memo.observer = self.obs
             # Establish (or re-validate) the memo's (store, rule)
@@ -310,6 +322,11 @@ class AdaptiveLSH:
     def pair_memo(self) -> PairVerdictMemo | None:
         """The pair-verdict memo, or ``None`` when memoization is off."""
         return self._pair_memo
+
+    @property
+    def bin_index(self) -> SchemeBinIndex | None:
+        """The fingerprint bin index, or ``None`` when disabled."""
+        return self._bin_index
 
     def adopt_pair_memo(self, memo: PairVerdictMemo | None) -> None:
         """Transfer a pair-verdict memo from a prior method instance.
@@ -416,6 +433,8 @@ class AdaptiveLSH:
             info["signature_cache"] = self._key_cache.stats()
         if self._pair_memo is not None:
             info["memoized_pairs"] = self._pair_memo.stats()
+        if self._bin_index is not None:
+            info["bin_index"] = self._bin_index.stats()
         backing = self.store.backing
         if backing is not None:
             info["store_backing"] = {

@@ -15,6 +15,7 @@ from typing import Any
 
 from ..errors import ConfigurationError
 from ..kernels import KERNEL_NAMES
+from ..lsh.binindex import DEFAULT_MAX_BYTES as DEFAULT_BIN_INDEX_BYTES
 from ..lsh.design import DEFAULT_EPSILON
 from ..rngutil import SeedLike
 from .cost import CostModel
@@ -59,6 +60,12 @@ class AdaptiveConfig:
     #: ``REPRO_PAIR_MEMO`` environment variable, default enabled).
     pair_memo: bool | None = None
     pair_memo_bytes: int = DEFAULT_PAIR_MEMO_BYTES
+    #: Persistent fingerprint bin index for collision grouping and
+    #: streaming delta candidate generation (``None`` defers to the
+    #: ``REPRO_BIN_INDEX`` environment variable, default enabled).
+    #: Grouping output is bit-identical either way.
+    bin_index: bool | None = None
+    bin_index_bytes: int = DEFAULT_BIN_INDEX_BYTES
 
     def __post_init__(self) -> None:
         if self.budgets is not None:
@@ -90,6 +97,7 @@ class AdaptiveConfig:
         object.__setattr__(self, "lookahead_samples", int(self.lookahead_samples))
         object.__setattr__(self, "lookahead_density", float(self.lookahead_density))
         object.__setattr__(self, "pair_memo_bytes", int(self.pair_memo_bytes))
+        object.__setattr__(self, "bin_index_bytes", int(self.bin_index_bytes))
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-friendly view of the *portable* settings.
@@ -113,6 +121,8 @@ class AdaptiveConfig:
             "signature_cache": self.signature_cache,
             "pair_memo": self.pair_memo,
             "pair_memo_bytes": self.pair_memo_bytes,
+            "bin_index": self.bin_index,
+            "bin_index_bytes": self.bin_index_bytes,
         }
 
     @classmethod

@@ -113,6 +113,12 @@ class FilterResult:
         or ``None`` when memoization was disabled."""
         return self.info.get("memoized_pairs")
 
+    @property
+    def bin_index_stats(self) -> dict[str, Any] | None:
+        """Fingerprint bin-index statistics (``info["bin_index"]``),
+        or ``None`` when the bin index was disabled."""
+        return self.info.get("bin_index")
+
     @staticmethod
     def from_clusters(
         clusters: Sequence[Cluster],

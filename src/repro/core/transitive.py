@@ -20,10 +20,12 @@ import numpy as np
 from ..lsh.design import SchemeDesign
 from ..lsh.scheme import HashingScheme
 from ..structures.parent_pointer_tree import ParentPointerForest
+from ..structures.union_find import ClusterUnionFind
 from ..types import ArrayLike, IntArray
 from .result import WorkCounters
 
 if TYPE_CHECKING:
+    from ..lsh.binindex import LevelBins
     from ..lsh.keycache import LevelEntry
     from ..obs.observer import RunObserver
 
@@ -39,6 +41,12 @@ class TransitiveHashingFunction:
         #: level's packed bucket keys per record; set by ``AdaptiveLSH``
         #: so re-applying ``H_level`` to subclusters reuses key rows.
         self.key_cache: LevelEntry | None = None
+        #: Optional :class:`~repro.lsh.binindex.LevelBins` — when set
+        #: (by ``AdaptiveLSH``), collision groups come from the
+        #: fingerprint bin index as CSR arrays and unions run through
+        #: the vectorized :class:`ClusterUnionFind` walk.  Both paths
+        #: are bit-identical in content and cluster order.
+        self.bin_index: LevelBins | None = None
 
     @property
     def budget(self) -> int:
@@ -59,6 +67,8 @@ class TransitiveHashingFunction:
         scheme so per-table grouping work lands in the run metrics.
         """
         rids = np.asarray(rids, dtype=np.int64)
+        if self.bin_index is not None:
+            return self._apply_binned(rids, counters)
         forest = ParentPointerForest()
         int_rids: list[int] = rids.tolist()
         for rid in int_rids:
@@ -83,3 +93,31 @@ class TransitiveHashingFunction:
             )
             for root in forest.roots()
         ]
+
+    def _apply_binned(
+        self, rids: IntArray, counters: WorkCounters | None
+    ) -> list[IntArray]:
+        """CSR fast path: union whole per-table edge arrays.
+
+        Each CSR group expands to the exact edge sequence the forest
+        loop replays — ``(head, member)`` for every non-head member, in
+        group yield order — and :class:`ClusterUnionFind` reproduces
+        the forest's merge rule and cluster emission order, so the
+        output arrays are byte-identical to the legacy path's.
+        """
+        assert self.bin_index is not None
+        cuf = ClusterUnionFind(int(rids.size))
+        inserts = 0
+        for members, starts in self.bin_index.iter_table_groups(
+            self.scheme, rids, key_cache=self.key_cache
+        ):
+            if starts.size > 1:
+                lens = np.diff(starts)
+                anchors = np.repeat(members[starts[:-1]], lens - 1)
+                head_mask = np.zeros(members.size, dtype=bool)
+                head_mask[starts[:-1]] = True
+                cuf.union_edges(anchors, members[~head_mask])
+            inserts += int(rids.size)
+        if counters is not None:
+            counters.table_inserts += inserts
+        return [rids[part] for part in cuf.clusters()]

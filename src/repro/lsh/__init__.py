@@ -1,5 +1,6 @@
 """Locality-sensitive hashing substrate (paper §3, §5, Appendices A-C)."""
 
+from .binindex import H1DeltaIndex, LevelBins, SchemeBinIndex, resolve_bin_index
 from .design import GroupDesign, SchemeDesign, design_scheme, design_sequence
 from .families import HashFamily, SignaturePool
 from .hyperplanes import RandomHyperplaneFamily
@@ -28,4 +29,8 @@ __all__ = [
     "design_sequence",
     "SchemeDesign",
     "GroupDesign",
+    "SchemeBinIndex",
+    "LevelBins",
+    "H1DeltaIndex",
+    "resolve_bin_index",
 ]

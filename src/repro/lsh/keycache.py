@@ -83,6 +83,10 @@ class LevelEntry:
         cache.record(int(known.sum()), int(missing.size))
         return self._data[rids], self.layout
 
+    def record_saved(self, nbytes: int) -> None:
+        """Forward copy-avoidance accounting to the shared cache."""
+        self._cache.record_saved(nbytes)
+
 
 class LevelKeyCache:
     """All levels' :class:`LevelEntry` objects plus shared accounting."""
@@ -97,6 +101,9 @@ class LevelKeyCache:
         #: Records served from / added to the cache (work counters).
         self.hits = 0
         self.misses = 0
+        #: Key bytes consumers read in place (fingerprint path) that
+        #: the legacy grouping path would have copied per table.
+        self.bytes_saved = 0
         #: Optional :class:`~repro.obs.observer.RunObserver`; when set
         #: and enabled, lookups feed ``sigcache.*`` counters.
         self.observer: RunObserver | None = None
@@ -128,6 +135,14 @@ class LevelKeyCache:
             if misses:
                 obs.counter("sigcache.misses").inc(misses)
 
+    def record_saved(self, nbytes: int) -> None:
+        """Count cached key bytes served without the per-table
+        contiguous copy (:mod:`repro.lsh.binindex` fingerprint path)."""
+        self.bytes_saved += int(nbytes)
+        obs = self.observer
+        if obs is not None and obs.enabled and nbytes:
+            obs.counter("sigcache.bytes_saved").inc(int(nbytes))
+
     def stats(self) -> dict[str, Any]:
         """Cache summary for run reports."""
         return {
@@ -135,4 +150,5 @@ class LevelKeyCache:
             "bytes": int(self._reserved),
             "hits": int(self.hits),
             "misses": int(self.misses),
+            "bytes_saved": int(self.bytes_saved),
         }

@@ -118,11 +118,16 @@ class HashingScheme:
         keys (as ``bytes``) for the records in ``rids``.
 
         Signatures are fetched once per (group, pool) and sliced per
-        table, so pool extension cost is paid exactly once.
+        table, so pool extension cost is paid exactly once.  The packed
+        row representation (:meth:`table_key_rows`) is serialized with
+        one ``tobytes`` call per table and byte-sliced per record —
+        the per-row ``tobytes`` loop this replaces dominated streaming
+        ingest for wide schemes.
         """
-        for block in self._iter_table_blocks(rids):
-            row_bytes = block.view(np.uint8).reshape(block.shape[0], -1)
-            yield [row.tobytes() for row in row_bytes]
+        rows, layout = self.table_key_rows(rids)
+        for offset, nbytes in layout:
+            buf = rows[:, offset : offset + nbytes].tobytes()
+            yield [buf[i : i + nbytes] for i in range(0, len(buf), nbytes)]
 
     def iter_table_collisions(
         self,

@@ -173,12 +173,14 @@ class ResolverSession:
 
     def serving_stats(self) -> dict[str, Any]:
         """Session counters: queries answered, cache hits, warm/cold."""
+        bin_index = self._method.bin_index
         return {
             "queries": self._queries,
             "cache_hits": self._cache_hits,
             "warm_start": self._method.warm_started,
             "store_version": self.store_version,
             "cached_results": len(self._cache),
+            "bin_index": bin_index.stats() if bin_index is not None else None,
         }
 
     # ------------------------------------------------------------------
@@ -248,10 +250,18 @@ class ResolverSession:
         hash lazily.  Queries then go through a
         :class:`~repro.online.StreamingTopK` front-end whose refine
         loop shares the restored pools.
+
+        Streaming state is carried too: when the previous front-end ran
+        on the ``H_1`` delta index, its partition and sorted bucket
+        arrays transfer (:meth:`~repro.online.StreamingTopK.carry_state`)
+        and only the *new* records are ingested — delta candidate pairs
+        come from touched buckets instead of a full re-group.
         """
         if len(new_records) == 0:
             return
         snapshot = IndexSnapshot.capture(self._method)
+        n_before = len(self._store)
+        carry = self._stream.carry_state() if self._stream is not None else None
         extended = self._store.concat(new_records)
         observer = self._method.obs if self._method.obs is not DISABLED else None
         n_jobs = self._method.n_jobs
@@ -268,8 +278,11 @@ class ResolverSession:
             self._method.adopt_pair_memo(pair_memo)
         self._store = extended
         self.store_version += 1
-        stream = StreamingTopK(extended, method=self._method)
-        stream.insert_many(extended.rids)
+        stream = StreamingTopK(extended, method=self._method, carry=carry)
+        if stream.carried:
+            stream.insert_many(extended.rids[n_before:])
+        else:
+            stream.insert_many(extended.rids)
         self._stream = stream
 
     # ------------------------------------------------------------------
